@@ -1,0 +1,286 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the index and EXPERIMENTS.md for the
+// paper-vs-measured record). Each benchmark runs its experiment end to
+// end and reports the headline quantities as custom metrics; run the
+// cmd/ tools for the full printed series.
+//
+//	go test -bench=. -benchmem -benchtime=1x
+package taskdep_test
+
+import (
+	"os"
+	"testing"
+
+	"taskdep/internal/experiments"
+	"taskdep/internal/trace"
+)
+
+// verbose tables are emitted when BENCH_PRINT=1.
+var benchPrint = os.Getenv("BENCH_PRINT") == "1"
+
+// benchIntranode returns the standard reduced-scale intranode config.
+func benchIntranode() experiments.IntranodeConfig {
+	return experiments.DefaultIntranode()
+}
+
+// BenchmarkFig1IntraNodeLULESH: execution vs discovery time across the
+// TPL sweep with the baseline (non-optimized) discovery, plus the
+// parallel-for reference (paper Fig. 1; panels of Fig. 2 derive from the
+// same run).
+func BenchmarkFig1IntraNodeLULESH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig1(benchIntranode(), false)
+		best := res.Points[res.Best]
+		b.ReportMetric(res.ParallelFor.Makespan/best.Makespan, "speedup-vs-for")
+		b.ReportMetric(best.Discovery, "discovery-s")
+		b.ReportMetric(float64(best.TPL), "best-TPL")
+		if benchPrint {
+			res.Print(os.Stdout, "Fig 1/2: intra-node LULESH (baseline discovery)")
+		}
+	}
+}
+
+// BenchmarkFig2Breakdown: the detailed panels (tasks/edges, per-task
+// times, breakdown, inflation, cache misses, stalls) at the finest and
+// best grains.
+func BenchmarkFig2Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig1(benchIntranode(), false)
+		fine := res.Points[len(res.Points)-1]
+		b.ReportMetric(float64(fine.Tasks), "tasks-finest")
+		b.ReportMetric(float64(fine.Edges), "edges-finest")
+		b.ReportMetric(fine.Inflation, "work-inflation-finest")
+		b.ReportMetric(float64(fine.Cache.L3CM), "L3CM-finest")
+		b.ReportMetric(fine.Cache.TotalStalls, "stall-cycles-finest")
+	}
+}
+
+// BenchmarkTable1DiscoveryOverlap: normal vs non-overlapped discovery at
+// best and finest TPL (paper Table 1).
+func BenchmarkTable1DiscoveryOverlap(b *testing.B) {
+	c := benchIntranode()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTable1(c, 384, 3072)
+		fineNormal, fineNon := res.Rows[1], res.Rows[2]
+		b.ReportMetric(fineNormal.Work/fineNon.Work, "work-reduction-x")
+		b.ReportMetric(float64(fineNormal.L3CM)/float64(fineNon.L3CM), "L3CM-reduction-x")
+		b.ReportMetric(fineNon.Makespan/fineNormal.Makespan, "total-slowdown-x")
+		if benchPrint {
+			res.Print(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkTable2OptCrossing: the optimization crossing with genuinely
+// measured discovery times (paper Table 2).
+func BenchmarkTable2OptCrossing(b *testing.B) {
+	c := benchIntranode()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunTable2(c, 384)
+		var none, abc, p experiments.Table2Row
+		for _, r := range rows {
+			switch r.Label {
+			case "none":
+				none = r
+			case "(a)+(b)+(c)":
+				abc = r
+			case "(a)+(b)+(c)+(p)":
+				p = r
+			}
+		}
+		b.ReportMetric(float64(none.Edges)/float64(abc.Edges), "edge-reduction-x")
+		b.ReportMetric(none.Discovery/abc.Discovery, "discovery-speedup-abc")
+		b.ReportMetric(none.Discovery/p.Discovery, "discovery-speedup-p")
+		b.ReportMetric(p.FirstIter/p.ReplayIter, "first-vs-replay-x")
+		if benchPrint {
+			experiments.PrintTable2(os.Stdout, rows)
+		}
+	}
+}
+
+// BenchmarkFig6Optimized: the sweep with every optimization enabled
+// (paper Fig. 6) against the parallel-for reference and the
+// non-optimized best.
+func BenchmarkFig6Optimized(b *testing.B) {
+	c := benchIntranode()
+	for i := 0; i < b.N; i++ {
+		opt := experiments.RunFig1(c, true)
+		non := experiments.RunFig1(c, false)
+		bestOpt := opt.Points[opt.Best]
+		bestNon := non.Points[non.Best]
+		b.ReportMetric(opt.ParallelFor.Makespan/bestOpt.Makespan, "speedup-vs-for")
+		b.ReportMetric(bestNon.Makespan/bestOpt.Makespan, "speedup-vs-nonopt")
+		b.ReportMetric(float64(bestOpt.TPL)/float64(bestNon.TPL), "best-TPL-shift-x")
+		if benchPrint {
+			opt.Print(os.Stdout, "Fig 6: intra-node LULESH (optimizations enabled)")
+		}
+	}
+}
+
+// BenchmarkMETG: the §3.3 Minimum Effective Task Granularity report.
+func BenchmarkMETG(b *testing.B) {
+	c := benchIntranode()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMETG(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.METG95*1e6, "METG95-us")
+	}
+}
+
+// BenchmarkFig7Distributed: the 27-rank (3x3x3) LULESH sweep with and
+// without TDG optimizations: time breakdown, communication time and
+// overlap ratio on the center rank (paper Fig. 7, 125 ranks).
+func BenchmarkFig7Distributed(b *testing.B) {
+	c := experiments.DefaultDistributed()
+	for i := 0; i < b.N; i++ {
+		opt := experiments.RunFig7(c, true)
+		non := experiments.RunFig7(c, false)
+		bo, bn := opt.Points[opt.Best], non.Points[non.Best]
+		b.ReportMetric(opt.ParallelFor.Makespan/bo.Makespan, "opt-speedup-vs-for")
+		b.ReportMetric(bn.Makespan/bo.Makespan, "opt-speedup-vs-nonopt")
+		b.ReportMetric(100*bo.OverlapRatio, "opt-overlap-pct")
+		b.ReportMetric(100*bn.OverlapRatio, "nonopt-overlap-pct")
+		if benchPrint {
+			opt.Print(os.Stdout)
+			non.Print(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig8Gantt: generates the Gantt charts of the profiled rank
+// (paper Fig. 8); the persistent barrier shows as per-iteration
+// alignment.
+func BenchmarkFig8Gantt(b *testing.B) {
+	c := experiments.DefaultDistributed()
+	c.Iters = 3
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig8(c, 128)
+		b.ReportMetric(float64(len(res.Optimized)), "boxes-optimized")
+		b.ReportMetric(float64(len(res.NonOptimized)), "boxes-nonopt")
+		if benchPrint {
+			g := &trace.Gantt{Tasks: res.Optimized}
+			g.WriteASCII(os.Stdout, 120)
+		}
+	}
+}
+
+// BenchmarkTaskwaitCost: explicit taskwait around communication
+// sequences vs fine MPI/TDG integration (paper §4.1: +7%).
+func BenchmarkTaskwaitCost(b *testing.B) {
+	c := experiments.DefaultDistributed()
+	c.Grid = [3]int{2, 2, 2}
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunTaskwaitCost(c, 256)
+		b.ReportMetric(100*(res.WithTaskwait-res.NoTaskwait)/res.NoTaskwait, "taskwait-cost-pct")
+	}
+}
+
+// BenchmarkTable3Scaling: weak and strong scaling (paper Table 3,
+// 8..4096 ranks; reduced to <=216 here — cmd/scaling -big goes larger).
+func BenchmarkTable3Scaling(b *testing.B) {
+	c := experiments.DefaultScaling()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunTable3(c)
+		first, last := rows[0], rows[len(rows)-1]
+		b.ReportMetric(100*first.WeakTask/last.WeakTask, "weak-efficiency-pct")
+		b.ReportMetric(last.WeakFor/last.WeakTask, "weak-speedup-vs-for")
+		b.ReportMetric(first.StrongFor/first.StrongTask, "strong-speedup-small")
+		b.ReportMetric(last.StrongFor/last.StrongTask, "strong-speedup-large")
+		if benchPrint {
+			experiments.PrintTable3(os.Stdout, rows)
+		}
+	}
+}
+
+// BenchmarkFig9HPCG: the HPCG sweep — breakdown, communication, overlap
+// ratio, edges per task and grain (paper Fig. 9).
+func BenchmarkFig9HPCG(b *testing.B) {
+	c := experiments.DefaultHPCG()
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFig9(c)
+		best := res.Points[res.Best]
+		b.ReportMetric(res.ParallelFor.Makespan/best.Makespan, "speedup-vs-for")
+		b.ReportMetric(100*best.OverlapRatio, "overlap-pct")
+		b.ReportMetric(best.GrainUS, "best-grain-us")
+		if benchPrint {
+			res.Print(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkCholeskyPersistent: §4.4 — persistent-graph discovery
+// speedup on repeated factorizations, neutral total time.
+func BenchmarkCholeskyPersistent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCholesky(12, 48, 6, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DiscoverySpeedup, "discovery-speedup-x")
+		b.ReportMetric(100*(res.PersTotal-res.PlainTotal)/res.PlainTotal, "total-delta-pct")
+		if benchPrint {
+			res.Print(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkThrottleAblation: the §5 throttling discussion — ready-task
+// thresholds (GCC/LLVM) restrict the scheduler's TDG vision; MPC-OMP's
+// total-task threshold bounds memory at little cost.
+func BenchmarkThrottleAblation(b *testing.B) {
+	c := benchIntranode()
+	c.Iters = 2
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunThrottleAblation(c, 384)
+		var unb, readyOnly, generous experiments.ThrottleRow
+		for _, r := range rows {
+			switch r.Label {
+			case "unbounded":
+				unb = r
+			case "ready-only (GCC/LLVM-style)":
+				readyOnly = r
+			case "total, generous (MPC-OMP)":
+				generous = r
+			}
+		}
+		b.ReportMetric(readyOnly.Makespan/unb.Makespan, "ready-throttle-slowdown-x")
+		b.ReportMetric(generous.Makespan/unb.Makespan, "total-throttle-slowdown-x")
+		b.ReportMetric(float64(unb.PeakLive), "peak-live-unbounded")
+		if benchPrint {
+			experiments.PrintThrottleAblation(os.Stdout, rows)
+		}
+	}
+}
+
+// BenchmarkPolicyAblation: depth-first vs breadth-first scheduling at
+// the optimized sweet spot (the mechanism behind Fig. 2's cache
+// panels).
+func BenchmarkPolicyAblation(b *testing.B) {
+	c := benchIntranode()
+	c.Iters = 2
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunPolicyAblation(c, 384)
+		df, bf := rows[0], rows[1]
+		b.ReportMetric(bf.Makespan/df.Makespan, "depth-first-speedup-x")
+		b.ReportMetric(float64(bf.L3CM)/float64(df.L3CM), "L3CM-ratio-bf-vs-df")
+		if benchPrint {
+			experiments.PrintPolicyAblation(os.Stdout, rows)
+		}
+	}
+}
+
+// BenchmarkEagerAblation: the eager/rendezvous protocol switch on the
+// distributed configuration.
+func BenchmarkEagerAblation(b *testing.B) {
+	c := experiments.DefaultDistributed()
+	c.Grid = [3]int{2, 2, 2}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.RunEagerAblation(c, 256)
+		b.ReportMetric(rows[0].CommTime/rows[len(rows)-1].CommTime, "rdv-vs-eager-comm-x")
+		if benchPrint {
+			experiments.PrintEagerAblation(os.Stdout, rows)
+		}
+	}
+}

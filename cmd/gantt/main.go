@@ -1,0 +1,52 @@
+// Command gantt reproduces Fig. 8: Gantt charts of the distributed
+// task-based execution on the profiled rank, with and without the TDG
+// optimizations (the persistent version shows the per-iteration barrier
+// as vertical alignment).
+//
+//	gantt [-tpl N] [-width N] [-svg out.svg]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taskdep/internal/experiments"
+	"taskdep/internal/trace"
+)
+
+func main() {
+	var (
+		tpl   = flag.Int("tpl", 128, "tasks per loop")
+		width = flag.Int("width", 120, "ASCII chart width")
+		svg   = flag.String("svg", "", "also write SVG charts to this prefix (…-opt.svg, …-non.svg)")
+	)
+	flag.Parse()
+
+	c := experiments.DefaultDistributed()
+	res := experiments.RunFig8(c, *tpl)
+
+	render := func(label string, recs []trace.TaskRecord, suffix string) {
+		fmt.Printf("== Fig 8: rank %d — %s ==\n", c.ProfiledRank, label)
+		g := &trace.Gantt{Tasks: recs}
+		if err := g.WriteASCII(os.Stdout, *width); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *svg != "" {
+			f, err := os.Create(*svg + suffix)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := g.WriteSVG(f, 1200, 14); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s%s\n", *svg, suffix)
+		}
+	}
+	render("TDG optimizations enabled (persistent)", res.Optimized, "-opt.svg")
+	render("TDG optimizations disabled", res.NonOptimized, "-non.svg")
+}

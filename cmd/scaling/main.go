@@ -1,0 +1,26 @@
+// Command scaling reproduces Table 3 (weak and strong scaling of
+// LULESH) on the machine simulator:
+//
+//	scaling [-big]
+//
+// The default rank set stops at 216 simulated MPI processes; -big
+// extends to 512 and 1000 (minutes of simulation).
+package main
+
+import (
+	"flag"
+	"os"
+
+	"taskdep/internal/experiments"
+)
+
+func main() {
+	big := flag.Bool("big", false, "extend to 512 and 1000 ranks")
+	flag.Parse()
+	c := experiments.DefaultScaling()
+	if *big {
+		c.RankCounts = append(c.RankCounts, 512, 1000)
+	}
+	rows := experiments.RunTable3(c)
+	experiments.PrintTable3(os.Stdout, rows)
+}

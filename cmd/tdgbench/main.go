@@ -1,0 +1,55 @@
+// Command tdgbench reproduces the paper's discovery-optimization
+// crossing (Table 2) plus Table 1 and the METG report:
+//
+//	tdgbench -exp table1|table2|metg [-tpl N]
+//
+// Table 2's discovery times are genuinely measured wall-clock on the
+// real graph layer; total execution comes from the machine simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taskdep/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy")
+		tpl  = flag.Int("tpl", 384, "tasks per loop for table1/table2")
+		fine = flag.Int("fine", 3072, "fine-grain TPL for table1")
+	)
+	flag.Parse()
+	c := experiments.DefaultIntranode()
+
+	switch *exp {
+	case "table1":
+		res := experiments.RunTable1(c, *tpl, *fine)
+		res.Print(os.Stdout)
+	case "table2":
+		rows := experiments.RunTable2(c, *tpl)
+		experiments.PrintTable2(os.Stdout, rows)
+	case "throttle":
+		rows := experiments.RunThrottleAblation(c, *tpl)
+		experiments.PrintThrottleAblation(os.Stdout, rows)
+	case "policy":
+		rows := experiments.RunPolicyAblation(c, *tpl)
+		experiments.PrintPolicyAblation(os.Stdout, rows)
+	case "metg":
+		res, err := experiments.RunMETG(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("== METG report (§3.3) ==")
+		for _, s := range res.Samples {
+			fmt.Printf("grain %8.1f us -> wall %.3f s\n", s.Grain*1e6, s.Wall)
+		}
+		fmt.Printf("METG(95%%) = %.1f us\n", res.METG95*1e6)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,3 @@
+module taskdep
+
+go 1.22

@@ -1,0 +1,421 @@
+// Package cholesky implements the reproduction's tile-based dense
+// Cholesky factorization (paper §4.4, after Schuchart et al.): a
+// right-looking factorization over b x b tiles with POTRF/TRSM/SYRK/GEMM
+// tasks, dependent tasks for intra-node parallelism, and MPI
+// communications performed by tasks for the distributed form (1-D
+// block-cyclic tile-column distribution; the column owner sends its
+// factored panel tiles to every other rank).
+//
+// The dense, regular dependency scheme makes edge optimizations (a),
+// (b), (c) neutral here — as the paper reports — while the persistent
+// graph (p) pays off when factorizations of identically-sized matrices
+// repeat.
+package cholesky
+
+import (
+	"fmt"
+	"math"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/mpi"
+	"taskdep/internal/rt"
+)
+
+// Matrix is a symmetric positive-definite matrix stored as T x T lower
+// tiles of b x b column-major... row-major float64 blocks. Only tiles
+// with i >= j are stored.
+type Matrix struct {
+	T, B  int
+	tiles map[[2]int][]float64
+}
+
+// NewSPD builds the standard synthetic SPD test matrix
+// A[i][j] = 1/(1+|i-j|) + n on the diagonal.
+func NewSPD(t, b int) *Matrix {
+	m := &Matrix{T: t, B: b, tiles: make(map[[2]int][]float64)}
+	n := t * b
+	for ti := 0; ti < t; ti++ {
+		for tj := 0; tj <= ti; tj++ {
+			tile := make([]float64, b*b)
+			for i := 0; i < b; i++ {
+				for j := 0; j < b; j++ {
+					gi, gj := ti*b+i, tj*b+j
+					if gi < gj {
+						continue // upper part of a diagonal tile: unused
+					}
+					v := 1.0 / (1.0 + math.Abs(float64(gi-gj)))
+					if gi == gj {
+						v += float64(n)
+					}
+					tile[i*b+j] = v
+				}
+			}
+			m.tiles[[2]int{ti, tj}] = tile
+		}
+	}
+	return m
+}
+
+// Tile returns tile (i,j), i >= j.
+func (m *Matrix) Tile(i, j int) []float64 { return m.tiles[[2]int{i, j}] }
+
+// SetTile installs a tile buffer (used for ghost tiles).
+func (m *Matrix) SetTile(i, j int, t []float64) { m.tiles[[2]int{i, j}] = t }
+
+// Clone deep-copies the stored tiles.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{T: m.T, B: m.B, tiles: make(map[[2]int][]float64, len(m.tiles))}
+	for k, v := range m.tiles {
+		c.tiles[k] = append([]float64(nil), v...)
+	}
+	return c
+}
+
+// --- tile kernels (naive, genuinely computed) ---
+
+// Potrf factors tile a (b x b) in place into its lower Cholesky factor.
+func Potrf(a []float64, b int) error {
+	for j := 0; j < b; j++ {
+		d := a[j*b+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*b+k] * a[j*b+k]
+		}
+		if d <= 0 {
+			return fmt.Errorf("cholesky: not positive definite at %d (d=%v)", j, d)
+		}
+		d = math.Sqrt(d)
+		a[j*b+j] = d
+		for i := j + 1; i < b; i++ {
+			s := a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*b+k] * a[j*b+k]
+			}
+			a[i*b+j] = s / d
+		}
+		for i := 0; i < j; i++ {
+			a[i*b+j] = 0 // keep strictly lower + diagonal
+		}
+	}
+	return nil
+}
+
+// Trsm solves X * L^T = A in place (A := A * L^-T) where l is the lower
+// factor of the diagonal tile.
+func Trsm(l, a []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := a[i*b+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*b+k] * l[j*b+k]
+			}
+			a[i*b+j] = s / l[j*b+j]
+		}
+	}
+}
+
+// Syrk updates a diagonal tile: C := C - A*A^T (lower part only).
+func Syrk(aTile, c []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j <= i; j++ {
+			s := 0.0
+			for k := 0; k < b; k++ {
+				s += aTile[i*b+k] * aTile[j*b+k]
+			}
+			c[i*b+j] -= s
+		}
+	}
+}
+
+// Gemm updates an off-diagonal tile: C := C - A*B^T.
+func Gemm(aTile, bTile, c []float64, b int) {
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			s := 0.0
+			for k := 0; k < b; k++ {
+				s += aTile[i*b+k] * bTile[j*b+k]
+			}
+			c[i*b+j] -= s
+		}
+	}
+}
+
+// SerialFactor computes the tiled factorization in place (reference).
+func SerialFactor(m *Matrix) error {
+	t, b := m.T, m.B
+	for k := 0; k < t; k++ {
+		if err := Potrf(m.Tile(k, k), b); err != nil {
+			return err
+		}
+		for i := k + 1; i < t; i++ {
+			Trsm(m.Tile(k, k), m.Tile(i, k), b)
+		}
+		for i := k + 1; i < t; i++ {
+			Syrk(m.Tile(i, k), m.Tile(i, i), b)
+			for j := k + 1; j < i; j++ {
+				Gemm(m.Tile(i, k), m.Tile(j, k), m.Tile(i, j), b)
+			}
+		}
+	}
+	return nil
+}
+
+// Verify checks L*L^T ~= A0 on the lower part with relative tolerance.
+func Verify(a0, l *Matrix, tol float64) error {
+	t, b := l.T, l.B
+	n := t * b
+	get := func(m *Matrix, gi, gj int) float64 {
+		if gi < gj {
+			return 0
+		}
+		return m.Tile(gi/b, gj/b)[(gi%b)*b+(gj%b)]
+	}
+	for gi := 0; gi < n; gi++ {
+		for gj := 0; gj <= gi; gj++ {
+			s := 0.0
+			for k := 0; k <= gj; k++ {
+				s += get(l, gi, k) * get(l, gj, k)
+			}
+			want := get(a0, gi, gj)
+			if math.Abs(s-want) > tol*(1+math.Abs(want)) {
+				return fmt.Errorf("cholesky: L*L^T[%d,%d] = %v, want %v", gi, gj, s, want)
+			}
+		}
+	}
+	return nil
+}
+
+// tileKey namespaces dependence keys by tile coordinates.
+func tileKey(i, j int) graph.Key { return graph.Key(1<<60 | uint64(i)<<24 | uint64(j)) }
+
+// potrfErr collects kernel failures from inside tasks.
+type potrfErr struct{ err error }
+
+// TaskFactor factors m with dependent tasks on the runtime (single
+// process). Bitwise identical to SerialFactor: update chains per tile
+// run in the serial order through inout dependences.
+func TaskFactor(m *Matrix, r *rt.Runtime) error {
+	var pe potrfErr
+	taskFactorInto(m, r, &pe)
+	r.Taskwait()
+	return pe.err
+}
+
+// RepeatedConfig parametrizes iterated factorizations (the paper's
+// persistent-graph experiment: decompose matrices of the same dimensions
+// repeatedly).
+type RepeatedConfig struct {
+	Iters      int
+	Persistent bool
+}
+
+// TaskFactorRepeated factors `Iters` clones of a0 in sequence. In
+// persistent mode the task graph is discovered once and replayed; the
+// matrix reset runs at the head of each iteration body (safe: the
+// implicit barrier guarantees the previous factorization finished).
+func TaskFactorRepeated(a0 *Matrix, r *rt.Runtime, cfg RepeatedConfig) (*Matrix, error) {
+	work := a0.Clone()
+	var pe potrfErr
+	reset := func() {
+		for key, tile := range a0.tiles {
+			copy(work.tiles[key], tile)
+		}
+	}
+	body := func(iter int) {
+		reset()
+		taskFactorInto(work, r, &pe)
+	}
+	if cfg.Persistent {
+		if err := r.Persistent(cfg.Iters, body); err != nil {
+			return nil, err
+		}
+	} else {
+		for it := 0; it < cfg.Iters; it++ {
+			body(it)
+			r.Taskwait()
+		}
+	}
+	return work, pe.err
+}
+
+// taskFactorInto submits the factorization tasks without waiting.
+func taskFactorInto(m *Matrix, r *rt.Runtime, pe *potrfErr) {
+	t, b := m.T, m.B
+	for k := 0; k < t; k++ {
+		k := k
+		r.Submit(rt.Spec{
+			Label: "potrf",
+			InOut: []graph.Key{tileKey(k, k)},
+			Body: func(any) {
+				if err := Potrf(m.Tile(k, k), b); err != nil && pe.err == nil {
+					pe.err = err
+				}
+			},
+		})
+		for i := k + 1; i < t; i++ {
+			i := i
+			r.Submit(rt.Spec{
+				Label: "trsm",
+				In:    []graph.Key{tileKey(k, k)},
+				InOut: []graph.Key{tileKey(i, k)},
+				Body:  func(any) { Trsm(m.Tile(k, k), m.Tile(i, k), b) },
+			})
+		}
+		for i := k + 1; i < t; i++ {
+			i := i
+			r.Submit(rt.Spec{
+				Label: "syrk",
+				In:    []graph.Key{tileKey(i, k)},
+				InOut: []graph.Key{tileKey(i, i)},
+				Body:  func(any) { Syrk(m.Tile(i, k), m.Tile(i, i), b) },
+			})
+			for j := k + 1; j < i; j++ {
+				j := j
+				r.Submit(rt.Spec{
+					Label: "gemm",
+					In:    []graph.Key{tileKey(i, k), tileKey(j, k)},
+					InOut: []graph.Key{tileKey(i, j)},
+					Body:  func(any) { Gemm(m.Tile(i, k), m.Tile(j, k), m.Tile(i, j), b) },
+				})
+			}
+		}
+	}
+}
+
+// --- distributed form ---
+
+// DistMatrix is one rank's share of the tiles: 1-D block-cyclic over
+// tile columns (column j owned by rank j % P), plus ghost tiles received
+// from panel owners.
+type DistMatrix struct {
+	*Matrix
+	Ranks, Rank int
+}
+
+// NewDistSPD builds rank's share of the NewSPD matrix.
+func NewDistSPD(t, b, ranks, rank int) *DistMatrix {
+	full := NewSPD(t, b)
+	m := &Matrix{T: t, B: b, tiles: make(map[[2]int][]float64)}
+	for key, tile := range full.tiles {
+		if key[1]%ranks == rank {
+			m.tiles[key] = tile
+		}
+	}
+	return &DistMatrix{Matrix: m, Ranks: ranks, Rank: rank}
+}
+
+// Owner returns the owner rank of tile column j.
+func (dm *DistMatrix) Owner(j int) int { return j % dm.Ranks }
+
+// ghostKey is the dependence key of a received panel tile.
+func ghostKey(i, k int) graph.Key { return graph.Key(1<<61 | uint64(i)<<24 | uint64(k)) }
+
+// TaskFactorDist factors the distributed matrix: the owner of column k
+// factors the panel (POTRF + TRSMs) and sends each panel tile to every
+// other rank through send tasks; other ranks receive them into ghost
+// tiles through detached receive tasks; every rank updates its owned
+// columns. Communications are tasks in the TDG, as in the paper.
+func TaskFactorDist(dm *DistMatrix, r *rt.Runtime, comm *mpi.Comm) error {
+	t, b := dm.T, dm.B
+	P := dm.Ranks
+	var pe potrfErr
+	tag := func(k, i int) int { return k*t + i }
+
+	// panelTile returns the local or ghost buffer of panel tile (i,k)
+	// and its dependence key.
+	panelTile := func(i, k int) ([]float64, graph.Key) {
+		if dm.Owner(k) == dm.Rank {
+			return dm.Tile(i, k), tileKey(i, k)
+		}
+		g := dm.tiles[[2]int{i, k}]
+		if g == nil {
+			g = make([]float64, b*b)
+			dm.SetTile(i, k, g)
+		}
+		return g, ghostKey(i, k)
+	}
+
+	for k := 0; k < t; k++ {
+		k := k
+		owner := dm.Owner(k)
+		if owner == dm.Rank {
+			r.Submit(rt.Spec{
+				Label: "potrf",
+				InOut: []graph.Key{tileKey(k, k)},
+				Body: func(any) {
+					if err := Potrf(dm.Tile(k, k), b); err != nil && pe.err == nil {
+						pe.err = err
+					}
+				},
+			})
+			for i := k + 1; i < t; i++ {
+				i := i
+				r.Submit(rt.Spec{
+					Label: "trsm",
+					In:    []graph.Key{tileKey(k, k)},
+					InOut: []graph.Key{tileKey(i, k)},
+					Body:  func(any) { Trsm(dm.Tile(k, k), dm.Tile(i, k), b) },
+				})
+			}
+			// Send each sub-diagonal panel tile to every other rank
+			// (the factored diagonal is only needed by the owner).
+			for i := k + 1; i < t; i++ {
+				i := i
+				for p := 0; p < P; p++ {
+					if p == dm.Rank {
+						continue
+					}
+					p := p
+					r.Submit(rt.Spec{
+						Label:    "send",
+						In:       []graph.Key{tileKey(i, k)},
+						Detached: true,
+						DetachedBody: func(_ any, ev *rt.Event) {
+							comm.Isend(dm.Tile(i, k), p, tag(k, i)).OnComplete(ev.Fulfill)
+						},
+					})
+				}
+			}
+		} else {
+			// Receive the sub-diagonal panel tiles into ghosts.
+			for i := k + 1; i < t; i++ {
+				i := i
+				buf, gk := panelTile(i, k)
+				r.Submit(rt.Spec{
+					Label:    "recv",
+					Out:      []graph.Key{gk},
+					Detached: true,
+					DetachedBody: func(_ any, ev *rt.Event) {
+						comm.Irecv(buf, owner, tag(k, i)).OnComplete(ev.Fulfill)
+					},
+				})
+			}
+		}
+		// Updates on owned columns j in (k, t).
+		for j := k + 1; j < t; j++ {
+			if dm.Owner(j) != dm.Rank {
+				continue
+			}
+			j := j
+			jkBuf, jkKey := panelTile(j, k)
+			// SYRK on the diagonal tile of column j.
+			r.Submit(rt.Spec{
+				Label: "syrk",
+				In:    []graph.Key{jkKey},
+				InOut: []graph.Key{tileKey(j, j)},
+				Body:  func(any) { Syrk(jkBuf, dm.Tile(j, j), b) },
+			})
+			for i := j + 1; i < t; i++ {
+				i := i
+				ikBuf, ikKey := panelTile(i, k)
+				r.Submit(rt.Spec{
+					Label: "gemm",
+					In:    []graph.Key{ikKey, jkKey},
+					InOut: []graph.Key{tileKey(i, j)},
+					Body:  func(any) { Gemm(ikBuf, jkBuf, dm.Tile(i, j), b) },
+				})
+			}
+		}
+	}
+	r.Taskwait()
+	return pe.err
+}

@@ -1,0 +1,280 @@
+package hpcg
+
+import (
+	"taskdep/internal/graph"
+	"taskdep/internal/sim"
+)
+
+// SimParams parametrizes the DES form of HPCG (Fig. 9): a CG iteration
+// with TPL vector blocks, sub-blocked SpMV, halo sends to two z
+// neighbors and two scalar allreduces.
+type SimParams struct {
+	// Rows is the local matrix dimension.
+	Rows int
+	// NXY is the rows of one z layer (halo message size).
+	NXY int
+	// Iters is the number of CG iterations.
+	Iters int
+	// TPL is the number of vector blocks.
+	TPL int
+	// SpMVSub is the number of SpMV sub-blocks per vector block.
+	SpMVSub int
+	// Ranks/Rank: 1-D decomposition.
+	Ranks, Rank int
+	// ComputePerRow costs: SpMV is ~27 multiply-adds per row; vector
+	// ops ~1-3 flops per row.
+	SpMVPerRow   float64
+	VectorPerRow float64
+	// BlockBytes must match the rank cache config.
+	BlockBytes int64
+}
+
+func (p *SimParams) defaults() {
+	if p.SpMVPerRow == 0 {
+		p.SpMVPerRow = 30e-9
+	}
+	if p.VectorPerRow == 0 {
+		p.VectorPerRow = 2e-9
+	}
+	if p.BlockBytes == 0 {
+		p.BlockBytes = 1 << 10
+	}
+	if p.TPL < 1 {
+		p.TPL = 1
+	}
+	if p.SpMVSub < 1 {
+		p.SpMVSub = 1
+	}
+}
+
+// DES array namespaces.
+const (
+	sX = iota + 1
+	sR
+	sP
+	sAp
+	sMat // matrix coefficients (27 per row)
+)
+
+// BuildSimTaskIteration emits one CG iteration as a DES script.
+func BuildSimTaskIteration(p SimParams) []sim.Op {
+	p.defaults()
+	var ops []sim.Op
+	n := p.Rows
+	tpl := p.TPL
+
+	fp := func(arr int, lo, hi int, perRow int64) sim.Footprint {
+		return sim.BlocksOf(uint64(arr), int64(lo)*perRow, int64(hi)*perRow, p.BlockBytes)
+	}
+	blockKeys := func(f, c0, c1 int) []graph.Dep {
+		var out []graph.Dep
+		for c := c0; c <= c1; c++ {
+			out = append(out, graph.Dep{Key: key(f, c), Type: graph.In})
+		}
+		return out
+	}
+
+	// Halo exchange of P (two neighbors).
+	const tagUp, tagDown = 201, 202
+	bytes := p.NXY * 8
+	if p.Ranks > 1 {
+		if p.Rank > 0 {
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: "irecv-lo",
+				Deps:  []graph.Dep{{Key: key(hGhostLo, 0), Type: graph.Out}},
+				Comm:  &sim.CommOp{Kind: sim.RecvOp, Peer: p.Rank - 1, Tag: tagUp, Bytes: bytes},
+			}))
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: "isend-lo",
+				Deps:  []graph.Dep{{Key: key(hP, 0), Type: graph.In}},
+				Comm:  &sim.CommOp{Kind: sim.SendOp, Peer: p.Rank - 1, Tag: tagDown, Bytes: bytes},
+			}))
+		}
+		if p.Rank < p.Ranks-1 {
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: "irecv-hi",
+				Deps:  []graph.Dep{{Key: key(hGhostHi, 0), Type: graph.Out}},
+				Comm:  &sim.CommOp{Kind: sim.RecvOp, Peer: p.Rank + 1, Tag: tagDown, Bytes: bytes},
+			}))
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: "isend-hi",
+				Deps:  []graph.Dep{{Key: key(hP, tpl-1), Type: graph.In}},
+				Comm:  &sim.CommOp{Kind: sim.SendOp, Peer: p.Rank + 1, Tag: tagUp, Bytes: bytes},
+			}))
+		}
+	}
+
+	// SpMV: per block, SpMVSub sub-tasks (inoutset on the Ap block).
+	for c := 0; c < tpl; c++ {
+		lo, hi := c*n/tpl, (c+1)*n/tpl
+		c0, c1 := c-1, c+1
+		if c0 < 0 {
+			c0 = 0
+		}
+		if c1 > tpl-1 {
+			c1 = tpl - 1
+		}
+		base := blockKeys(hP, c0, c1)
+		if c == 0 && p.Rank > 0 {
+			base = append(base, graph.Dep{Key: key(hGhostLo, 0), Type: graph.In})
+		}
+		if c == tpl-1 && p.Rank < p.Ranks-1 {
+			base = append(base, graph.Dep{Key: key(hGhostHi, 0), Type: graph.In})
+		}
+		for s := 0; s < p.SpMVSub; s++ {
+			slo := lo + s*(hi-lo)/p.SpMVSub
+			shi := lo + (s+1)*(hi-lo)/p.SpMVSub
+			deps := append(append([]graph.Dep(nil), base...),
+				graph.Dep{Key: key(hAp, c), Type: graph.InOutSet})
+			foot := append(fp(sP, slo, shi, 8), fp(sAp, slo, shi, 8)...)
+			foot = append(foot, fp(sMat, slo, shi, 27*8)...)
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label:     "spmv",
+				Deps:      deps,
+				Compute:   p.SpMVPerRow * float64(shi-slo),
+				Footprint: foot,
+			}))
+		}
+	}
+	// Per-block pAp dots.
+	for c := 0; c < tpl; c++ {
+		lo, hi := c*n/tpl, (c+1)*n/tpl
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label: "dot-pAp",
+			Deps: []graph.Dep{
+				{Key: key(hAp, c), Type: graph.In},
+				{Key: key(hP, c), Type: graph.In},
+				{Key: key(hPartAp, c), Type: graph.Out},
+			},
+			Compute:   p.VectorPerRow * float64(hi-lo),
+			Footprint: append(fp(sP, lo, hi, 8), fp(sAp, lo, hi, 8)...),
+		}))
+	}
+	// alpha: merge + allreduce.
+	alphaDeps := blockKeys(hPartAp, 0, tpl-1)
+	alphaDeps = append(alphaDeps, graph.Dep{Key: key(hScalarAlpha, 0), Type: graph.Out})
+	ops = append(ops, sim.Submit(sim.TaskSpec{
+		Label: "alpha",
+		Deps:  alphaDeps,
+		Comm:  &sim.CommOp{Kind: sim.AllreduceOp, Bytes: 8},
+	}))
+	// waxpby x, waxpby r + dot rz.
+	for c := 0; c < tpl; c++ {
+		lo, hi := c*n/tpl, (c+1)*n/tpl
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label: "waxpby-x",
+			Deps: []graph.Dep{
+				{Key: key(hScalarAlpha, 0), Type: graph.In},
+				{Key: key(hP, c), Type: graph.In},
+				{Key: key(hX, c), Type: graph.InOut},
+			},
+			Compute:   p.VectorPerRow * float64(hi-lo),
+			Footprint: append(fp(sX, lo, hi, 8), fp(sP, lo, hi, 8)...),
+		}))
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label: "waxpby-r",
+			Deps: []graph.Dep{
+				{Key: key(hScalarAlpha, 0), Type: graph.In},
+				{Key: key(hAp, c), Type: graph.In},
+				{Key: key(hR, c), Type: graph.InOut},
+			},
+			Compute:   p.VectorPerRow * float64(hi-lo),
+			Footprint: append(fp(sR, lo, hi, 8), fp(sAp, lo, hi, 8)...),
+		}))
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label: "dot-rz",
+			Deps: []graph.Dep{
+				{Key: key(hR, c), Type: graph.In},
+				{Key: key(hPartRz, c), Type: graph.Out},
+			},
+			Compute:   p.VectorPerRow * float64(hi-lo),
+			Footprint: fp(sR, lo, hi, 8),
+		}))
+	}
+	// beta: merge + allreduce.
+	betaDeps := blockKeys(hPartRz, 0, tpl-1)
+	betaDeps = append(betaDeps, graph.Dep{Key: key(hScalarAlpha, 0), Type: graph.InOut})
+	ops = append(ops, sim.Submit(sim.TaskSpec{
+		Label: "beta",
+		Deps:  betaDeps,
+		Comm:  &sim.CommOp{Kind: sim.AllreduceOp, Bytes: 8},
+	}))
+	// p = r + beta*p.
+	for c := 0; c < tpl; c++ {
+		lo, hi := c*n/tpl, (c+1)*n/tpl
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label: "waxpby-p",
+			Deps: []graph.Dep{
+				{Key: key(hScalarAlpha, 0), Type: graph.In},
+				{Key: key(hR, c), Type: graph.In},
+				{Key: key(hP, c), Type: graph.InOut},
+			},
+			Compute:   p.VectorPerRow * float64(hi-lo),
+			Footprint: append(fp(sP, lo, hi, 8), fp(sR, lo, hi, 8)...),
+		}))
+	}
+	return ops
+}
+
+// BuildSimParForIteration emits the BSP form: blocked loops with
+// barriers, blocking halo and collectives.
+func BuildSimParForIteration(p SimParams, cores int) []sim.Op {
+	p.defaults()
+	var ops []sim.Op
+	n := p.Rows
+	bytes := p.NXY * 8
+	const tagUp, tagDown = 201, 202
+
+	fp := func(arr int, lo, hi int, perRow int64) sim.Footprint {
+		return sim.BlocksOf(uint64(arr), int64(lo)*perRow, int64(hi)*perRow, p.BlockBytes)
+	}
+	loop := func(label string, perRow float64, arrs ...int) {
+		for c := 0; c < cores; c++ {
+			lo, hi := c*n/cores, (c+1)*n/cores
+			var foot sim.Footprint
+			for _, a := range arrs {
+				pr := int64(8)
+				if a == sMat {
+					pr = 27 * 8
+				}
+				foot = append(foot, fp(a, lo, hi, pr)...)
+			}
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: label, Compute: perRow * float64(hi-lo), Footprint: foot,
+			}))
+		}
+		ops = append(ops, sim.Taskwait())
+	}
+	collective := func(label string) {
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label: label, Comm: &sim.CommOp{Kind: sim.AllreduceOp, Bytes: 8},
+		}))
+		ops = append(ops, sim.Taskwait())
+	}
+
+	// Blocking halo exchange.
+	if p.Ranks > 1 {
+		if p.Rank > 0 {
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: "irecv-lo", Comm: &sim.CommOp{Kind: sim.RecvOp, Peer: p.Rank - 1, Tag: tagUp, Bytes: bytes}}))
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: "isend-lo", Comm: &sim.CommOp{Kind: sim.SendOp, Peer: p.Rank - 1, Tag: tagDown, Bytes: bytes}}))
+		}
+		if p.Rank < p.Ranks-1 {
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: "irecv-hi", Comm: &sim.CommOp{Kind: sim.RecvOp, Peer: p.Rank + 1, Tag: tagDown, Bytes: bytes}}))
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label: "isend-hi", Comm: &sim.CommOp{Kind: sim.SendOp, Peer: p.Rank + 1, Tag: tagUp, Bytes: bytes}}))
+		}
+		ops = append(ops, sim.Taskwait())
+	}
+	loop("spmv", p.SpMVPerRow, sP, sAp, sMat)
+	loop("dot-pAp", p.VectorPerRow, sP, sAp)
+	collective("alpha")
+	loop("waxpby-x", p.VectorPerRow, sX, sP)
+	loop("waxpby-r", p.VectorPerRow, sR, sAp)
+	loop("dot-rz", p.VectorPerRow, sR)
+	collective("beta")
+	loop("waxpby-p", p.VectorPerRow, sP, sR)
+	return ops
+}

@@ -1,0 +1,247 @@
+package lulesh
+
+import "math"
+
+// The kernels below are the mesh-wide computational loops of the time
+// step (the paper's "sequence of loops which iterate over the mesh data
+// structure"). Every kernel operates on an index range [lo,hi) so the
+// same code serves the serial reference, the parallel-for chunks and the
+// dependent tasks. All element access goes through the nodelist
+// indirection, preserving the memory-access structure the LULESH reports
+// mandate.
+
+// CalcForceForNodes computes nodal forces by gathering from adjacent
+// elements: each element pushes its nodes away from its centroid with
+// strength (p+q). Gather form avoids scatter races so chunked execution
+// is bitwise equal to serial.
+func (d *Domain) CalcForceForNodes(lo, hi int) {
+	nxy := d.NX * d.NY
+	for n := lo; n < hi; n++ {
+		i := n % d.NX
+		j := (n / d.NX) % d.NY
+		k := n / nxy
+		var fx, fy, fz float64
+		for dk := k - 1; dk <= k; dk++ {
+			if dk < 0 || dk >= d.EZ {
+				continue
+			}
+			for dj := j - 1; dj <= j; dj++ {
+				if dj < 0 || dj >= d.EY {
+					continue
+				}
+				for di := i - 1; di <= i; di++ {
+					if di < 0 || di >= d.EX {
+						continue
+					}
+					e := d.elemIdx(di, dj, dk)
+					p := d.Pf[e] + d.Q[e]
+					if p == 0 {
+						continue
+					}
+					nl := d.Nodelist[8*e : 8*e+8]
+					var cx, cy, cz float64
+					for _, nn := range nl {
+						cx += d.X[nn]
+						cy += d.Y[nn]
+						cz += d.Z[nn]
+					}
+					cx *= 0.125
+					cy *= 0.125
+					cz *= 0.125
+					// Outward push on this node, scaled by face area.
+					h2 := 1.0 / float64(d.P.S*d.P.S)
+					fx += p * (d.X[n] - cx) * h2 * 2
+					fy += p * (d.Y[n] - cy) * h2 * 2
+					fz += p * (d.Z[n] - cz) * h2 * 2
+				}
+			}
+		}
+		d.FX[n] = fx
+		d.FY[n] = fy
+		d.FZ[n] = fz
+	}
+}
+
+// CalcAccelAndBC converts forces to accelerations in place (F -> F/m)
+// and applies the symmetry boundary conditions of the global problem:
+// zero normal acceleration on the x=0, y=0 and global z=0 planes.
+func (d *Domain) CalcAccelAndBC(lo, hi int) {
+	nxy := d.NX * d.NY
+	for n := lo; n < hi; n++ {
+		m := d.NodalMass[n]
+		d.FX[n] /= m
+		d.FY[n] /= m
+		d.FZ[n] /= m
+		i := n % d.NX
+		j := (n / d.NX) % d.NY
+		k := n / nxy
+		if i == 0 {
+			d.FX[n] = 0
+		}
+		if j == 0 {
+			d.FY[n] = 0
+		}
+		if k == 0 && d.P.Rank == 0 {
+			d.FZ[n] = 0
+		}
+	}
+}
+
+// CalcVelocityForNodes integrates velocities (with a small linear
+// damping, standing in for LULESH's velocity cutoff).
+func (d *Domain) CalcVelocityForNodes(lo, hi int) {
+	dt := d.Dt
+	for n := lo; n < hi; n++ {
+		xd := d.XD[n] + d.FX[n]*dt
+		yd := d.YD[n] + d.FY[n]*dt
+		zd := d.ZD[n] + d.FZ[n]*dt
+		if math.Abs(xd) < 1e-12 {
+			xd = 0
+		}
+		if math.Abs(yd) < 1e-12 {
+			yd = 0
+		}
+		if math.Abs(zd) < 1e-12 {
+			zd = 0
+		}
+		d.XD[n] = xd
+		d.YD[n] = yd
+		d.ZD[n] = zd
+	}
+}
+
+// CalcPositionForNodes integrates positions.
+func (d *Domain) CalcPositionForNodes(lo, hi int) {
+	dt := d.Dt
+	for n := lo; n < hi; n++ {
+		d.X[n] += d.XD[n] * dt
+		d.Y[n] += d.YD[n] * dt
+		d.Z[n] += d.ZD[n] * dt
+	}
+}
+
+// CalcLagrangeElements computes element kinematics: new relative volume
+// (parallelepiped approximation through the indirection array), volume
+// change Delv and the volume derivative Vdov.
+func (d *Domain) CalcLagrangeElements(lo, hi int) {
+	h := 1.0 / float64(d.P.S)
+	refVol := h * h * h
+	dt := d.Dt
+	for e := lo; e < hi; e++ {
+		nl := d.Nodelist[8*e : 8*e+8]
+		n0, n1, n3, n4 := nl[0], nl[1], nl[3], nl[4]
+		ax := d.X[n1] - d.X[n0]
+		ay := d.Y[n1] - d.Y[n0]
+		az := d.Z[n1] - d.Z[n0]
+		bx := d.X[n3] - d.X[n0]
+		by := d.Y[n3] - d.Y[n0]
+		bz := d.Z[n3] - d.Z[n0]
+		cx := d.X[n4] - d.X[n0]
+		cy := d.Y[n4] - d.Y[n0]
+		cz := d.Z[n4] - d.Z[n0]
+		vol := ax*(by*cz-bz*cy) + ay*(bz*cx-bx*cz) + az*(bx*cy-by*cx)
+		if vol < 0 {
+			vol = -vol
+		}
+		v := vol / refVol
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		d.Delv[e] = v - d.V[e]
+		d.Vdov[e] = d.Delv[e] / (d.V[e] * dt)
+	}
+}
+
+// artificial viscosity coefficients.
+const (
+	qlcMonoQ = 0.5
+	qqcMonoQ = 2.0
+)
+
+// CalcQForElems computes the artificial viscosity for compressing
+// elements.
+func (d *Domain) CalcQForElems(lo, hi int) {
+	h := 1.0 / float64(d.P.S)
+	for e := lo; e < hi; e++ {
+		vdov := d.Vdov[e]
+		if vdov >= 0 {
+			d.Q[e] = 0
+			continue
+		}
+		rho := refDensity / d.V[e]
+		dl := h * math.Sqrt(d.V[e])
+		q := rho * (qqcMonoQ*dl*dl*vdov*vdov + qlcMonoQ*dl*d.SS[e]*math.Abs(vdov))
+		if q > qStop {
+			q = qStop
+		}
+		d.Q[e] = q
+	}
+}
+
+// ApplyMaterialProperties advances energy with pdV work and evaluates
+// the ideal-gas EOS: pressure and sound speed.
+func (d *Domain) ApplyMaterialProperties(lo, hi int) {
+	for e := lo; e < hi; e++ {
+		v := d.V[e] + d.Delv[e]
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		en := d.E[e] - 0.5*d.Delv[e]*(d.Pf[e]+d.Q[e])
+		if en < 0 {
+			en = 0
+		}
+		rho := refDensity / v
+		p := (gammaGas - 1) * rho * en
+		if p < 0 {
+			p = 0
+		}
+		ss := math.Sqrt(gammaGas * (p + 1e-12) / rho)
+		d.E[e] = en
+		d.Pf[e] = p
+		d.SS[e] = ss
+	}
+}
+
+// UpdateVolumesForElems commits the new relative volumes, snapping
+// near-unity volumes exactly to 1 as LULESH does.
+func (d *Domain) UpdateVolumesForElems(lo, hi int) {
+	for e := lo; e < hi; e++ {
+		v := d.V[e] + d.Delv[e]
+		if math.Abs(v-1.0) < 1e-10 {
+			v = 1.0
+		}
+		if v < 1e-6 {
+			v = 1e-6
+		}
+		d.V[e] = v
+	}
+}
+
+// CalcTimeConstraint folds the chunk's courant and hydro dt constraints
+// into d.DtCand (caller must serialize concurrent chunk calls or merge
+// ChunkTimeConstraint results; min is order-independent, so any
+// interleaving yields identical results).
+func (d *Domain) CalcTimeConstraint(lo, hi int) {
+	d.DtCand = math.Min(d.DtCand, d.ChunkTimeConstraint(lo, hi))
+}
+
+// ChunkTimeConstraint returns the minimum dt constraint over [lo,hi).
+func (d *Domain) ChunkTimeConstraint(lo, hi int) float64 {
+	h := 1.0 / float64(d.P.S)
+	cand := math.Inf(1)
+	for e := lo; e < hi; e++ {
+		if d.SS[e] > 1e-12 {
+			dtc := dtCourant * h * math.Sqrt(d.V[e]) / d.SS[e]
+			if dtc < cand {
+				cand = dtc
+			}
+		}
+		if vd := math.Abs(d.Vdov[e]); vd > 1e-12 {
+			dth := dvovmax / vd
+			if dth < cand {
+				cand = dth
+			}
+		}
+	}
+	return cand
+}

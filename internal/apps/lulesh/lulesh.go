@@ -1,0 +1,257 @@
+// Package lulesh implements the reproduction's hydrodynamics proxy
+// application, modeled on LLNL's LULESH 2.0 as used by the paper: an
+// explicit Lagrangian shock-hydro time step over a hexahedral mesh with
+// indirection arrays, structured as the paper's Listing 1 — a sequence of
+// mesh-wide loops per iteration, point-to-point halo exchanges of mesh
+// frontiers, and a global minimum-dt reduction.
+//
+// The package provides three executable forms of the same computation:
+//
+//   - a serial reference (Domain.Step), the ground truth for tests;
+//   - a parallel-for form (RunParallelFor): each loop is a fork-join
+//     taskloop followed by a barrier, communications outside parallel
+//     constructs — the BSP baseline of the paper;
+//   - a dependent-task form (RunTask): taskloop-with-deps structure,
+//     communications nested in detached tasks, optional persistent task
+//     graph — the paper's optimized version.
+//
+// The physics is a simplified (but genuinely computed) ideal-gas
+// Lagrangian update that preserves what matters for the study: the loop
+// sequence, node/element indirection, per-chunk data flow, frontier
+// communication, and an order-independent dt reduction (so all forms
+// produce bitwise-identical results).
+//
+// Domain decomposition is 1-D (z slabs) in the executable forms; the
+// simulator scripts (sim.go) additionally model the paper's full 3-D
+// 26-neighbor decomposition.
+package lulesh
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params sizes a local domain.
+type Params struct {
+	// S is the local edge size: the local mesh has S x S x SZ elements.
+	S int
+	// SZ is the number of local element layers in z; 0 means S. Only
+	// single-rank reference domains should set SZ != S (it is how a
+	// serial domain equivalent to a distributed run is built).
+	SZ int
+	// Iters is the number of time-step iterations.
+	Iters int
+	// Ranks is the number of z-neighbor slabs (1-D decomposition) in
+	// the distributed forms; 1 for single-process runs.
+	Ranks int
+	// Rank is this process's slab index.
+	Rank int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.S < 2 {
+		return fmt.Errorf("lulesh: S must be >= 2, got %d", p.S)
+	}
+	if p.Iters < 1 {
+		return fmt.Errorf("lulesh: Iters must be >= 1, got %d", p.Iters)
+	}
+	if p.Ranks < 1 || p.Rank < 0 || p.Rank >= p.Ranks {
+		return fmt.Errorf("lulesh: bad rank %d/%d", p.Rank, p.Ranks)
+	}
+	return nil
+}
+
+// Domain holds one rank's mesh slab. Element (i,j,k) with 0<=i,j<S,
+// 0<=k<EZ uses nodes of the (S+1)^2 x (EZ+1) lattice through the
+// nodelist indirection array, as the LULESH reports require.
+type Domain struct {
+	P Params
+
+	// Element counts: EZ = S local element layers (+ ghosts handled via
+	// boundary neighbor exchange of nodal layers).
+	NX, NY, NZ int // node lattice dims
+	EX, EY, EZ int // element dims
+
+	// Nodal fields.
+	X, Y, Z    []float64 // positions
+	XD, YD, ZD []float64 // velocities
+	FX, FY, FZ []float64 // forces
+	NodalMass  []float64
+
+	// Element fields.
+	E, Pf, Q, V, Vdov, SS, Delv []float64 // energy, pressure, q, rel vol, vol dot/v, sound speed, vol change
+
+	// Nodelist: 8 node indices per element.
+	Nodelist []int32
+
+	// Dt state.
+	Dt     float64
+	DtCand float64 // min-reduction candidate built each iteration
+	Time   float64
+	Cycle  int
+}
+
+// element/material constants (ideal gas, unit density).
+const (
+	gammaGas   = 1.4
+	qStop      = 1.0e+12
+	dtCourant  = 0.4
+	dvovmax    = 0.1
+	refDensity = 1.0
+	initDt     = 1.0e-3
+)
+
+// NewDomain builds and initializes a slab domain: a uniform lattice with
+// a Sedov-like energy deposition in the global corner element (rank 0).
+func NewDomain(p Params) (*Domain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.SZ == 0 {
+		p.SZ = p.S
+	}
+	d := &Domain{P: p}
+	d.EX, d.EY, d.EZ = p.S, p.S, p.SZ
+	d.NX, d.NY, d.NZ = p.S+1, p.S+1, p.SZ+1
+	nn := d.NX * d.NY * d.NZ
+	ne := d.EX * d.EY * d.EZ
+
+	d.X = make([]float64, nn)
+	d.Y = make([]float64, nn)
+	d.Z = make([]float64, nn)
+	d.XD = make([]float64, nn)
+	d.YD = make([]float64, nn)
+	d.ZD = make([]float64, nn)
+	d.FX = make([]float64, nn)
+	d.FY = make([]float64, nn)
+	d.FZ = make([]float64, nn)
+	d.NodalMass = make([]float64, nn)
+
+	d.E = make([]float64, ne)
+	d.Pf = make([]float64, ne)
+	d.Q = make([]float64, ne)
+	d.V = make([]float64, ne)
+	d.Vdov = make([]float64, ne)
+	d.SS = make([]float64, ne)
+	d.Delv = make([]float64, ne)
+
+	d.Nodelist = make([]int32, 8*ne)
+
+	h := 1.0 / float64(p.S)
+	zBase := float64(p.Rank * p.S)
+	for k := 0; k < d.NZ; k++ {
+		for j := 0; j < d.NY; j++ {
+			for i := 0; i < d.NX; i++ {
+				n := d.nodeIdx(i, j, k)
+				d.X[n] = float64(i) * h
+				d.Y[n] = float64(j) * h
+				d.Z[n] = (zBase + float64(k)) * h
+			}
+		}
+	}
+	for k := 0; k < d.EZ; k++ {
+		for j := 0; j < d.EY; j++ {
+			for i := 0; i < d.EX; i++ {
+				e := d.elemIdx(i, j, k)
+				nl := d.Nodelist[8*e : 8*e+8]
+				nl[0] = int32(d.nodeIdx(i, j, k))
+				nl[1] = int32(d.nodeIdx(i+1, j, k))
+				nl[2] = int32(d.nodeIdx(i+1, j+1, k))
+				nl[3] = int32(d.nodeIdx(i, j+1, k))
+				nl[4] = int32(d.nodeIdx(i, j, k+1))
+				nl[5] = int32(d.nodeIdx(i+1, j, k+1))
+				nl[6] = int32(d.nodeIdx(i+1, j+1, k+1))
+				nl[7] = int32(d.nodeIdx(i, j+1, k+1))
+				d.V[e] = 1.0
+			}
+		}
+	}
+	// Nodal mass: 1/8 of each adjacent element's volume.
+	elemVol := h * h * h
+	for e := 0; e < ne; e++ {
+		for c := 0; c < 8; c++ {
+			d.NodalMass[d.Nodelist[8*e+c]] += elemVol * refDensity / 8
+		}
+	}
+	// Energy deposition at the global origin corner.
+	if p.Rank == 0 {
+		d.E[d.elemIdx(0, 0, 0)] = 3.948746e+7 * elemVol
+	}
+	d.Dt = initDt
+	d.DtCand = math.Inf(1)
+	return d, nil
+}
+
+func (d *Domain) nodeIdx(i, j, k int) int { return (k*d.NY+j)*d.NX + i }
+func (d *Domain) elemIdx(i, j, k int) int { return (k*d.EY+j)*d.EX + i }
+
+// NumNodes returns the nodal lattice size.
+func (d *Domain) NumNodes() int { return d.NX * d.NY * d.NZ }
+
+// NumElems returns the element count.
+func (d *Domain) NumElems() int { return d.EX * d.EY * d.EZ }
+
+// NodesPerLayer returns the node count of one z layer (the frontier
+// exchanged with z neighbors).
+func (d *Domain) NodesPerLayer() int { return d.NX * d.NY }
+
+// Step advances one serial time step: the reference implementation.
+func (d *Domain) Step() {
+	n := d.NumNodes()
+	e := d.NumElems()
+	d.CalcForceForNodes(0, n)
+	d.CalcAccelAndBC(0, n)
+	d.CalcVelocityForNodes(0, n)
+	d.CalcPositionForNodes(0, n)
+	d.CalcLagrangeElements(0, e)
+	d.CalcQForElems(0, e)
+	d.ApplyMaterialProperties(0, e)
+	d.UpdateVolumesForElems(0, e)
+	d.DtCand = math.Inf(1)
+	d.CalcTimeConstraint(0, e) // serial: no reduction partner needed
+	d.FinishTimeStep(d.DtCand)
+}
+
+// FinishTimeStep applies the (possibly globally reduced) dt candidate.
+func (d *Domain) FinishTimeStep(globalCand float64) {
+	nd := d.Dt
+	if globalCand < nd {
+		nd = globalCand
+	}
+	// LULESH-style dt ramp limits.
+	if nd > d.Dt*1.1 {
+		nd = d.Dt * 1.1
+	}
+	if nd < 1e-9 {
+		nd = 1e-9
+	}
+	d.Dt = nd
+	d.Time += nd
+	d.Cycle++
+}
+
+// Checksum returns a deterministic digest of the domain state, used to
+// compare implementations.
+func (d *Domain) Checksum() float64 {
+	s := 0.0
+	for i, v := range d.E {
+		s += v * float64(i%17+1)
+	}
+	for i, v := range d.X {
+		s += v * float64(i%13+1)
+	}
+	for i, v := range d.XD {
+		s += v * float64(i%11+1)
+	}
+	return s
+}
+
+// TotalEnergy sums element energies (a physical sanity metric).
+func (d *Domain) TotalEnergy() float64 {
+	s := 0.0
+	for _, v := range d.E {
+		s += v
+	}
+	return s
+}

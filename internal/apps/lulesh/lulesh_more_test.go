@@ -1,0 +1,174 @@
+package lulesh
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/rt"
+	"taskdep/internal/trace"
+)
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{S: 1, Iters: 1, Ranks: 1},
+		{S: 4, Iters: 0, Ranks: 1},
+		{S: 4, Iters: 1, Ranks: 0},
+		{S: 4, Iters: 1, Ranks: 2, Rank: 2},
+	}
+	for _, p := range bad {
+		if _, err := NewDomain(p); err == nil {
+			t.Fatalf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestNodalMassConservation(t *testing.T) {
+	d, _ := NewDomain(Params{S: 6, Iters: 1, Ranks: 1})
+	total := 0.0
+	for _, m := range d.NodalMass {
+		total += m
+	}
+	// Sum of nodal masses equals total element mass (density 1, unit cube).
+	if math.Abs(total-1.0) > 1e-12 {
+		t.Fatalf("total mass = %v", total)
+	}
+}
+
+func TestSymmetryBoundaryHolds(t *testing.T) {
+	d, _ := NewDomain(Params{S: 6, Iters: 1, Ranks: 1})
+	for i := 0; i < 20; i++ {
+		d.Step()
+	}
+	// Nodes on the x=0 plane never move in x (symmetry BC).
+	for k := 0; k < d.NZ; k++ {
+		for j := 0; j < d.NY; j++ {
+			n := d.nodeIdx(0, j, k)
+			if d.X[n] != 0 {
+				t.Fatalf("x-symmetry violated at node %d: %v", n, d.X[n])
+			}
+		}
+	}
+}
+
+func TestDtRampLimits(t *testing.T) {
+	d, _ := NewDomain(Params{S: 4, Iters: 1, Ranks: 1})
+	d.Dt = 1e-3
+	d.FinishTimeStep(1.0) // huge candidate: ramp clamps growth to 10%
+	if d.Dt > 1.1e-3+1e-15 {
+		t.Fatalf("dt ramp exceeded: %v", d.Dt)
+	}
+	d.FinishTimeStep(1e-12) // tiny candidate: floor applies
+	if d.Dt < 1e-9 {
+		t.Fatalf("dt floor broken: %v", d.Dt)
+	}
+}
+
+func TestTaskProfiledRunProducesGantt(t *testing.T) {
+	p := Params{S: 5, Iters: 3, Ranks: 1}
+	d, _ := NewDomain(p)
+	prof := trace.New(3, true)
+	r := rt.New(rt.Config{Workers: 2, Opts: graph.OptAll, Profile: prof})
+	if err := RunTask(d, r, nil, TaskConfig{TPL: 4, Persistent: true}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	recs := prof.Tasks()
+	if len(recs) == 0 {
+		t.Fatalf("no task records")
+	}
+	g := &trace.Gantt{Tasks: recs}
+	var sb strings.Builder
+	if err := g.WriteASCII(&sb, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "worker") {
+		t.Fatalf("gantt: %s", sb.String())
+	}
+	b := prof.Breakdown()
+	if len(b.DiscoveryIter) != p.Iters {
+		t.Fatalf("iteration marks = %d", len(b.DiscoveryIter))
+	}
+}
+
+func TestWeightedCountMeanPreserving(t *testing.T) {
+	// Over a whole number of weight regions the +/- amplitudes cancel
+	// statistically; check the global sum stays within the amplitude.
+	n := 8192 * 16
+	got := weightedCount(0, n)
+	if math.Abs(got-float64(n)) > costWeightAmp*float64(n) {
+		t.Fatalf("weighted count %v far from %d", got, n)
+	}
+	// Chunk additivity: sum of halves equals the whole.
+	a := weightedCount(0, n/2)
+	b := weightedCount(n/2, n)
+	if math.Abs(a+b-got) > 1e-6 {
+		t.Fatalf("not additive: %v + %v != %v", a, b, got)
+	}
+	if weightedCount(5, 5) != 0 {
+		t.Fatalf("empty range nonzero")
+	}
+}
+
+func TestRankGridRoundTrip(t *testing.T) {
+	p := SimParams{Grid: [3]int{3, 4, 5}}
+	p.defaults()
+	for r := 0; r < p.NumRanks(); r++ {
+		if got := p.rankID(p.rankCoord(r)); got != r {
+			t.Fatalf("roundtrip %d -> %d", r, got)
+		}
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	p := SimParams{S: 4, Grid: [3]int{3, 3, 2}}
+	p.defaults()
+	for r := 0; r < p.NumRanks(); r++ {
+		for _, nb := range p.neighbors(r) {
+			found := false
+			for _, back := range p.neighbors(nb.rank) {
+				if back.rank == r {
+					found = true
+					if back.elems != nb.elems {
+						t.Fatalf("asymmetric frontier size %d vs %d", back.elems, nb.elems)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("neighbor relation not symmetric: %d -> %d", r, nb.rank)
+			}
+		}
+	}
+}
+
+func TestSimTagsMatchAcrossRanks(t *testing.T) {
+	// The tag a sender uses toward a neighbor must equal the tag the
+	// neighbor's receive expects (mirrored direction).
+	p := SimParams{S: 4, Grid: [3]int{2, 2, 2}}
+	p.defaults()
+	for r := 0; r < p.NumRanks(); r++ {
+		for _, nb := range p.neighbors(r) {
+			sendTag := dirTag(nb.dir)
+			// The peer sees us in the mirrored direction and posts its
+			// recv with rtag = dirTag(-(-dir)) = dirTag(dir).
+			var peerDir [3]int
+			for _, back := range p.neighbors(nb.rank) {
+				if back.rank == r {
+					peerDir = back.dir
+				}
+			}
+			recvTag := dirTag([3]int{-peerDir[0], -peerDir[1], -peerDir[2]})
+			if sendTag != recvTag {
+				t.Fatalf("tag mismatch %d vs %d for %d->%d", sendTag, recvTag, r, nb.rank)
+			}
+		}
+	}
+}
+
+func TestExchangerNoNeighborsIsNoop(t *testing.T) {
+	d, _ := NewDomain(Params{S: 4, Iters: 1, Ranks: 1})
+	ex := newExchanger(d, nil)
+	ex.exchangeForcesBlocking(d) // must not panic or block
+	ex.exchangeMass(d)
+}

@@ -1,0 +1,480 @@
+package lulesh
+
+import (
+	"taskdep/internal/graph"
+	"taskdep/internal/sim"
+)
+
+// SimParams parametrizes the DES form of LULESH used for the paper's
+// figures. The DES form models the full 3-D decomposition of the paper
+// (26 neighbors per interior rank: 6 faces, 12 edges, 8 corners) on a
+// rank grid, with per-task footprints driving the cache model.
+type SimParams struct {
+	// S is the local edge size (elements per dimension).
+	S int
+	// Iters is the number of time-steps.
+	Iters int
+	// TPL is the tasks-per-loop grain.
+	TPL int
+	// MinimizeDeps applies optimization (a) to the dependence stream.
+	MinimizeDeps bool
+	// Grid is the 3-D rank grid (e.g. {5,5,5} for 125 ranks); {1,1,1}
+	// or zero for single-rank runs.
+	Grid [3]int
+	// ComputePerElem is the pure-compute cost per element per loop
+	// (seconds); default 25ns, calibrated in EXPERIMENTS.md.
+	ComputePerElem float64
+	// BlockBytes must match the rank's cache config.
+	BlockBytes int64
+}
+
+func (p *SimParams) defaults() {
+	if p.ComputePerElem == 0 {
+		p.ComputePerElem = 25e-9
+	}
+	if p.BlockBytes == 0 {
+		p.BlockBytes = 1 << 10
+	}
+	for i := range p.Grid {
+		if p.Grid[i] == 0 {
+			p.Grid[i] = 1
+		}
+	}
+}
+
+// NumRanks returns the rank-grid size.
+func (p SimParams) NumRanks() int {
+	p.defaults()
+	return p.Grid[0] * p.Grid[1] * p.Grid[2]
+}
+
+// rankCoord maps rank id to grid coordinates.
+func (p SimParams) rankCoord(rank int) [3]int {
+	return [3]int{
+		rank % p.Grid[0],
+		(rank / p.Grid[0]) % p.Grid[1],
+		rank / (p.Grid[0] * p.Grid[1]),
+	}
+}
+
+func (p SimParams) rankID(c [3]int) int {
+	return (c[2]*p.Grid[1]+c[1])*p.Grid[0] + c[0]
+}
+
+// neighbor describes one of up to 26 halo partners.
+type neighbor struct {
+	rank  int
+	dir   [3]int
+	elems int // frontier size in elements: s^2 (face), s (edge), 1 (corner)
+}
+
+// neighbors enumerates the rank's halo partners on the grid.
+func (p SimParams) neighbors(rank int) []neighbor {
+	c := p.rankCoord(rank)
+	var out []neighbor
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 && dz == 0 {
+					continue
+				}
+				n := [3]int{c[0] + dx, c[1] + dy, c[2] + dz}
+				if n[0] < 0 || n[0] >= p.Grid[0] || n[1] < 0 || n[1] >= p.Grid[1] || n[2] < 0 || n[2] >= p.Grid[2] {
+					continue
+				}
+				dims := 0
+				if dx != 0 {
+					dims++
+				}
+				if dy != 0 {
+					dims++
+				}
+				if dz != 0 {
+					dims++
+				}
+				elems := 1
+				switch dims {
+				case 1:
+					elems = p.S * p.S
+				case 2:
+					elems = p.S
+				}
+				out = append(out, neighbor{rank: p.rankID(n), dir: [3]int{dx, dy, dz}, elems: elems})
+			}
+		}
+	}
+	return out
+}
+
+// costWeight models the spatial cost variation of the hydro kernels
+// (EOS iteration counts, viscosity only in compressing regions): a
+// deterministic +/-25% per-block factor. Parallel-for barriers pay the
+// slowest chunk; dependent tasks absorb the imbalance by work stealing —
+// one of the paper's motivations for the task version.
+const costWeightAmp = 0.25
+
+// weightedCount returns the effective element count of [lo,hi) under the
+// per-block cost weights (8192-element regions, xorshift hash sign; regions are large so the imbalance is spatially correlated like a blast front).
+func weightedCount(lo, hi int) float64 {
+	const gran = 8192
+	total := 0.0
+	for b := lo / gran; b <= (hi-1)/gran && lo < hi; b++ {
+		blo := b * gran
+		bhi := blo + gran
+		if blo < lo {
+			blo = lo
+		}
+		if bhi > hi {
+			bhi = hi
+		}
+		h := uint64(b)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		h ^= h >> 33
+		sign := 1.0
+		if h&1 == 0 {
+			sign = -1
+		}
+		total += float64(bhi-blo) * (1 + costWeightAmp*sign)
+	}
+	return total
+}
+
+// DES array ids for footprints (namespaces for sim.BlocksOf).
+const (
+	aNodePos = iota + 1
+	aNodeVel
+	aNodeForce
+	aNodeMass
+	aElemEOS
+	aElemKin
+	aElemQ
+	aNodelist
+)
+
+// loopSpec describes one mesh-wide loop for the DES builder.
+type loopSpec struct {
+	label     string
+	elemLoop  bool  // iterate elements (vs nodes)
+	reads     []int // arrays read (footprint)
+	writes    []int // arrays written (footprint)
+	haloReads bool  // reads neighbor chunks (stencil)
+	costScale float64
+}
+
+// the LULESH time step as loop specs, mirroring drivers.go.
+var luleshLoops = []loopSpec{
+	{label: "force", elemLoop: false, reads: []int{aElemEOS, aElemQ, aNodePos, aNodelist}, writes: []int{aNodeForce}, haloReads: true, costScale: 2.0},
+	{label: "accel", elemLoop: false, reads: []int{aNodeMass}, writes: []int{aNodeForce}, costScale: 0.4},
+	{label: "vel", elemLoop: false, reads: []int{aNodeForce}, writes: []int{aNodeVel}, costScale: 0.4},
+	{label: "pos", elemLoop: false, reads: []int{aNodeVel}, writes: []int{aNodePos}, costScale: 0.4},
+	{label: "kin", elemLoop: true, reads: []int{aNodePos, aNodelist}, writes: []int{aElemKin}, haloReads: true, costScale: 1.6},
+	{label: "q", elemLoop: true, reads: []int{aElemKin}, writes: []int{aElemQ}, costScale: 0.8},
+	{label: "eos", elemLoop: true, reads: []int{aElemQ, aElemKin}, writes: []int{aElemEOS}, costScale: 1.2},
+	{label: "vol", elemLoop: true, reads: []int{aElemKin}, writes: []int{aElemKin}, costScale: 0.3},
+	{label: "dtc", elemLoop: true, reads: []int{aElemKin, aElemEOS}, writes: nil, costScale: 0.5},
+}
+
+// simFieldKeys returns the dependence keys used for a loop's data under
+// the given MinimizeDeps setting, reusing the driver key namespaces.
+func simWriteFields(l loopSpec, minimize bool) []int {
+	switch l.label {
+	case "force":
+		if minimize {
+			return []int{fNodeForce}
+		}
+		return []int{fForceX, fForceY, fForceZ}
+	case "accel":
+		if minimize {
+			return []int{fNodeForce}
+		}
+		return []int{fForceX, fForceY, fForceZ}
+	case "vel", "pos":
+		if minimize {
+			return []int{fNodeState}
+		}
+		return []int{fNodeX, fNodeY, fNodeZ, fNodeXD, fNodeYD, fNodeZD}
+	case "kin", "vol":
+		if minimize {
+			return []int{fElemKin}
+		}
+		return []int{fElemV, fElemDelv, fElemVdov}
+	case "q":
+		return []int{fElemQ}
+	case "eos":
+		if minimize {
+			return []int{fElemEOS}
+		}
+		return []int{fElemE, fElemP, fElemSS}
+	}
+	return nil
+}
+
+func simReadFields(l loopSpec, minimize bool) []int {
+	var out []int
+	pick := func(groups ...[]int) {
+		for _, g := range groups {
+			out = append(out, g...)
+		}
+	}
+	node := []int{fNodeState}
+	force := []int{fNodeForce}
+	kin := []int{fElemKin}
+	eos := []int{fElemEOS}
+	if !minimize {
+		node = []int{fNodeX, fNodeY, fNodeZ, fNodeXD, fNodeYD, fNodeZD}
+		force = []int{fForceX, fForceY, fForceZ}
+		kin = []int{fElemV, fElemDelv, fElemVdov}
+		eos = []int{fElemE, fElemP, fElemSS}
+	}
+	switch l.label {
+	case "force":
+		pick(eos, []int{fElemQ}, node)
+	case "accel":
+		pick(force)
+	case "vel":
+		pick(force)
+	case "pos":
+	case "kin":
+		pick(node)
+	case "q":
+		pick(kin, eos)
+	case "eos":
+		pick([]int{fElemQ}, kin)
+	case "dtc":
+		pick(kin, eos)
+	}
+	return out
+}
+
+// BuildSimTaskIteration emits one time-step of the dependent-task form
+// as a DES script for the given rank.
+func BuildSimTaskIteration(p SimParams, rank int) []sim.Op {
+	p.defaults()
+	var ops []sim.Op
+	s := p.S
+	nElems := s * s * s
+	nNodes := (s + 1) * (s + 1) * (s + 1)
+	tpl := p.TPL
+	if tpl < 1 {
+		tpl = 1
+	}
+	minimize := p.MinimizeDeps
+
+	// dt allreduce task.
+	ops = append(ops, sim.Submit(sim.TaskSpec{
+		Label: "dt",
+		Deps: []graph.Dep{
+			{Key: key(fDtCand, 0), Type: graph.In},
+			{Key: key(fDt, 0), Type: graph.Out},
+		},
+		Comm: &sim.CommOp{Kind: sim.AllreduceOp, Bytes: 8},
+	}))
+
+	neighbors := p.neighbors(rank)
+
+	for _, l := range luleshLoops {
+		n := nNodes
+		if l.elemLoop {
+			n = nElems
+		}
+		wFields := simWriteFields(l, minimize)
+		rFields := simReadFields(l, minimize)
+		for c := 0; c < tpl; c++ {
+			lo, hi := c*n/tpl, (c+1)*n/tpl
+			deps := make([]graph.Dep, 0, 8)
+			// Only the integration and kinematics loops need dt; the
+			// force loop is position/pressure-based, which is what
+			// leaves iteration n+1 force work ready to overlap the dt
+			// collective (paper §4.1, CalcFBHourglassForceForElems).
+			if l.label == "vel" || l.label == "pos" || l.label == "kin" {
+				deps = append(deps, graph.Dep{Key: key(fDt, 0), Type: graph.In})
+			}
+			// Reads: own chunk plus halo chunks for stencil loops.
+			c0, c1 := c, c
+			if l.haloReads {
+				if c0 > 0 {
+					c0--
+				}
+				if c1 < tpl-1 {
+					c1++
+				}
+			}
+			for _, f := range rFields {
+				for cc := c0; cc <= c1; cc++ {
+					deps = append(deps, graph.Dep{Key: key(f, cc), Type: graph.In})
+				}
+			}
+			if l.label == "dtc" {
+				deps = append(deps, graph.Dep{Key: key(fDtCand, 0), Type: graph.InOutSet})
+			}
+			for _, f := range wFields {
+				typ := graph.Out
+				if l.label == "vel" || l.label == "pos" || l.label == "vol" || l.label == "eos" || l.label == "accel" {
+					typ = graph.InOut
+				}
+				deps = append(deps, graph.Dep{Key: key(f, c), Type: typ})
+			}
+			// Footprint: all read+written arrays over the chunk range.
+			var fp sim.Footprint
+			for _, a := range l.reads {
+				fp = append(fp, sim.BlocksOf(uint64(a), int64(lo)*8, int64(hi)*8, p.BlockBytes)...)
+			}
+			for _, a := range l.writes {
+				fp = append(fp, sim.BlocksOf(uint64(a), int64(lo)*8, int64(hi)*8, p.BlockBytes)...)
+			}
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label:     l.label,
+				Deps:      deps,
+				Compute:   p.ComputePerElem * l.costScale * weightedCount(lo, hi),
+				Footprint: fp,
+			}))
+		}
+		// The frontier exchange follows the force loop, as in the code.
+		if l.label == "force" {
+			ops = append(ops, buildSimExchange(p, tpl, neighbors, minimize)...)
+		}
+	}
+	return ops
+}
+
+// buildSimExchange emits the 26-neighbor frontier tasks: recv (early),
+// pack, send, unpack per neighbor.
+func buildSimExchange(p SimParams, tpl int, neighbors []neighbor, minimize bool) []sim.Op {
+	var ops []sim.Op
+	force := []int{fNodeForce}
+	if !minimize {
+		force = []int{fForceX, fForceY, fForceZ}
+	}
+	for ni, nb := range neighbors {
+		bytes := nb.elems * 3 * 8
+		// Frontier chunk mapping (z-major index space): z neighbors
+		// touch the first/last chunk on both sides. x/y-direction
+		// neighbors touch thin node slices spread across the whole z
+		// range; map each neighbor's pack to an early chunk and its
+		// unpack to a late, distinct chunk. This models the slack the
+		// paper attributes to the task version — frontier
+		// contributions are produced early in the sweep and consumed
+		// late, so communication hides behind independent work — and
+		// avoids serializing 26 unpacks on one chunk (in the real mesh
+		// they touch disjoint node sets).
+		var packFc, unpackFc int
+		switch {
+		case nb.dir[2] < 0:
+			packFc, unpackFc = 0, 0
+		case nb.dir[2] > 0:
+			packFc, unpackFc = tpl-1, tpl-1
+		default:
+			if quarter := tpl / 4; quarter > 1 {
+				packFc = (ni * 13) % quarter
+				unpackFc = tpl - 1 - (ni*13)%quarter
+			} else {
+				packFc, unpackFc = 0, tpl-1
+			}
+		}
+		fc := unpackFc
+		sK := key(fSbufDown, ni+1)
+		rK := key(fRbufDown, ni+1)
+		var frontierDeps []graph.Dep
+		for _, f := range force {
+			frontierDeps = append(frontierDeps, graph.Dep{Key: key(f, packFc), Type: graph.In})
+		}
+		// Tag encodes the *receiving* side's view: the sender's
+		// direction index must match the receiver's mirrored index.
+		tag := dirTag(nb.dir)
+		rtag := dirTag([3]int{-nb.dir[0], -nb.dir[1], -nb.dir[2]})
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label: "irecv",
+			Deps:  []graph.Dep{{Key: rK, Type: graph.Out}},
+			Comm:  &sim.CommOp{Kind: sim.RecvOp, Peer: nb.rank, Tag: rtag, Bytes: bytes},
+		}))
+		// Pack/unpack copies are modeled without cache footprint
+		// (streaming/non-temporal): their buffers are written once and
+		// shipped, so charging them against the small modeled L3 would
+		// overstate pollution at reduced scale.
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label:   "pack",
+			Deps:    append(frontierDeps, graph.Dep{Key: sK, Type: graph.Out}),
+			Compute: 30e-9 * float64(nb.elems),
+		}))
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label: "isend",
+			Deps:  []graph.Dep{{Key: sK, Type: graph.In}},
+			Comm:  &sim.CommOp{Kind: sim.SendOp, Peer: nb.rank, Tag: tag, Bytes: bytes},
+		}))
+		var unpackDeps []graph.Dep
+		unpackDeps = append(unpackDeps, graph.Dep{Key: rK, Type: graph.In})
+		for _, f := range force {
+			unpackDeps = append(unpackDeps, graph.Dep{Key: key(f, fc), Type: graph.InOut})
+		}
+		ops = append(ops, sim.Submit(sim.TaskSpec{
+			Label:   "unpack",
+			Deps:    unpackDeps,
+			Compute: 30e-9 * float64(nb.elems),
+		}))
+	}
+	return ops
+}
+
+// dirTag gives a stable tag per direction vector.
+func dirTag(d [3]int) int { return (d[0] + 1) + 3*(d[1]+1) + 9*(d[2]+1) }
+
+// BuildSimParForIteration emits one time-step of the parallel-for form:
+// each loop is `cores` chunks followed by a taskwait barrier; all
+// communications are posted between loops and waited before computation
+// resumes; the collective blocks at iteration start.
+func BuildSimParForIteration(p SimParams, rank, cores int) []sim.Op {
+	p.defaults()
+	var ops []sim.Op
+	s := p.S
+	nElems := s * s * s
+	nNodes := (s + 1) * (s + 1) * (s + 1)
+
+	// Blocking collective at iteration head.
+	ops = append(ops, sim.Submit(sim.TaskSpec{
+		Label: "dt",
+		Deps:  []graph.Dep{{Key: key(fDt, 0), Type: graph.InOut}},
+		Comm:  &sim.CommOp{Kind: sim.AllreduceOp, Bytes: 8},
+	}))
+	ops = append(ops, sim.Taskwait())
+
+	for _, l := range luleshLoops {
+		n := nNodes
+		if l.elemLoop {
+			n = nElems
+		}
+		for c := 0; c < cores; c++ {
+			lo, hi := c*n/cores, (c+1)*n/cores
+			var fp sim.Footprint
+			for _, a := range l.reads {
+				fp = append(fp, sim.BlocksOf(uint64(a), int64(lo)*8, int64(hi)*8, p.BlockBytes)...)
+			}
+			for _, a := range l.writes {
+				fp = append(fp, sim.BlocksOf(uint64(a), int64(lo)*8, int64(hi)*8, p.BlockBytes)...)
+			}
+			ops = append(ops, sim.Submit(sim.TaskSpec{
+				Label:     l.label,
+				Compute:   p.ComputePerElem * l.costScale * weightedCount(lo, hi),
+				Footprint: fp,
+			}))
+		}
+		ops = append(ops, sim.Taskwait())
+		if l.label == "force" {
+			// Post-and-wait frontier exchange (no overlap potential).
+			for _, nb := range p.neighbors(rank) {
+				bytes := nb.elems * 3 * 8
+				tag := dirTag(nb.dir)
+				rtag := dirTag([3]int{-nb.dir[0], -nb.dir[1], -nb.dir[2]})
+				ops = append(ops, sim.Submit(sim.TaskSpec{
+					Label: "irecv",
+					Comm:  &sim.CommOp{Kind: sim.RecvOp, Peer: nb.rank, Tag: rtag, Bytes: bytes},
+				}))
+				ops = append(ops, sim.Submit(sim.TaskSpec{
+					Label:   "pack+isend",
+					Compute: 30e-9 * float64(nb.elems),
+					Comm:    &sim.CommOp{Kind: sim.SendOp, Peer: nb.rank, Tag: tag, Bytes: bytes},
+				}))
+			}
+			ops = append(ops, sim.Taskwait())
+		}
+	}
+	return ops
+}

@@ -1,0 +1,126 @@
+package lulesh
+
+import (
+	"testing"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/sim"
+)
+
+func runSimSingle(t *testing.T, p SimParams, cfg sim.RankConfig) *sim.Rank {
+	t.Helper()
+	eng := sim.NewEngine()
+	ops := BuildSimTaskIteration(p, 0)
+	r := sim.NewRank(0, eng, nil, cfg, ops, p.Iters)
+	done := false
+	r.Start(func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatalf("rank did not quiesce")
+	}
+	return r
+}
+
+func TestSimTaskIterationQuiesces(t *testing.T) {
+	p := SimParams{S: 8, Iters: 3, TPL: 4, MinimizeDeps: true}
+	r := runSimSingle(t, p, sim.RankConfig{Cores: 4, Opts: graph.OptAll})
+	b := r.Profile().Breakdown()
+	if b.Tasks == 0 || r.Makespan <= 0 {
+		t.Fatalf("no tasks simulated")
+	}
+}
+
+func TestSimPersistentQuiesces(t *testing.T) {
+	p := SimParams{S: 8, Iters: 4, TPL: 4, MinimizeDeps: true}
+	r := runSimSingle(t, p, sim.RankConfig{Cores: 4, Opts: graph.OptAll, Persistent: true})
+	st := r.Graph().Stats()
+	if st.ReplayedTasks == 0 {
+		t.Fatalf("persistent sim run did not replay")
+	}
+}
+
+func TestSimDiscoveryGrowsWithTPL(t *testing.T) {
+	disc := func(tpl int) float64 {
+		p := SimParams{S: 12, Iters: 2, TPL: tpl, MinimizeDeps: true}
+		r := runSimSingle(t, p, sim.RankConfig{Cores: 4, Opts: graph.OptAll})
+		return r.Profile().Breakdown().Discovery
+	}
+	coarse := disc(4)
+	fine := disc(64)
+	if fine <= coarse {
+		t.Fatalf("discovery did not grow with TPL: %v vs %v", coarse, fine)
+	}
+}
+
+func TestSimMinimizeDepsCutsEdges(t *testing.T) {
+	edges := func(min bool) int64 {
+		p := SimParams{S: 8, Iters: 2, TPL: 8, MinimizeDeps: min}
+		r := runSimSingle(t, p, sim.RankConfig{Cores: 4, Opts: graph.OptDedup})
+		return r.Graph().Stats().EdgesAttempted
+	}
+	if e1, e0 := edges(true), edges(false); e1 >= e0 {
+		t.Fatalf("minimize-deps attempted edges %d !< %d", e1, e0)
+	}
+}
+
+func TestSimMultiRankClusterCompletes(t *testing.T) {
+	p := SimParams{S: 6, Iters: 3, TPL: 4, MinimizeDeps: true, Grid: [3]int{2, 2, 2}}
+	cl := sim.NewCluster(p.NumRanks(), sim.DefaultNetConfig(),
+		sim.RankConfig{Cores: 4, Opts: graph.OptAll},
+		func(rk int) ([]sim.Op, int) { return BuildSimTaskIteration(p, rk), p.Iters })
+	end := cl.Run()
+	if end <= 0 {
+		t.Fatalf("empty simulation")
+	}
+	// Determinism.
+	cl2 := sim.NewCluster(p.NumRanks(), sim.DefaultNetConfig(),
+		sim.RankConfig{Cores: 4, Opts: graph.OptAll},
+		func(rk int) ([]sim.Op, int) { return BuildSimTaskIteration(p, rk), p.Iters })
+	if end2 := cl2.Run(); end2 != end {
+		t.Fatalf("nondeterministic cluster: %v vs %v", end, end2)
+	}
+}
+
+func TestSimParForClusterCompletes(t *testing.T) {
+	p := SimParams{S: 6, Iters: 3, Grid: [3]int{2, 2, 1}}
+	const cores = 4
+	cl := sim.NewCluster(p.NumRanks(), sim.DefaultNetConfig(),
+		sim.RankConfig{Cores: cores},
+		func(rk int) ([]sim.Op, int) { return BuildSimParForIteration(p, rk, cores), p.Iters })
+	if end := cl.Run(); end <= 0 {
+		t.Fatalf("empty parfor simulation")
+	}
+}
+
+func TestSimTaskBeatsParForWithGoodTPL(t *testing.T) {
+	// Single rank at the paper's operating point: task grains of a few
+	// hundred microseconds (so discovery does not bound) and a working
+	// set exceeding the modeled L3, so depth-first successor reuse pays
+	// as in Fig. 1.
+	p := SimParams{S: 96, Iters: 2, TPL: 256, MinimizeDeps: true, ComputePerElem: 15e-9}
+	const cores = 8
+	rTask := runSimSingle(t, p, sim.RankConfig{Cores: cores, Opts: graph.OptAll})
+
+	eng := sim.NewEngine()
+	ops := BuildSimParForIteration(p, 0, cores)
+	rFor := sim.NewRank(0, eng, nil, sim.RankConfig{Cores: cores}, ops, p.Iters)
+	rFor.Start(nil)
+	eng.Run()
+
+	if rTask.Makespan >= rFor.Makespan {
+		t.Fatalf("task form %v not faster than parallel-for %v", rTask.Makespan, rFor.Makespan)
+	}
+}
+
+func TestSimNeighborsCount(t *testing.T) {
+	p := SimParams{S: 4, Grid: [3]int{3, 3, 3}}
+	p.defaults()
+	center := p.rankID([3]int{1, 1, 1})
+	if got := len(p.neighbors(center)); got != 26 {
+		t.Fatalf("interior rank has %d neighbors, want 26", got)
+	}
+	corner := p.rankID([3]int{0, 0, 0})
+	if got := len(p.neighbors(corner)); got != 7 {
+		t.Fatalf("corner rank has %d neighbors, want 7", got)
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"taskdep/internal/apps/lulesh"
+	"taskdep/internal/graph"
+	"taskdep/internal/sched"
+	"taskdep/internal/sim"
+)
+
+// The ablations below probe the design choices the paper discusses in
+// §5 but does not table: the two throttling thresholds (ready-task
+// bounds, as in GCC/LLVM, versus MPC-OMP's additional total-task bound)
+// and the scheduling policy (depth-first versus breadth-first).
+
+// ThrottleRow is one throttling configuration's outcome.
+type ThrottleRow struct {
+	Label         string
+	ThrottleReady int64
+	ThrottleTotal int64
+	Makespan      float64
+	PeakLive      int64
+	Idle          float64
+}
+
+// RunThrottleAblation runs the intranode LULESH point at the given TPL
+// under different throttling regimes. The paper's §5 argument: for
+// dependent tasks a ready-task threshold alone does not bound memory
+// (successors exist but are not ready), while an aggressive total-task
+// threshold blinds the depth-first scheduler; MPC-OMP therefore bounds
+// both, with a generous total threshold.
+func RunThrottleAblation(c IntranodeConfig, tpl int) []ThrottleRow {
+	run := func(label string, ready, total int64) ThrottleRow {
+		p := lulesh.SimParams{S: c.S, Iters: c.Iters, TPL: tpl,
+			MinimizeDeps: true, ComputePerElem: c.ComputePerElem}
+		eng := sim.NewEngine()
+		r := sim.NewRank(0, eng, nil, sim.RankConfig{
+			Cores: c.Cores, Opts: graph.OptAll,
+			ThrottleReady: ready, ThrottleTotal: total,
+		}, lulesh.BuildSimTaskIteration(p, 0), c.Iters)
+		r.Start(nil)
+		eng.Run()
+		b := r.Profile().Breakdown()
+		return ThrottleRow{
+			Label: label, ThrottleReady: ready, ThrottleTotal: total,
+			Makespan: r.Makespan, PeakLive: r.PeakLive(), Idle: b.IdleTime,
+		}
+	}
+	perIter := int64(10*tpl + 128) // tasks per iteration, with headroom
+	return []ThrottleRow{
+		run("unbounded", 0, 0),
+		run("ready-only (GCC/LLVM-style)", int64(4*c.Cores), 0),
+		run("total, generous (MPC-OMP)", 0, 2*perIter),
+		run("total, one iteration", 0, perIter),
+		run("total, starving", 0, int64(2*c.Cores)),
+	}
+}
+
+// PrintThrottleAblation writes the rows.
+func PrintThrottleAblation(w io.Writer, rows []ThrottleRow) {
+	fmt.Fprintln(w, "== Ablation: task throttling (paper §5) ==")
+	fmt.Fprintf(w, "%-28s %10s %10s %10s %10s %10s\n",
+		"configuration", "ready-thr", "total-thr", "total(s)", "peak-live", "idle(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %10d %10d %10.3f %10d %10.1f\n",
+			r.Label, r.ThrottleReady, r.ThrottleTotal, r.Makespan, r.PeakLive, r.Idle)
+	}
+}
+
+// PolicyRow is one scheduling-policy outcome.
+type PolicyRow struct {
+	Label    string
+	Makespan float64
+	Work     float64
+	L2DCM    int64
+	L3CM     int64
+}
+
+// RunPolicyAblation compares depth-first against breadth-first
+// scheduling at the given TPL — the mechanism behind the paper's cache
+// findings (§2.3.3-2.3.4): the depth-first heuristic only works when
+// successors are discovered in time.
+func RunPolicyAblation(c IntranodeConfig, tpl int) []PolicyRow {
+	run := func(label string, policy sched.Policy) PolicyRow {
+		_, pt := runLULESHTask(c, tpl, graph.OptAll, true, false, false, policy)
+		return PolicyRow{Label: label, Makespan: pt.Makespan, Work: pt.Work,
+			L2DCM: pt.Cache.L2DCM, L3CM: pt.Cache.L3CM}
+	}
+	return []PolicyRow{
+		run("depth-first (MPC-OMP)", sched.DepthFirst),
+		run("breadth-first (global FIFO)", sched.BreadthFirst),
+	}
+}
+
+// PrintPolicyAblation writes the rows.
+func PrintPolicyAblation(w io.Writer, rows []PolicyRow) {
+	fmt.Fprintln(w, "== Ablation: scheduling policy ==")
+	fmt.Fprintf(w, "%-28s %10s %10s %12s %12s\n", "policy", "total(s)", "work(s)", "L2DCM", "L3CM")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %10.3f %10.1f %12d %12d\n", r.Label, r.Makespan, r.Work, r.L2DCM, r.L3CM)
+	}
+}
+
+// EagerRow is one eager-threshold outcome.
+type EagerRow struct {
+	ThresholdBytes int
+	Makespan       float64
+	OverlapRatio   float64
+	CommTime       float64
+}
+
+// RunEagerAblation varies the eager/rendezvous switch on the Fig. 7
+// configuration: forcing rendezvous couples send completion to the
+// receiver and erodes overlap — the protocol effect the paper observes
+// between its O(s) eager and O(s²) rendezvous messages.
+func RunEagerAblation(c DistributedConfig, tpl int) []EagerRow {
+	var rows []EagerRow
+	for _, thr := range []int{0, 4 << 10, 64 << 10, 1 << 30} {
+		cc := c
+		cc.Net.EagerThreshold = thr
+		_, pt := runDistLULESH(cc, tpl, true, false, "task", false)
+		rows = append(rows, EagerRow{ThresholdBytes: thr,
+			Makespan: pt.Makespan, OverlapRatio: pt.OverlapRatio, CommTime: pt.CommTime})
+	}
+	return rows
+}
+
+// PrintEagerAblation writes the rows.
+func PrintEagerAblation(w io.Writer, rows []EagerRow) {
+	fmt.Fprintln(w, "== Ablation: eager/rendezvous threshold ==")
+	fmt.Fprintf(w, "%14s %10s %12s %10s\n", "threshold(B)", "total(s)", "comm(s)", "overlap(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%14d %10.4f %12.5f %10.1f\n",
+			r.ThresholdBytes, r.Makespan, r.CommTime, 100*r.OverlapRatio)
+	}
+}

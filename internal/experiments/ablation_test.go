@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/sim"
+)
+
+func TestThrottleAblationShapes(t *testing.T) {
+	c := tinyIntranode()
+	rows := RunThrottleAblation(c, 128)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]ThrottleRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	unb := byLabel["unbounded"]
+	readyOnly := byLabel["ready-only (GCC/LLVM-style)"]
+	generous := byLabel["total, generous (MPC-OMP)"]
+	starving := byLabel["total, starving"]
+
+	// A ready-task threshold restricts the scheduler's vision of the
+	// TDG (§5: GCC/LLVM "would not benefit from finer tasks and
+	// depth-first scheduling"): it must cost makespan vs unbounded.
+	if readyOnly.Makespan <= unb.Makespan {
+		t.Fatalf("ready-only throttle %v not slower than unbounded %v",
+			readyOnly.Makespan, unb.Makespan)
+	}
+	// A total-task threshold really bounds memory...
+	if generous.PeakLive > generous.ThrottleTotal {
+		t.Fatalf("generous total throttle exceeded: %d > %d",
+			generous.PeakLive, generous.ThrottleTotal)
+	}
+	// ...and a generous one costs little.
+	if generous.Makespan > unb.Makespan*1.25 {
+		t.Fatalf("generous throttle too costly: %v vs %v", generous.Makespan, unb.Makespan)
+	}
+	// An aggressive one blinds the scheduler and costs time.
+	if starving.Makespan <= generous.Makespan {
+		t.Fatalf("starving throttle %v not slower than generous %v",
+			starving.Makespan, generous.Makespan)
+	}
+	var sb strings.Builder
+	PrintThrottleAblation(&sb, rows)
+	if !strings.Contains(sb.String(), "MPC-OMP") {
+		t.Fatalf("bad print")
+	}
+}
+
+// TestReadyThrottleDoesNotBoundChains demonstrates the §5 argument
+// directly: on a dependence chain, the ready count never exceeds 1, so
+// a ready-task threshold cannot bound the number of co-existing tasks —
+// only a total-task threshold can.
+func TestReadyThrottleDoesNotBoundChains(t *testing.T) {
+	const n = 2000
+	chain := make([]sim.Op, n)
+	for i := range chain {
+		chain[i] = sim.Submit(sim.TaskSpec{
+			Label:   "link",
+			Deps:    []graph.Dep{{Key: 1, Type: graph.InOut}},
+			Compute: 50e-6, // slow relative to discovery
+		})
+	}
+	run := func(ready, total int64) int64 {
+		eng := sim.NewEngine()
+		r := sim.NewRank(0, eng, nil, sim.RankConfig{
+			Cores: 4, ThrottleReady: ready, ThrottleTotal: total,
+		}, chain, 1)
+		r.Start(nil)
+		eng.Run()
+		return r.PeakLive()
+	}
+	if got := run(8, 0); got < n/2 {
+		t.Fatalf("ready-only throttle bounded a chain: peak live %d (chain %d)", got, n)
+	}
+	if got := run(0, 64); got > 64 {
+		t.Fatalf("total throttle exceeded on a chain: %d", got)
+	}
+}
+
+func TestPolicyAblationDepthFirstWins(t *testing.T) {
+	// Run at full intranode scale (S=96, 24 cores) where the working
+	// set exceeds L3 and depth-first reuse matters; TPL=384 sits in the
+	// optimized sweet spot.
+	c := DefaultIntranode()
+	c.Iters = 2
+	rows := RunPolicyAblation(c, 384)
+	df, bf := rows[0], rows[1]
+	if df.L3CM >= bf.L3CM {
+		t.Fatalf("depth-first L3CM %d not below breadth-first %d", df.L3CM, bf.L3CM)
+	}
+	if df.Makespan >= bf.Makespan {
+		t.Fatalf("depth-first %v not faster than breadth-first %v", df.Makespan, bf.Makespan)
+	}
+	var sb strings.Builder
+	PrintPolicyAblation(&sb, rows)
+	if !strings.Contains(sb.String(), "depth-first") {
+		t.Fatalf("bad print")
+	}
+}
+
+func TestEagerAblationProtocolEffects(t *testing.T) {
+	c := tinyDistributed()
+	rows := RunEagerAblation(c, 64)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Forcing rendezvous everywhere (threshold 0) couples send
+	// completion to the receiver: communication time must grow vs
+	// all-eager (last row).
+	allRdv, allEager := rows[0], rows[len(rows)-1]
+	if allRdv.CommTime <= allEager.CommTime {
+		t.Fatalf("all-rendezvous comm %v not above all-eager %v",
+			allRdv.CommTime, allEager.CommTime)
+	}
+	var sb strings.Builder
+	PrintEagerAblation(&sb, rows)
+	if !strings.Contains(sb.String(), "threshold") {
+		t.Fatalf("bad print")
+	}
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"taskdep/internal/apps/lulesh"
+	"taskdep/internal/graph"
+	"taskdep/internal/sim"
+	"taskdep/internal/trace"
+)
+
+// DistributedConfig parametrizes the multi-rank LULESH DES experiments
+// (Fig. 7: 125 ranks of 16 cores in the paper; reduced grid here).
+type DistributedConfig struct {
+	Grid           [3]int
+	CoresPerRank   int
+	S              int
+	Iters          int
+	TPLs           []int
+	ComputePerElem float64
+	Net            sim.NetConfig
+	// Cache scales the modeled hierarchy with the reduced problem (see
+	// EXPERIMENTS.md); zero value = sim defaults.
+	Cache sim.CacheConfig
+	// ProfiledRank is the rank whose metrics are reported (the paper
+	// profiles rank 82 of 125; we use the grid center).
+	ProfiledRank int
+}
+
+// DefaultDistributed returns the reduced-scale Fig. 7 configuration: a
+// 3x3x3 grid (the center rank has the paper's full 26 neighbors).
+func DefaultDistributed() DistributedConfig {
+	c := DistributedConfig{
+		Grid:           [3]int{3, 3, 3},
+		CoresPerRank:   16,
+		S:              96,
+		Iters:          2,
+		TPLs:           []int{32, 64, 128, 256, 512, 1024},
+		ComputePerElem: 15e-9,
+		Net:            sim.DefaultNetConfig(),
+		Cache:          sim.DefaultCacheConfig(),
+	}
+	p := lulesh.SimParams{Grid: c.Grid}
+	c.ProfiledRank = p.NumRanks() / 2 // grid center for odd cubic grids
+	return c
+}
+
+// DistPoint is one distributed configuration's measurement on the
+// profiled rank.
+type DistPoint struct {
+	TPL          int
+	Makespan     float64
+	Work         float64
+	Idle         float64
+	Overhead     float64
+	Discovery    float64
+	CommTime     float64
+	Overlapped   float64
+	OverlapRatio float64
+}
+
+// runDistLULESH runs one multi-rank DES point; mode is "task" or "for".
+func runDistLULESH(c DistributedConfig, tpl int, optimized bool, taskwaitComm bool, mode string, persistent bool) (*sim.Cluster, DistPoint) {
+	p := lulesh.SimParams{
+		S: c.S, Iters: c.Iters, TPL: tpl, Grid: c.Grid,
+		MinimizeDeps: optimized, ComputePerElem: c.ComputePerElem,
+	}
+	ranks := p.NumRanks()
+	if c.ProfiledRank < 0 || c.ProfiledRank >= ranks {
+		c.ProfiledRank = ranks / 2
+	}
+	opts := graph.Opt(0)
+	if optimized {
+		opts = graph.OptAll
+	}
+	rc := sim.RankConfig{Cores: c.CoresPerRank, Opts: opts, Cache: c.Cache,
+		Persistent: persistent && mode == "task"}
+	cl := sim.NewCluster(ranks, c.Net, rc, func(rk int) ([]sim.Op, int) {
+		if mode == "for" {
+			return lulesh.BuildSimParForIteration(p, rk, c.CoresPerRank), c.Iters
+		}
+		ops := lulesh.BuildSimTaskIteration(p, rk)
+		if taskwaitComm {
+			ops = wrapCommWithTaskwait(ops)
+		}
+		return ops, c.Iters
+	})
+	// Only the profiled rank pays for detailed tracing.
+	cl.Ranks[c.ProfiledRank] = recreateWithDetail(cl, c.ProfiledRank, rc, p, mode, taskwaitComm, c)
+	end := cl.Run()
+
+	r := cl.Ranks[c.ProfiledRank]
+	b := r.Profile().Breakdown()
+	cs := r.Profile().CommSummary()
+	return cl, DistPoint{
+		TPL: tpl, Makespan: end,
+		Work: b.Work, Idle: b.IdleTime, Overhead: b.OverheadTime,
+		Discovery: b.Discovery,
+		CommTime:  cs.CommTime, Overlapped: cs.OverlappedWork, OverlapRatio: cs.OverlapRatio,
+	}
+}
+
+// recreateWithDetail rebuilds one rank with DetailTrace enabled.
+func recreateWithDetail(cl *sim.Cluster, rk int, rc sim.RankConfig, p lulesh.SimParams, mode string, taskwaitComm bool, c DistributedConfig) *sim.Rank {
+	rc.DetailTrace = true
+	var ops []sim.Op
+	if mode == "for" {
+		ops = lulesh.BuildSimParForIteration(p, rk, c.CoresPerRank)
+	} else {
+		ops = lulesh.BuildSimTaskIteration(p, rk)
+		if taskwaitComm {
+			ops = wrapCommWithTaskwait(ops)
+		}
+	}
+	return sim.NewRank(rk, cl.Engine, cl.Net, rc, ops, c.Iters)
+}
+
+// wrapCommWithTaskwait inserts explicit taskwaits before and after the
+// communication sequence (the §4.1 counter-experiment).
+func wrapCommWithTaskwait(ops []sim.Op) []sim.Op {
+	var out []sim.Op
+	inComm := false
+	isComm := func(op sim.Op) bool {
+		l := op.Spec.Label
+		return l == "irecv" || l == "isend" || l == "pack" || l == "unpack"
+	}
+	for _, op := range ops {
+		if op.Kind == sim.OpSubmit && isComm(op) && !inComm {
+			out = append(out, sim.Taskwait())
+			inComm = true
+		}
+		if op.Kind == sim.OpSubmit && !isComm(op) && inComm {
+			out = append(out, sim.Taskwait())
+			inComm = false
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// Fig7Result holds the distributed sweep for one variant.
+type Fig7Result struct {
+	Label       string
+	ParallelFor DistPoint
+	Points      []DistPoint
+	Best        int
+}
+
+// RunFig7 sweeps TPL for the task form (optimized or not) plus the
+// parallel-for reference.
+func RunFig7(c DistributedConfig, optimized bool) Fig7Result {
+	label := "TDG optimizations disabled"
+	if optimized {
+		label = "TDG optimizations enabled"
+	}
+	res := Fig7Result{Label: label}
+	_, res.ParallelFor = runDistLULESH(c, 0, false, false, "for", false)
+	for _, tpl := range c.TPLs {
+		_, pt := runDistLULESH(c, tpl, optimized, false, "task", false)
+		res.Points = append(res.Points, pt)
+		if pt.Makespan < res.Points[res.Best].Makespan {
+			res.Best = len(res.Points) - 1
+		}
+	}
+	return res
+}
+
+// Print writes the Fig. 7 panels.
+func (r Fig7Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== Fig 7: distributed LULESH — %s ==\n", r.Label)
+	fmt.Fprintf(w, "parallel-for: total %.4fs (work %.4fs idle %.4fs comm %.4fs overlap %.0f%%)\n",
+		r.ParallelFor.Makespan, r.ParallelFor.Work, r.ParallelFor.Idle,
+		r.ParallelFor.CommTime, 100*r.ParallelFor.OverlapRatio)
+	fmt.Fprintf(w, "%6s %9s %9s %9s %9s %9s %10s %9s\n",
+		"TPL", "total(s)", "work(s)", "idle(s)", "disc(s)", "comm(s)", "overlap(s)", "ratio(%)")
+	for i, p := range r.Points {
+		mark := " "
+		if i == r.Best {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%5d%s %9.3f %9.4f %9.4f %9.4f %9.5f %10.4f %9.1f\n",
+			p.TPL, mark, p.Makespan, p.Work, p.Idle, p.Discovery,
+			p.CommTime, p.Overlapped, 100*p.OverlapRatio)
+	}
+	b := r.Points[r.Best]
+	fmt.Fprintf(w, "best TPL=%d: %.2fx vs parallel-for\n", b.TPL, r.ParallelFor.Makespan/b.Makespan)
+}
+
+// TaskwaitCostResult is the §4.1 taskwait experiment.
+type TaskwaitCostResult struct {
+	NoTaskwait, WithTaskwait float64
+}
+
+// RunTaskwaitCost compares fine MPI/TDG integration against explicit
+// taskwaits around communication sequences.
+func RunTaskwaitCost(c DistributedConfig, tpl int) TaskwaitCostResult {
+	_, fine := runDistLULESH(c, tpl, true, false, "task", false)
+	_, tw := runDistLULESH(c, tpl, true, true, "task", false)
+	return TaskwaitCostResult{NoTaskwait: fine.Makespan, WithTaskwait: tw.Makespan}
+}
+
+// GanttResult carries the Fig. 8 charts.
+type GanttResult struct {
+	Optimized, NonOptimized []trace.TaskRecord
+}
+
+// RunFig8 produces the Gantt task records of the profiled rank for the
+// optimized and non-optimized task versions.
+func RunFig8(c DistributedConfig, tpl int) GanttResult {
+	clOpt, _ := runDistLULESH(c, tpl, true, false, "task", true)
+	clNon, _ := runDistLULESH(c, tpl, false, false, "task", false)
+	return GanttResult{
+		Optimized:    clOpt.Ranks[c.ProfiledRank].Profile().Tasks(),
+		NonOptimized: clNon.Ranks[c.ProfiledRank].Profile().Tasks(),
+	}
+}
+
+// ScalingConfig parametrizes Table 3.
+type ScalingConfig struct {
+	// RankCounts are perfect cubes (weak scaling grid sizes).
+	RankCounts []int
+	// SWeak is the per-rank size for weak scaling.
+	SWeak int
+	// SGlobal is the global size for strong scaling.
+	SGlobal int
+	Iters   int
+	Cores   int
+	// WeakTPL is the weak-scaling tasks-per-loop (paper: 2,048).
+	WeakTPL        int
+	ComputePerElem float64
+	Net            sim.NetConfig
+	Cache          sim.CacheConfig
+}
+
+// DefaultScaling returns the reduced-scale Table 3 configuration.
+func DefaultScaling() ScalingConfig {
+	return ScalingConfig{
+		RankCounts:     []int{8, 27, 64, 125, 216},
+		SWeak:          48,
+		SGlobal:        96,
+		Iters:          10,
+		Cores:          8,
+		WeakTPL:        64,
+		ComputePerElem: 15e-9,
+		Net:            sim.DefaultNetConfig(),
+		Cache:          ScaledNUMACache(),
+	}
+}
+
+// ScaledNUMACache models one NUMA domain scaled to the reduced problem
+// sizes of the distributed experiments: per-loop working sets of the
+// S=48 per-rank domains (~4.4 MB) must exceed L3 for the paper's
+// memory-hierarchy effects to appear, as they do at full scale (the
+// paper fills 72-78% of DRAM).
+func ScaledNUMACache() sim.CacheConfig {
+	cc := sim.DefaultCacheConfig()
+	cc.L1Bytes = 8 << 10
+	cc.L2Bytes = 64 << 10
+	cc.L3Bytes = 1 << 20
+	return cc
+}
+
+// ScalingRow is one Table 3 column.
+type ScalingRow struct {
+	Ranks      int
+	WeakFor    float64
+	WeakTask   float64
+	StrongFor  float64
+	StrongTask float64
+	StrongTPL  int
+}
+
+// dynamicTPL reproduces the paper's strong-scaling rule: at least 16
+// tasks per loop, at most maxNodesPerTask mesh nodes per task (the
+// paper uses 8,192 at s=256; the reduced problems use a proportionally
+// smaller cap so the rank-count/TPL relationship keeps its shape).
+func dynamicTPL(sLocal, maxNodesPerTask int) int {
+	nodes := (sLocal + 1) * (sLocal + 1) * (sLocal + 1)
+	tpl := nodes / maxNodesPerTask
+	if tpl < 16 {
+		tpl = 16
+	}
+	return tpl
+}
+
+// RunTable3 runs the weak and strong scalings.
+func RunTable3(c ScalingConfig) []ScalingRow {
+	var rows []ScalingRow
+	for _, ranks := range c.RankCounts {
+		g := int(math.Round(math.Cbrt(float64(ranks))))
+		if g*g*g != ranks {
+			continue
+		}
+		grid := [3]int{g, g, g}
+		run := func(s, tpl int, mode string) float64 {
+			p := lulesh.SimParams{S: s, Iters: c.Iters, TPL: tpl, Grid: grid,
+				MinimizeDeps: true, ComputePerElem: c.ComputePerElem}
+			opts := graph.OptAll
+			rc := sim.RankConfig{Cores: c.Cores, Opts: opts, Cache: c.Cache}
+			if mode == "for" {
+				rc.Opts = 0
+			}
+			cl := sim.NewCluster(ranks, c.Net, rc, func(rk int) ([]sim.Op, int) {
+				if mode == "for" {
+					return lulesh.BuildSimParForIteration(p, rk, c.Cores), c.Iters
+				}
+				return lulesh.BuildSimTaskIteration(p, rk), c.Iters
+			})
+			return cl.Run()
+		}
+		row := ScalingRow{Ranks: ranks}
+		row.WeakFor = run(c.SWeak, 0, "for")
+		row.WeakTask = run(c.SWeak, c.WeakTPL, "task")
+		sLocal := c.SGlobal / g
+		if sLocal < 4 {
+			sLocal = 4
+		}
+		row.StrongTPL = dynamicTPL(sLocal, 2048)
+		row.StrongFor = run(sLocal, 0, "for")
+		row.StrongTask = run(sLocal, row.StrongTPL, "task")
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintTable3 writes the scaling table.
+func PrintTable3(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintln(w, "== Table 3: LULESH weak and strong scaling ==")
+	fmt.Fprintf(w, "%-18s", "MPI processes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d", r.Ranks)
+	}
+	fmt.Fprintln(w)
+	line := func(label string, get func(ScalingRow) float64) {
+		fmt.Fprintf(w, "%-18s", label)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%10.3f", get(r))
+		}
+		fmt.Fprintln(w)
+	}
+	line("weak - for (s)", func(r ScalingRow) float64 { return r.WeakFor })
+	line("weak - task (s)", func(r ScalingRow) float64 { return r.WeakTask })
+	line("strong - for (s)", func(r ScalingRow) float64 { return r.StrongFor })
+	line("strong - task (s)", func(r ScalingRow) float64 { return r.StrongTask })
+	fmt.Fprintf(w, "%-18s", "strong - TPL")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d", r.StrongTPL)
+	}
+	fmt.Fprintln(w)
+	if len(rows) > 0 {
+		first, last := rows[0], rows[len(rows)-1]
+		fmt.Fprintf(w, "weak efficiency (task): %.1f%%; task speedup vs for at %d ranks: %.2fx\n",
+			100*first.WeakTask/last.WeakTask, last.Ranks, last.WeakFor/last.WeakTask)
+	}
+}

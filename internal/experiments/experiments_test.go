@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyIntranode is a fast configuration preserving the regimes (coarse /
+// best / discovery-bound) at reduced cost.
+func tinyIntranode() IntranodeConfig {
+	return IntranodeConfig{
+		S: 48, Iters: 2, Cores: 8,
+		TPLs:           []int{8, 32, 128, 512, 2048},
+		ComputePerElem: 15e-9,
+	}
+}
+
+func TestFig1ShapesHold(t *testing.T) {
+	res := RunFig1(tinyIntranode(), true)
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Discovery grows with TPL.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Discovery <= res.Points[i-1].Discovery {
+			t.Fatalf("discovery not increasing at %d: %v", i, res.Points[i].Discovery)
+		}
+	}
+	// Best task configuration beats the parallel-for reference.
+	best := res.Points[res.Best]
+	if best.Makespan >= res.ParallelFor.Makespan {
+		t.Fatalf("task best %v !< parallel-for %v", best.Makespan, res.ParallelFor.Makespan)
+	}
+	// The finest grain is discovery-bound: idle dominates and the best
+	// point is not the finest.
+	fine := res.Points[len(res.Points)-1]
+	if fine.Idle < best.Idle {
+		t.Fatalf("fine grain should idle more: %v vs %v", fine.Idle, best.Idle)
+	}
+	if res.Best == len(res.Points)-1 {
+		t.Fatalf("finest grain should not be the best (discovery-bound)")
+	}
+	var sb strings.Builder
+	res.Print(&sb, "fig1")
+	if !strings.Contains(sb.String(), "best TPL") {
+		t.Fatalf("print output missing summary")
+	}
+}
+
+func TestFig6OptimizedBeatsNonOptimized(t *testing.T) {
+	c := tinyIntranode()
+	non := RunFig1(c, false)
+	opt := RunFig1(c, true)
+	if opt.Points[opt.Best].Makespan >= non.Points[non.Best].Makespan {
+		t.Fatalf("optimized best %v !< non-optimized best %v",
+			opt.Points[opt.Best].Makespan, non.Points[non.Best].Makespan)
+	}
+}
+
+func TestTable1NonOverlappedCutsMissesAndIdle(t *testing.T) {
+	c := tinyIntranode()
+	res := RunTable1(c, 128, 2048)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	fineNormal, fineNon := res.Rows[1], res.Rows[2]
+	if fineNon.Idle >= fineNormal.Idle {
+		t.Fatalf("non-overlapped idle %v !< normal %v", fineNon.Idle, fineNormal.Idle)
+	}
+	if fineNon.L3CM >= fineNormal.L3CM {
+		t.Fatalf("non-overlapped L3CM %d !< normal %d", fineNon.L3CM, fineNormal.L3CM)
+	}
+	if fineNon.Work >= fineNormal.Work {
+		t.Fatalf("non-overlapped work %v !< normal %v", fineNon.Work, fineNormal.Work)
+	}
+	// But total is worse: the graph must be unrolled serially first.
+	if fineNon.Makespan <= fineNormal.Makespan {
+		t.Fatalf("non-overlapped total %v should exceed normal %v", fineNon.Makespan, fineNormal.Makespan)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "Non overlapped") {
+		t.Fatalf("bad print")
+	}
+}
+
+func TestTable2OptimizationOrdering(t *testing.T) {
+	c := tinyIntranode()
+	c.Iters = 4
+	rows := RunTable2(c, 256)
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(label string) Table2Row {
+		for _, r := range rows {
+			if r.Label == label {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s", label)
+		return Table2Row{}
+	}
+	none := get("none")
+	abc := get("(a)+(b)+(c)")
+	p := get("(a)+(b)+(c)+(p)")
+	if abc.Edges >= none.Edges {
+		t.Fatalf("(a)+(b)+(c) edges %d !< none %d", abc.Edges, none.Edges)
+	}
+	// Wall-clock comparisons get a margin: CI machines jitter.
+	if abc.Discovery >= none.Discovery*1.15 {
+		t.Fatalf("(a)+(b)+(c) discovery %v not <= none %v", abc.Discovery, none.Discovery)
+	}
+	if p.Discovery >= abc.Discovery*0.8 {
+		t.Fatalf("(p) discovery %v not well below (a)+(b)+(c) %v", p.Discovery, abc.Discovery)
+	}
+	if p.ReplayIter >= p.FirstIter {
+		t.Fatalf("replay iteration %v !< first %v", p.ReplayIter, p.FirstIter)
+	}
+	var sb strings.Builder
+	PrintTable2(&sb, rows)
+	if !strings.Contains(sb.String(), "(p)") {
+		t.Fatalf("bad print")
+	}
+}
+
+func TestMETGComputes(t *testing.T) {
+	c := tinyIntranode()
+	res, err := RunMETG(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.METG95 <= 0 {
+		t.Fatalf("metg = %v", res.METG95)
+	}
+}
+
+func tinyDistributed() DistributedConfig {
+	c := DefaultDistributed()
+	c.Grid = [3]int{2, 2, 2}
+	c.CoresPerRank = 8
+	// The per-rank working set must exceed the modeled L3 for the cache
+	// benefit of fine-grain depth-first scheduling to show (see
+	// EXPERIMENTS.md calibration) — hence the scaled cache here.
+	c.S = 48
+	c.Iters = 2
+	c.TPLs = []int{16, 64, 256}
+	c.Cache = ScaledNUMACache()
+	c.ProfiledRank = 0
+	return c
+}
+
+func TestFig7RunsAndOverlapImproves(t *testing.T) {
+	c := tinyDistributed()
+	opt := RunFig7(c, true)
+	non := RunFig7(c, false)
+	if len(opt.Points) != len(c.TPLs) {
+		t.Fatalf("points = %d", len(opt.Points))
+	}
+	for _, p := range append(opt.Points, non.Points...) {
+		if p.OverlapRatio < 0 || p.OverlapRatio > 1.0001 {
+			t.Fatalf("overlap ratio out of range: %v", p.OverlapRatio)
+		}
+	}
+	// Optimized best beats the parallel-for baseline.
+	if opt.Points[opt.Best].Makespan >= opt.ParallelFor.Makespan {
+		t.Fatalf("optimized task %v !< parallel-for %v",
+			opt.Points[opt.Best].Makespan, opt.ParallelFor.Makespan)
+	}
+	var sb strings.Builder
+	opt.Print(&sb)
+	if !strings.Contains(sb.String(), "Fig 7") {
+		t.Fatalf("bad print")
+	}
+}
+
+func TestTaskwaitCostPositive(t *testing.T) {
+	c := tinyDistributed()
+	res := RunTaskwaitCost(c, 32)
+	if res.WithTaskwait <= res.NoTaskwait {
+		t.Fatalf("taskwait version %v should be slower than fine integration %v",
+			res.WithTaskwait, res.NoTaskwait)
+	}
+}
+
+func TestFig8ProducesGanttRecords(t *testing.T) {
+	c := tinyDistributed()
+	res := RunFig8(c, 16)
+	if len(res.Optimized) == 0 || len(res.NonOptimized) == 0 {
+		t.Fatalf("empty gantt records")
+	}
+	// Iteration ids must appear in the optimized (persistent) trace.
+	seen := map[int]bool{}
+	for _, r := range res.Optimized {
+		seen[r.Iter] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("expected multiple iterations in trace, got %v", seen)
+	}
+}
+
+func TestTable3WeakScalingShape(t *testing.T) {
+	c := DefaultScaling()
+	c.RankCounts = []int{8, 27}
+	c.SWeak = 48
+	c.SGlobal = 96
+	c.Iters = 6
+	c.Cores = 8
+	c.WeakTPL = 64
+	rows := RunTable3(c)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WeakTask >= r.WeakFor {
+			t.Fatalf("ranks=%d weak task %v !< weak for %v", r.Ranks, r.WeakTask, r.WeakFor)
+		}
+	}
+	// Weak scaling stays roughly flat (within 40% at this tiny scale).
+	if rows[1].WeakTask > rows[0].WeakTask*1.4 {
+		t.Fatalf("weak scaling degraded: %v -> %v", rows[0].WeakTask, rows[1].WeakTask)
+	}
+	var sb strings.Builder
+	PrintTable3(&sb, rows)
+	if !strings.Contains(sb.String(), "weak - task") {
+		t.Fatalf("bad print")
+	}
+}
+
+func TestFig9RunsAndFindsInteriorBest(t *testing.T) {
+	c := DefaultHPCG()
+	c.Ranks = 4
+	c.CoresPerRank = 4
+	c.RowsPerRank = 1 << 15
+	c.NXY = 1 << 10
+	c.Iters = 3
+	c.TPLs = []int{2, 8, 32, 128}
+	res := RunFig9(c)
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].EdgesPerTask <= res.Points[i-1].EdgesPerTask {
+			t.Fatalf("edges/task not growing at %d", i)
+		}
+		if res.Points[i].GrainUS >= res.Points[i-1].GrainUS {
+			t.Fatalf("grain not shrinking at %d", i)
+		}
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "Fig 9") {
+		t.Fatalf("bad print")
+	}
+}
+
+func TestCholeskyPersistentSpeedupAndNeutralTotal(t *testing.T) {
+	res, err := RunCholesky(8, 16, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("factorization not verified")
+	}
+	if res.DiscoverySpeedup < 1.2 {
+		t.Fatalf("discovery speedup = %v, want > 1.2", res.DiscoverySpeedup)
+	}
+	var sb strings.Builder
+	res.Print(&sb)
+	if !strings.Contains(sb.String(), "Cholesky") {
+		t.Fatalf("bad print")
+	}
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders a set of tasks and their precedence edges in Graphviz
+// DOT format — the kind of task-graph visualization the paper notes is
+// missing from production MPI+OpenMP tooling (§1, §5). Tasks are the
+// given slice (e.g. Graph.Recorded() after a persistent recording, or
+// any collection assembled by the caller); edges are each task's
+// successor list restricted to the set.
+func WriteDOT(w io.Writer, tasks []*Task, name string) error {
+	if name == "" {
+		name = "tdg"
+	}
+	inSet := make(map[*Task]bool, len(tasks))
+	for _, t := range tasks {
+		inSet[t] = true
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", name); err != nil {
+		return err
+	}
+	sorted := append([]*Task(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, t := range sorted {
+		shape := ""
+		if t.Redirect {
+			shape = ", shape=point"
+		}
+		if t.Detached {
+			shape = ", style=dashed"
+		}
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%s #%d\"%s];\n", t.ID, t.Label, t.ID, shape); err != nil {
+			return err
+		}
+	}
+	for _, t := range sorted {
+		for _, s := range t.Successors() {
+			if !inSet[s] {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", t.ID, s.ID); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,684 @@
+// Package graph implements the task dependency graph (TDG) at the heart of
+// the reproduction: OpenMP-style dependence discovery over data keys,
+// precedence-edge management with the paper's edge-reduction optimizations,
+// and the persistent task sub-graph (PTSG) extension.
+//
+// The package is executor-agnostic: a Graph turns a sequential stream of
+// task submissions into ready-task notifications. Two executors drive it in
+// this repository — the real goroutine runtime (internal/rt) and the
+// discrete-event machine simulator (internal/sim).
+//
+// Concurrency contract: discovery (Submit and friends) is performed by a
+// single producer goroutine; Complete may be called concurrently from any
+// number of worker goroutines. All shared state is protected per task.
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies a datum a dependence may be declared on, the moral
+// equivalent of the address in an OpenMP depend clause. Applications
+// typically derive keys from array-block indices.
+type Key uint64
+
+// DepType enumerates OpenMP 5.1 dependence types relevant to the paper.
+type DepType uint8
+
+const (
+	// In declares a read of the datum: the task depends on the last
+	// out-set for the key.
+	In DepType = iota
+	// Out declares a write: the task depends on the last out-set and on
+	// every reader registered since.
+	Out
+	// InOut behaves exactly like Out (kept distinct for tracing).
+	InOut
+	// InOutSet declares a concurrent write: consecutive InOutSet tasks on
+	// the same key are mutually independent, but any later access depends
+	// on the whole set.
+	InOutSet
+)
+
+func (d DepType) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	case InOutSet:
+		return "inoutset"
+	}
+	return fmt.Sprintf("DepType(%d)", uint8(d))
+}
+
+// Dep is one dependence declaration of a task.
+type Dep struct {
+	Key  Key
+	Type DepType
+}
+
+// State is the lifecycle state of a task.
+type State int32
+
+const (
+	// Created: discovered, predecessors outstanding.
+	Created State = iota
+	// Ready: all predecessors completed; handed to the executor.
+	Ready
+	// Running: the executor has started the task body.
+	Running
+	// Completed: the body finished and successors were released.
+	Completed
+)
+
+func (s State) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// Task is a node of the dependency graph. Executors attach their payload
+// (closure, cost model, ...) through the exported fields; the graph itself
+// only manipulates the precedence machinery.
+type Task struct {
+	// ID is the submission sequence number, unique within a Graph.
+	ID int64
+	// Label names the task for traces and Gantt charts.
+	Label string
+	// Body is the work closure run by the real executor (nil for
+	// redirect nodes and for DES-only tasks).
+	Body func(fp any)
+	// FirstPrivate is the per-instance private datum, copied on
+	// persistent replay (the paper's single-memcpy replay cost).
+	FirstPrivate any
+	// Data carries executor-specific payload (e.g. a DES cost spec).
+	Data any
+	// Detached marks a task whose completion is signalled externally
+	// (MPI request completion) rather than at body return.
+	Detached bool
+	// Redirect marks an empty node inserted by optimization (c).
+	Redirect bool
+	// Persistent marks tasks recorded in a persistent region.
+	Persistent bool
+
+	// preds counts outstanding predecessors plus one producer sentinel.
+	preds atomic.Int32
+	// recordedIndegree counts incoming edges from tasks of the same
+	// recording, used to reset preds on persistent replay. Written only
+	// by the producer.
+	recordedIndegree int32
+	// recordEpoch identifies which recording the task belongs to, so
+	// edges from earlier recordings (or from outside any recording)
+	// never count toward replay indegrees.
+	recordEpoch int
+	state       atomic.Int32
+
+	mu       sync.Mutex
+	succs    []*Task
+	lastSucc *Task // duplicate-edge detection for optimization (b)
+}
+
+// State returns the task's lifecycle state.
+func (t *Task) State() State { return State(t.state.Load()) }
+
+// NumSuccessors returns the current successor count (racy during
+// discovery; stable once discovery is complete).
+func (t *Task) NumSuccessors() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.succs)
+}
+
+// Successors returns a snapshot of the successor list.
+func (t *Task) Successors() []*Task {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Task, len(t.succs))
+	copy(out, t.succs)
+	return out
+}
+
+// Indegree returns the number of recorded incoming edges.
+func (t *Task) Indegree() int { return int(t.recordedIndegree) }
+
+// Opt is a bitmask of the paper's TDG discovery optimizations.
+type Opt uint32
+
+const (
+	// OptDedup is optimization (b): O(1) elimination of duplicate edges
+	// between the same (pred, succ) pair, exploiting sequential
+	// submission.
+	OptDedup Opt = 1 << iota
+	// OptInOutSetNode is optimization (c): insert an empty redirect node
+	// after an inoutset group so m producers and n consumers need m+n
+	// edges instead of m*n.
+	OptInOutSetNode
+	// OptAll enables every runtime-side optimization. Optimization (a)
+	// — minimizing user-declared dependences — lives in application
+	// builders, and (p) — persistence — is a mode, not a flag.
+	OptAll = OptDedup | OptInOutSetNode
+)
+
+// Stats aggregates discovery-side counters. All counts are cumulative
+// since graph creation.
+type Stats struct {
+	Tasks          int64 // tasks discovered (including redirect nodes)
+	RedirectNodes  int64 // empty nodes inserted by optimization (c)
+	EdgesAttempted int64 // precedence constraints processed
+	EdgesCreated   int64 // edges actually materialized
+	EdgesPruned    int64 // skipped: predecessor already completed
+	EdgesDuplicate int64 // skipped by optimization (b)
+	ReplayedTasks  int64 // persistent re-instantiations (iterations >= 1)
+}
+
+// keyState tracks the discovery frontier for one data key.
+type keyState struct {
+	// outSet is the set of tasks any subsequent access must succeed:
+	// a single writer, an open inoutset group, or a redirect node.
+	outSet []*Task
+	// readers are In-tasks registered since the last out-set.
+	readers []*Task
+	// setOpen reports whether outSet is an open inoutset group.
+	setOpen bool
+	// redirect is the optimization-(c) node of the open group, if any.
+	redirect *Task
+	// baseOut/baseReaders are the dependences every member of the open
+	// inoutset group must succeed (the out-set and readers that preceded
+	// the group).
+	baseOut     []*Task
+	baseReaders []*Task
+	// redirectReleased records that the producer sentinel of the group's
+	// redirect node was dropped (on group close or frontier flush).
+	redirectReleased bool
+}
+
+// ReadyFunc receives tasks that become ready on the producer side — at
+// submission, group close, flush, or replay. Tasks released by a
+// completion are NOT passed to it: Complete returns them to its caller,
+// which must schedule them (this is how depth-first executors attribute
+// successors to the completing worker).
+type ReadyFunc func(*Task)
+
+// Graph is a task dependency graph under single-producer discovery.
+type Graph struct {
+	opts    Opt
+	onReady ReadyFunc
+
+	nextID int64
+	keys   map[Key]*keyState
+
+	stats struct {
+		tasks, redirects                     int64
+		attempted, created, pruned, duplicer int64
+		replayed                             int64
+	}
+
+	live  atomic.Int64 // created but not completed
+	ready atomic.Int64 // ready or running but not completed
+
+	// openGroups tracks keys whose inoutset group holds an unreleased
+	// redirect node, for Flush.
+	openGroups []*keyState
+
+	// persistence
+	persistent  bool
+	recording   bool
+	epoch       int
+	recorded    []*Task
+	replayIndex int
+}
+
+// New creates an empty graph with the given optimization set. onReady must
+// be non-nil; it is called exactly once per task when it becomes ready.
+func New(opts Opt, onReady ReadyFunc) *Graph {
+	if onReady == nil {
+		panic("graph: nil ReadyFunc")
+	}
+	return &Graph{
+		opts:    opts,
+		onReady: onReady,
+		keys:    make(map[Key]*keyState),
+	}
+}
+
+// Opts returns the optimization mask the graph was created with.
+func (g *Graph) Opts() Opt { return g.opts }
+
+// Live returns the number of discovered-but-uncompleted tasks, the
+// quantity bounded by MPC-OMP's total-tasks throttling threshold.
+func (g *Graph) Live() int64 { return g.live.Load() }
+
+// ReadyCount returns the number of ready-or-running tasks, the quantity
+// bounded by classic ready-task throttling.
+func (g *Graph) ReadyCount() int64 { return g.ready.Load() }
+
+// Stats returns a snapshot of the discovery counters.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Tasks:          g.stats.tasks,
+		RedirectNodes:  g.stats.redirects,
+		EdgesAttempted: g.stats.attempted,
+		EdgesCreated:   g.stats.created,
+		EdgesPruned:    g.stats.pruned,
+		EdgesDuplicate: g.stats.duplicer,
+		ReplayedTasks:  g.stats.replayed,
+	}
+}
+
+// Submit discovers one task with the given dependences. It returns the
+// task descriptor. Producer-only.
+func (g *Graph) Submit(label string, deps []Dep, body func(fp any), fp any) *Task {
+	return g.submit(label, deps, body, fp, false)
+}
+
+// SubmitDetached is Submit for a detached task: its completion is
+// signalled externally rather than at body return. The flag must be set
+// before the task is released, hence this dedicated entry point.
+func (g *Graph) SubmitDetached(label string, deps []Dep, body func(fp any), fp any) *Task {
+	return g.submit(label, deps, body, fp, true)
+}
+
+func (g *Graph) submit(label string, deps []Dep, body func(fp any), fp any, detached bool) *Task {
+	t := &Task{
+		ID:           g.nextID,
+		Label:        label,
+		Body:         body,
+		FirstPrivate: fp,
+		Detached:     detached,
+	}
+	g.nextID++
+	g.stats.tasks++
+	g.live.Add(1)
+	t.preds.Store(1) // producer sentinel
+	t.Persistent = g.recording
+	if g.recording {
+		t.recordEpoch = g.epoch
+		g.recorded = append(g.recorded, t)
+	}
+
+	for _, d := range deps {
+		g.processDep(t, d)
+	}
+	g.releaseSentinel(t)
+	return t
+}
+
+// processDep applies one dependence declaration during discovery.
+func (g *Graph) processDep(t *Task, d Dep) {
+	ks := g.keys[d.Key]
+	if ks == nil {
+		ks = &keyState{}
+		g.keys[d.Key] = ks
+	}
+	switch d.Type {
+	case In:
+		g.dependOnOutSet(t, ks)
+		ks.readers = append(ks.readers, t)
+	case Out, InOut:
+		g.dependOnOutSet(t, ks)
+		for _, r := range ks.readers {
+			g.addEdge(r, t)
+		}
+		ks.readers = ks.readers[:0]
+		ks.outSet = append(ks.outSet[:0], t)
+		ks.setOpen = false
+		ks.redirect = nil
+	case InOutSet:
+		if !ks.setOpen {
+			// Starting a new group: remember what the group as a
+			// whole must succeed, then make the group the out-set.
+			prevOut := append([]*Task(nil), ks.outSet...)
+			prevReaders := append([]*Task(nil), ks.readers...)
+			ks.readers = ks.readers[:0]
+			ks.outSet = ks.outSet[:0]
+			ks.setOpen = true
+			ks.redirect = nil
+			ks.redirectReleased = false
+			if g.opts&OptInOutSetNode != 0 {
+				ks.redirect = g.newRedirect()
+				g.openGroups = append(g.openGroups, ks)
+			}
+			// Base dependences of the first member.
+			for _, p := range prevOut {
+				g.addEdge(p, t)
+			}
+			for _, r := range prevReaders {
+				g.addEdge(r, t)
+			}
+			// Stash base so later members depend on the same base.
+			ks.baseOut = prevOut
+			ks.baseReaders = prevReaders
+		} else {
+			for _, p := range ks.baseOut {
+				g.addEdge(p, t)
+			}
+			for _, r := range ks.baseReaders {
+				g.addEdge(r, t)
+			}
+		}
+		ks.outSet = append(ks.outSet, t)
+		if ks.redirect != nil {
+			g.addEdge(t, ks.redirect)
+		}
+	}
+}
+
+// dependOnOutSet makes t succeed the current out-set of ks, collapsing an
+// open inoutset group through its redirect node when optimization (c) is
+// enabled. A non-inoutset access closes any open group.
+func (g *Graph) dependOnOutSet(t *Task, ks *keyState) {
+	if ks.setOpen {
+		if ks.redirect != nil {
+			g.addEdge(ks.redirect, t)
+			// With a redirect node, the node now stands for the
+			// whole group.
+			ks.outSet = append(ks.outSet[:0], ks.redirect)
+		} else {
+			for _, p := range ks.outSet {
+				g.addEdge(p, t)
+			}
+		}
+		// Group closes on first non-inoutset access.
+		g.closeGroup(ks)
+		return
+	}
+	for _, p := range ks.outSet {
+		g.addEdge(p, t)
+	}
+}
+
+// closeGroup ends an open inoutset group, dropping the producer sentinel
+// of its redirect node so the node can complete once all members finish.
+func (g *Graph) closeGroup(ks *keyState) {
+	if ks.redirect != nil && !ks.redirectReleased {
+		ks.redirectReleased = true
+		g.releaseSentinel(ks.redirect)
+	}
+	ks.setOpen = false
+	ks.baseOut, ks.baseReaders = nil, nil
+	ks.redirect = nil
+}
+
+// Flush closes every still-open inoutset group. Executors call it at
+// synchronization points (taskwait, barrier, end of recording) so that
+// redirect nodes pending on a producer sentinel can drain.
+func (g *Graph) Flush() {
+	for _, ks := range g.openGroups {
+		if ks.setOpen {
+			g.closeGroup(ks)
+		}
+	}
+	g.openGroups = g.openGroups[:0]
+}
+
+// newRedirect allocates and releases an optimization-(c) empty node. It
+// participates in the graph like any task; executors complete it with
+// zero-cost bodies.
+func (g *Graph) newRedirect() *Task {
+	r := &Task{
+		ID:       g.nextID,
+		Label:    "redirect",
+		Redirect: true,
+	}
+	g.nextID++
+	g.stats.tasks++
+	g.stats.redirects++
+	g.live.Add(1)
+	r.preds.Store(1)
+	r.Persistent = g.recording
+	if g.recording {
+		r.recordEpoch = g.epoch
+		g.recorded = append(g.recorded, r)
+	}
+	// The producer sentinel is held until the group closes (or Flush),
+	// so the node cannot complete while member edges are still being
+	// added.
+	return r
+}
+
+// addEdge records the precedence constraint pred -> succ, applying
+// duplicate elimination (b) and completed-predecessor pruning. succ must
+// be the task currently under discovery (producer-owned).
+func (g *Graph) addEdge(pred, succ *Task) {
+	if pred == succ {
+		return
+	}
+	g.stats.attempted++
+
+	pred.mu.Lock()
+	if g.opts&OptDedup != 0 && pred.lastSucc == succ {
+		pred.mu.Unlock()
+		g.stats.duplicer++
+		return
+	}
+	done := State(pred.state.Load()) == Completed
+	// An edge is replay-relevant only when the predecessor belongs to
+	// the same recording: it will be re-instanced and complete again on
+	// every iteration. Edges from outside the recording (earlier tasks,
+	// earlier recordings) are one-time constraints — if the predecessor
+	// already completed they are pruned even while recording, otherwise
+	// they count toward the live indegree only.
+	sameRecording := g.recording && pred.Persistent && pred.recordEpoch == g.epoch
+	if done && !sameRecording {
+		pred.mu.Unlock()
+		g.stats.pruned++
+		return
+	}
+	pred.succs = append(pred.succs, succ)
+	pred.lastSucc = succ
+	// The indegree increment MUST happen before pred.mu is released:
+	// the moment the edge is visible in pred.succs, a concurrent
+	// Complete(pred) may snapshot it and decrement succ.preds — if the
+	// increment landed later, succ would be released once by that
+	// completion and once more by the producer sentinel (double
+	// execution / wedged counters).
+	if !done {
+		succ.preds.Add(1)
+	}
+	if sameRecording {
+		succ.recordedIndegree++
+	}
+	pred.mu.Unlock()
+
+	g.stats.created++
+	// In recording mode with a completed same-recording pred the edge
+	// exists for future iterations but contributes nothing to the live
+	// counter now.
+}
+
+// releaseSentinel drops the producer's hold on t; if no predecessors
+// remain the task becomes ready.
+func (g *Graph) releaseSentinel(t *Task) {
+	if t.preds.Add(-1) == 0 {
+		g.markReady(t)
+	}
+}
+
+// markReadyQuiet transitions t to Ready without notifying onReady; used
+// on the completion path where the caller receives the task instead.
+func (g *Graph) markReadyQuiet(t *Task) {
+	t.state.Store(int32(Ready))
+	g.ready.Add(1)
+}
+
+func (g *Graph) markReady(t *Task) {
+	g.markReadyQuiet(t)
+	g.onReady(t)
+}
+
+// Start transitions a ready task to running. Executors call it when they
+// begin the body; it is advisory (used by traces and tests).
+func (g *Graph) Start(t *Task) {
+	t.state.Store(int32(Running))
+}
+
+// Complete marks t finished and releases its successors. Safe to call
+// from any goroutine. Successors whose last predecessor was t become
+// Ready and are returned; the CALLER must schedule them (depth-first
+// executors push them onto the completing worker's deque). onReady is
+// deliberately not invoked for them.
+func (g *Graph) Complete(t *Task) []*Task {
+	t.mu.Lock()
+	t.state.Store(int32(Completed))
+	succs := t.succs
+	t.mu.Unlock()
+
+	g.ready.Add(-1)
+	g.live.Add(-1)
+
+	var released []*Task
+	for _, s := range succs {
+		if s.preds.Add(-1) == 0 {
+			g.markReadyQuiet(s)
+			released = append(released, s)
+		}
+	}
+	return released
+}
+
+// --- Persistence (optimization p) ---
+
+// BeginRecording enters persistent discovery: tasks submitted until
+// EndRecording are recorded, never pruned (every edge is materialized so
+// replays need no dependence processing), and kept after completion.
+func (g *Graph) BeginRecording() {
+	if g.persistent {
+		panic("graph: nested persistent regions")
+	}
+	g.persistent = true
+	g.recording = true
+	g.epoch++
+	g.recorded = g.recorded[:0]
+}
+
+// EndRecording leaves recording mode. The recorded task sequence is now
+// replayable.
+func (g *Graph) EndRecording() {
+	g.recording = false
+}
+
+// RecordedLen returns the number of tasks captured by the last recording.
+func (g *Graph) RecordedLen() int { return len(g.recorded) }
+
+// BeginReplay prepares a new persistent iteration. Every recorded task
+// must be Completed (the implicit end-of-iteration barrier guarantees
+// this). Counters are reset for all tasks up front so that completions of
+// early replayed tasks can safely decrement later tasks not yet
+// re-released.
+func (g *Graph) BeginReplay() error {
+	if !g.persistent {
+		return fmt.Errorf("graph: BeginReplay outside a persistent region")
+	}
+	for _, t := range g.recorded {
+		if t.State() != Completed {
+			return fmt.Errorf("graph: replay with task %d (%s) in state %v", t.ID, t.Label, t.State())
+		}
+	}
+	for _, t := range g.recorded {
+		t.preds.Store(t.recordedIndegree + 1) // +1 producer sentinel
+		t.state.Store(int32(Created))
+	}
+	g.live.Add(int64(len(g.recorded)))
+	g.replayIndex = 0
+	return nil
+}
+
+// Replay re-instantiates the next recorded task: the only per-task work
+// is the firstprivate copy (and optionally a body-closure update),
+// mirroring the paper's single-memcpy replay cost and its dynamic
+// firstprivate-update extension. Redirect nodes interleaved in the
+// recording are released implicitly. Returns the task instance.
+func (g *Graph) Replay(fp any, body func(fp any)) *Task {
+	for g.replayIndex < len(g.recorded) && g.recorded[g.replayIndex].Redirect {
+		r := g.recorded[g.replayIndex]
+		g.replayIndex++
+		g.stats.replayed++
+		g.releaseSentinel(r)
+	}
+	if g.replayIndex >= len(g.recorded) {
+		panic("graph: replay past end of recorded task sequence")
+	}
+	t := g.recorded[g.replayIndex]
+	g.replayIndex++
+	t.FirstPrivate = fp
+	if body != nil {
+		t.Body = body
+	}
+	g.stats.replayed++
+	g.releaseSentinel(t)
+	return t
+}
+
+// FinishReplay releases any trailing redirect nodes and verifies the
+// whole recording was replayed.
+func (g *Graph) FinishReplay() error {
+	for g.replayIndex < len(g.recorded) && g.recorded[g.replayIndex].Redirect {
+		r := g.recorded[g.replayIndex]
+		g.replayIndex++
+		g.stats.replayed++
+		g.releaseSentinel(r)
+	}
+	if g.replayIndex != len(g.recorded) {
+		return fmt.Errorf("graph: replay submitted %d of %d recorded tasks", g.replayIndex, len(g.recorded))
+	}
+	return nil
+}
+
+// ReplayAll re-instantiates the entire recording without touching any
+// task's firstprivate or body — the captured-closure replay semantics of
+// the OpenMP `taskgraph` proposal discussed in the paper's related work
+// ("all the closures are captured during first execution"). Even cheaper
+// than Replay, at the cost of forbidding per-iteration updates. Call
+// between BeginReplay and FinishReplay, instead of per-task Replay.
+func (g *Graph) ReplayAll() {
+	for g.replayIndex < len(g.recorded) {
+		t := g.recorded[g.replayIndex]
+		g.replayIndex++
+		g.stats.replayed++
+		g.releaseSentinel(t)
+	}
+}
+
+// AbortReplay releases every not-yet-replayed recorded task (keeping its
+// previously recorded firstprivate) so the graph can drain after a replay
+// that failed mid-iteration (e.g. a shape mismatch).
+func (g *Graph) AbortReplay() {
+	for g.replayIndex < len(g.recorded) {
+		t := g.recorded[g.replayIndex]
+		g.replayIndex++
+		g.stats.replayed++
+		g.releaseSentinel(t)
+	}
+}
+
+// EndPersistent closes the persistent region. The recorded task sequence
+// stays readable (Recorded, e.g. for DOT export) until the next
+// BeginRecording reuses it.
+func (g *Graph) EndPersistent() {
+	g.persistent = false
+	g.recording = false
+	g.replayIndex = len(g.recorded)
+}
+
+// Recorded exposes the recorded sequence (read-only use: tests, DES).
+func (g *Graph) Recorded() []*Task { return g.recorded }
+
+// ResetDiscoveryFrontier clears the per-key discovery state (last
+// writers/readers) without touching counters, used between independent
+// phases in benchmarks.
+func (g *Graph) ResetDiscoveryFrontier() {
+	g.keys = make(map[Key]*keyState)
+}

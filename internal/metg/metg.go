@@ -1,0 +1,46 @@
+// Package metg computes the Minimum Effective Task Granularity metric of
+// Slaughter et al. (Task Bench, SC'20), as used by the paper's §3.3
+// report: for a sweep of (grain, wall-time) samples at fixed total work,
+// METG(x%) is the smallest average task grain whose configuration
+// achieves at least x% of the best observed efficiency.
+package metg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is one sweep point: the average task grain (seconds of work per
+// task) and the achieved wall-clock time for the same total problem.
+type Sample struct {
+	Grain float64
+	Wall  float64
+}
+
+// METG returns the minimum effective task granularity at the given
+// efficiency (e.g. 0.95): the smallest grain whose wall time is within
+// best/efficiency. It returns an error when no sample qualifies.
+func METG(samples []Sample, efficiency float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("metg: no samples")
+	}
+	if efficiency <= 0 || efficiency > 1 {
+		return 0, fmt.Errorf("metg: efficiency %v out of (0,1]", efficiency)
+	}
+	best := math.Inf(1)
+	for _, s := range samples {
+		if s.Wall < best {
+			best = s.Wall
+		}
+	}
+	limit := best / efficiency
+	sorted := append([]Sample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Grain < sorted[j].Grain })
+	for _, s := range sorted {
+		if s.Wall <= limit {
+			return s.Grain, nil
+		}
+	}
+	return 0, fmt.Errorf("metg: no sample within %.0f%% of best", efficiency*100)
+}

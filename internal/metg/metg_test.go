@@ -1,0 +1,69 @@
+package metg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMETGPicksSmallestQualifyingGrain(t *testing.T) {
+	samples := []Sample{
+		{Grain: 1e-6, Wall: 30}, // tiny grain: overhead-bound
+		{Grain: 10e-6, Wall: 12},
+		{Grain: 65e-6, Wall: 10.2}, // within 95% of best
+		{Grain: 250e-6, Wall: 10},  // best
+		{Grain: 1e-3, Wall: 11},
+	}
+	m, err := METG(samples, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 65e-6 {
+		t.Fatalf("METG = %v, want 65us", m)
+	}
+}
+
+func TestMETGErrors(t *testing.T) {
+	if _, err := METG(nil, 0.95); err == nil {
+		t.Fatalf("empty samples accepted")
+	}
+	if _, err := METG([]Sample{{1, 1}}, 1.5); err == nil {
+		t.Fatalf("bad efficiency accepted")
+	}
+}
+
+func TestMETGBestAlwaysQualifies(t *testing.T) {
+	f := func(walls []float64) bool {
+		if len(walls) == 0 {
+			return true
+		}
+		var samples []Sample
+		for i, w := range walls {
+			w = math.Abs(w)
+			if w == 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+				w = 1
+			}
+			samples = append(samples, Sample{Grain: float64(i + 1), Wall: w})
+		}
+		m, err := METG(samples, 0.95)
+		if err != nil {
+			return false
+		}
+		// The returned grain must belong to a qualifying sample.
+		best := math.Inf(1)
+		for _, s := range samples {
+			if s.Wall < best {
+				best = s.Wall
+			}
+		}
+		for _, s := range samples {
+			if s.Grain == m {
+				return s.Wall <= best/0.95
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,417 @@
+// Package mpi implements the message-passing substrate of the
+// reproduction: an in-process MPI subset where ranks are goroutines of
+// one OS process. It provides the primitives the paper's applications
+// use — nonblocking point-to-point (Isend/Irecv with eager and
+// rendezvous protocols selected by message size, as observed on the
+// paper's Open MPI/BXI configuration), a nonblocking Iallreduce
+// collective, Test/Wait completion, and PMPI-style profiling hooks that
+// feed the communication-overlap metrics of internal/trace.
+//
+// Matching follows MPI semantics: per (source, tag) FIFO order with
+// wildcard AnySource/AnyTag receives.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"taskdep/internal/trace"
+)
+
+// AnySource and AnyTag are wildcard matching values for Irecv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// DefaultEagerThreshold is the message size (in elements of float64,
+// i.e. 8 bytes each) below which sends complete eagerly; larger messages
+// use a rendezvous protocol and complete only when matched. 64 KiB / 8.
+const DefaultEagerThreshold = 8192
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	// Sum adds contributions elementwise.
+	Sum Op = iota
+	// Min takes the elementwise minimum (LULESH dt reduction).
+	Min
+	// Max takes the elementwise maximum.
+	Max
+)
+
+func (o Op) apply(acc, in []float64) {
+	switch o {
+	case Sum:
+		for i := range acc {
+			acc[i] += in[i]
+		}
+	case Min:
+		for i := range acc {
+			if in[i] < acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	case Max:
+		for i := range acc {
+			if in[i] > acc[i] {
+				acc[i] = in[i]
+			}
+		}
+	}
+}
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	id    int64
+	kind  trace.CommKind
+	bytes int
+	done  chan struct{}
+	once  sync.Once
+
+	// Source/Tag are filled on receive completion (matched envelope).
+	Source int
+	Tag    int
+
+	// onComplete, if set, runs exactly once at completion, from the
+	// completing goroutine (used to fulfill detached task events).
+	onComplete atomic.Pointer[func()]
+
+	comm *Comm
+}
+
+// ID returns the unique request id (used in profiles).
+func (r *Request) ID() int64 { return r.id }
+
+// OnComplete registers f to run at completion; if the request already
+// completed, f runs immediately. Used to bridge MPI completion to
+// detached-task events.
+func (r *Request) OnComplete(f func()) {
+	r.onComplete.Store(&f)
+	select {
+	case <-r.done:
+		r.fire()
+	default:
+	}
+}
+
+func (r *Request) fire() {
+	if p := r.onComplete.Swap(nil); p != nil {
+		(*p)()
+	}
+}
+
+func (r *Request) complete() {
+	r.once.Do(func() {
+		if c := r.comm; c != nil && c.profile != nil {
+			c.profile.CommComplete(r.id, c.clock())
+		}
+		close(r.done)
+		r.fire()
+	})
+}
+
+// Done reports (without blocking) whether the request completed.
+func (r *Request) Done() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// message is an in-flight point-to-point message.
+type message struct {
+	src, tag int
+	data     []float64 // owned copy (eager) or sender's buffer (rendezvous)
+	sreq     *Request  // non-nil for rendezvous: completed on match
+}
+
+// postedRecv is a pending receive.
+type postedRecv struct {
+	src, tag int
+	buf      []float64
+	req      *Request
+}
+
+// mailbox is the per-rank matching engine.
+type mailbox struct {
+	mu         sync.Mutex
+	unexpected []message
+	posted     []postedRecv
+}
+
+// collective tracks one in-flight Iallreduce instance. Contributions are
+// stored per rank and reduced in rank order at completion, so the result
+// is deterministic even for non-associative floating-point sums.
+type collective struct {
+	op    Op
+	n     int
+	ins   [][]float64 // indexed by rank
+	count int
+	outs  [][]float64
+	reqs  []*Request
+}
+
+// World is a set of ranks sharing an interconnect.
+type World struct {
+	size  int
+	boxes []*mailbox
+
+	collMu sync.Mutex
+	colls  map[int64]*collective
+	// collSeqs holds each rank's collective call counter so repeated
+	// Comm() handles for the same rank share the matching sequence.
+	collSeqs []int64
+
+	// EagerThreshold in float64 elements; messages of Len >= threshold
+	// use rendezvous.
+	eagerThreshold int
+
+	reqID atomic.Int64
+}
+
+// NewWorld creates a world of size ranks with the default eager
+// threshold.
+func NewWorld(size int) *World {
+	w := &World{
+		size:           size,
+		boxes:          make([]*mailbox, size),
+		colls:          make(map[int64]*collective),
+		collSeqs:       make([]int64, size),
+		eagerThreshold: DefaultEagerThreshold,
+	}
+	for i := range w.boxes {
+		w.boxes[i] = &mailbox{}
+	}
+	return w
+}
+
+// SetEagerThreshold overrides the eager/rendezvous switch (in float64
+// elements). Call before Run.
+func (w *World) SetEagerThreshold(n int) { w.eagerThreshold = n }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes f concurrently on every rank and waits for all to return.
+func (w *World) Run(f func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			f(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm returns rank r's communicator handle.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of world size %d", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank, collSeq: &w.collSeqs[rank], clock: func() float64 { return 0 }}
+}
+
+// Comm is one rank's endpoint. A Comm must be used by one goroutine for
+// posting operations (the owning rank), matching MPI's threading level
+// as used in the paper (communications nested in tasks of one runtime).
+type Comm struct {
+	world   *World
+	rank    int
+	collSeq *int64
+
+	profile *trace.Profile
+	clock   func() float64
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// SetProfile attaches a PMPI-style profiler: every send/collective post
+// and completion is recorded with the given clock.
+func (c *Comm) SetProfile(p *trace.Profile, clock func() float64) {
+	c.profile = p
+	if clock != nil {
+		c.clock = clock
+	}
+}
+
+func (c *Comm) newRequest(kind trace.CommKind, bytes int) *Request {
+	r := &Request{
+		id:    c.world.reqID.Add(1),
+		kind:  kind,
+		bytes: bytes,
+		done:  make(chan struct{}),
+		comm:  c,
+	}
+	if c.profile != nil {
+		c.profile.CommPost(r.id, kind, bytes, c.clock())
+	}
+	return r
+}
+
+// Isend posts a nonblocking send of buf to dest with tag. Small messages
+// (below the eager threshold) complete immediately; large ones complete
+// when the matching receive is posted (rendezvous).
+func (c *Comm) Isend(buf []float64, dest, tag int) *Request {
+	if dest < 0 || dest >= c.world.size {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dest))
+	}
+	req := c.newRequest(trace.Send, 8*len(buf))
+	eager := len(buf) < c.world.eagerThreshold
+	box := c.world.boxes[dest]
+
+	box.mu.Lock()
+	// Try to match an already-posted receive (FIFO).
+	for i := range box.posted {
+		p := box.posted[i]
+		if (p.src == AnySource || p.src == c.rank) && (p.tag == AnyTag || p.tag == tag) {
+			box.posted = append(box.posted[:i], box.posted[i+1:]...)
+			copy(p.buf, buf)
+			p.req.Source, p.req.Tag = c.rank, tag
+			box.mu.Unlock()
+			p.req.complete()
+			req.complete()
+			return req
+		}
+	}
+	// No receive yet: enqueue.
+	m := message{src: c.rank, tag: tag}
+	if eager {
+		m.data = append([]float64(nil), buf...)
+	} else {
+		m.data = buf // rendezvous: sender buffer referenced until match
+		m.sreq = req
+	}
+	box.unexpected = append(box.unexpected, m)
+	box.mu.Unlock()
+	if eager {
+		req.complete()
+	}
+	return req
+}
+
+// Irecv posts a nonblocking receive into buf from src (or AnySource)
+// with tag (or AnyTag).
+func (c *Comm) Irecv(buf []float64, src, tag int) *Request {
+	req := c.newRequest(trace.Recv, 8*len(buf))
+	box := c.world.boxes[c.rank]
+
+	box.mu.Lock()
+	for i := range box.unexpected {
+		m := box.unexpected[i]
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			box.unexpected = append(box.unexpected[:i], box.unexpected[i+1:]...)
+			copy(buf, m.data)
+			req.Source, req.Tag = m.src, m.tag
+			box.mu.Unlock()
+			if m.sreq != nil {
+				m.sreq.complete() // rendezvous sender completes on match
+			}
+			req.complete()
+			return req
+		}
+	}
+	box.posted = append(box.posted, postedRecv{src: src, tag: tag, buf: buf, req: req})
+	box.mu.Unlock()
+	return req
+}
+
+// Send is a blocking send (Isend + Wait).
+func (c *Comm) Send(buf []float64, dest, tag int) { c.Isend(buf, dest, tag).Wait() }
+
+// Recv is a blocking receive (Irecv + Wait). It returns the matched
+// source and tag.
+func (c *Comm) Recv(buf []float64, src, tag int) (int, int) {
+	r := c.Irecv(buf, src, tag)
+	r.Wait()
+	return r.Source, r.Tag
+}
+
+// Iallreduce posts a nonblocking allreduce: recv = op over every rank's
+// send. All ranks must call it the same number of times with equal
+// lengths; instances match by per-rank call sequence. The request
+// completes when every rank has contributed.
+func (c *Comm) Iallreduce(op Op, send, recv []float64) *Request {
+	if len(send) != len(recv) {
+		panic("mpi: Iallreduce length mismatch")
+	}
+	req := c.newRequest(trace.Collective, 8*len(send))
+	seq := atomic.AddInt64(c.collSeq, 1)
+
+	w := c.world
+	w.collMu.Lock()
+	coll := w.colls[seq]
+	if coll == nil {
+		coll = &collective{op: op, n: len(send), ins: make([][]float64, w.size)}
+		w.colls[seq] = coll
+	} else if coll.op != op || coll.n != len(send) {
+		w.collMu.Unlock()
+		panic("mpi: mismatched Iallreduce across ranks")
+	}
+	coll.ins[c.rank] = append([]float64(nil), send...)
+	coll.count++
+	coll.outs = append(coll.outs, recv)
+	coll.reqs = append(coll.reqs, req)
+	if coll.count == w.size {
+		delete(w.colls, seq)
+		w.collMu.Unlock()
+		acc := append([]float64(nil), coll.ins[0]...)
+		for rk := 1; rk < w.size; rk++ {
+			op.apply(acc, coll.ins[rk])
+		}
+		for i, out := range coll.outs {
+			copy(out, acc)
+			coll.reqs[i].complete()
+		}
+		return req
+	}
+	w.collMu.Unlock()
+	return req
+}
+
+// Allreduce is the blocking form of Iallreduce.
+func (c *Comm) Allreduce(op Op, send, recv []float64) {
+	c.Iallreduce(op, send, recv).Wait()
+}
+
+// Barrier blocks until every rank reaches it.
+func (c *Comm) Barrier() {
+	var x, y [1]float64
+	c.Allreduce(Sum, x[:], y[:])
+}
+
+// Wait blocks until the request completes.
+func (r *Request) Wait() { <-r.done }
+
+// Test reports whether the request completed (MPI_Test semantics: no
+// blocking, safe to call repeatedly).
+func (r *Request) Test() bool { return r.Done() }
+
+// Waitall blocks until every request completes.
+func Waitall(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// Testall reports whether all requests completed.
+func Testall(reqs ...*Request) bool {
+	for _, r := range reqs {
+		if r != nil && !r.Done() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,549 @@
+// Package rt is the real (goroutine-based) executor of the task runtime —
+// the reproduction's equivalent of MPC-OMP's tasking layer. A single
+// producer goroutine discovers the task dependency graph concurrently with
+// its execution by a pool of workers, mirroring the paper's model: the
+// discovery runs "on a single producer thread concurrently of its
+// execution by any threads (including the producer)".
+//
+// Features reproduced from the paper:
+//   - dependent tasks over data keys (internal/graph) with optimizations
+//     (b), (c) and persistence (p);
+//   - per-worker LIFO deques and depth-first successor wake-up
+//     (internal/sched);
+//   - ready-task and total-task throttling: past the thresholds the
+//     producer stops producing and starts consuming (§5);
+//   - detached tasks completed by an external event (MPI requests);
+//   - progress polling hooks invoked at scheduling points, the mechanism
+//     MPC-OMP uses to advance MPI requests;
+//   - profiling of the work/overhead/idle breakdown and discovery window.
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/sched"
+	"taskdep/internal/trace"
+)
+
+// Config parametrizes a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines ("cores"). The producer
+	// is an additional goroutine (the caller of Submit), matching the
+	// paper's single-producer model. Default 1.
+	Workers int
+	// Policy selects depth-first (default, MPC-OMP-like) or
+	// breadth-first scheduling.
+	Policy sched.Policy
+	// Opts enables TDG discovery optimizations (b) and (c).
+	Opts graph.Opt
+	// ThrottleReady bounds ready tasks (GCC/LLVM-style); 0 = unbounded.
+	ThrottleReady int64
+	// ThrottleTotal bounds live tasks, ready or not (MPC-OMP's extra
+	// threshold for dependent tasks); 0 = unbounded.
+	ThrottleTotal int64
+	// Profile, if non-nil, receives breakdown/trace events. It must be
+	// created with at least Workers+1 slots; slot Workers is the
+	// producer.
+	Profile *trace.Profile
+	// Poll is invoked at scheduling points (idle workers, throttled
+	// producer, taskwait) to progress external engines such as MPI.
+	// It returns true if it made progress.
+	Poll func() bool
+}
+
+// Runtime executes dependent tasks discovered by a single producer.
+type Runtime struct {
+	cfg   Config
+	g     *graph.Graph
+	s     *sched.Scheduler
+	start time.Time
+
+	wg       sync.WaitGroup
+	shutdown atomic.Bool
+
+	// replay is true while re-running a persistent iteration body.
+	replay bool
+	// persistentDepth guards against nested Persistent calls.
+	inPersistent bool
+
+	iter atomic.Int32 // current persistent iteration, for trace records
+
+	detached atomic.Int64 // detached tasks awaiting Fulfill
+}
+
+// New creates and starts a runtime. Close must be called to join workers.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Profile != nil && cfg.Profile.NumWorkers() < cfg.Workers+1 {
+		panic(fmt.Sprintf("rt: profile has %d slots, need Workers+1 = %d (slot %d is the producer)",
+			cfg.Profile.NumWorkers(), cfg.Workers+1, cfg.Workers))
+	}
+	rt := &Runtime{
+		cfg:   cfg,
+		s:     sched.New(cfg.Policy, cfg.Workers),
+		start: time.Now(),
+	}
+	rt.g = graph.New(cfg.Opts, func(t *graph.Task) {
+		// Producer-side readiness: route through the global FIFO.
+		rt.s.Push(-1, t)
+	})
+	for w := 0; w < cfg.Workers; w++ {
+		rt.wg.Add(1)
+		go rt.worker(w)
+	}
+	return rt
+}
+
+// now returns seconds since runtime start (profile clock).
+func (rt *Runtime) now() float64 { return time.Since(rt.start).Seconds() }
+
+// Graph exposes the underlying dependency graph (stats, tests).
+func (rt *Runtime) Graph() *graph.Graph { return rt.g }
+
+// Scheduler exposes the scheduler (tests).
+func (rt *Runtime) Scheduler() *sched.Scheduler { return rt.s }
+
+// Spec describes one task submission.
+type Spec struct {
+	Label string
+	// In/Out/InOut/InOutSet list the dependence keys by type.
+	In       []graph.Key
+	Out      []graph.Key
+	InOut    []graph.Key
+	InOutSet []graph.Key
+	// Body is the work closure; it receives FirstPrivate.
+	Body func(fp any)
+	// DetachedBody is the work closure of a detached task; it receives
+	// FirstPrivate and the task's detach event, which the body (or an
+	// external engine it arms) must eventually Fulfill. Set Detached.
+	DetachedBody func(fp any, ev *Event)
+	// FirstPrivate is copied into the task (and re-copied on each
+	// persistent replay).
+	FirstPrivate any
+	// Detached defers completion until the returned Event is fulfilled.
+	Detached bool
+}
+
+func (s *Spec) deps() []graph.Dep {
+	deps := make([]graph.Dep, 0, len(s.In)+len(s.Out)+len(s.InOut)+len(s.InOutSet))
+	for _, k := range s.In {
+		deps = append(deps, graph.Dep{Key: k, Type: graph.In})
+	}
+	for _, k := range s.Out {
+		deps = append(deps, graph.Dep{Key: k, Type: graph.Out})
+	}
+	for _, k := range s.InOut {
+		deps = append(deps, graph.Dep{Key: k, Type: graph.InOut})
+	}
+	for _, k := range s.InOutSet {
+		deps = append(deps, graph.Dep{Key: k, Type: graph.InOutSet})
+	}
+	return deps
+}
+
+// Event completes a detached task from outside the worker pool (e.g. an
+// MPI completion callback). Call Fulfill exactly once.
+//
+// The event is delivered to the task body as its second argument (see
+// Spec.Detached), so the body can register it with the external engine
+// before returning — the OpenMP detach(event) pattern.
+type Event struct {
+	rt *Runtime
+	t  atomic.Pointer[graph.Task]
+}
+
+// Fulfill completes the detached task, releasing its successors. It may
+// be called from any goroutine, including synchronously from within the
+// task body.
+func (e *Event) Fulfill() {
+	// The task pointer is published right after submission; a body that
+	// completes its request synchronously can race that window.
+	t := e.t.Load()
+	for t == nil {
+		runtime.Gosched()
+		t = e.t.Load()
+	}
+	e.rt.complete(-1, t)
+	e.rt.detached.Add(-1)
+}
+
+// Submit discovers one task. Producer-only. In a persistent replay it
+// degenerates to the recorded task's firstprivate update. It returns the
+// detach event for Detached tasks, else nil.
+func (rt *Runtime) Submit(spec Spec) *Event {
+	rt.throttle()
+	var t *graph.Task
+	var ev *Event
+	body := spec.Body
+	if spec.Detached {
+		ev = &Event{rt: rt}
+		db := spec.DetachedBody
+		body = func(fp any) {
+			if db != nil {
+				db(fp, ev)
+			}
+		}
+	}
+	if rt.replay {
+		t = rt.g.Replay(spec.FirstPrivate, body)
+	} else if spec.Detached {
+		t = rt.g.SubmitDetached(spec.Label, spec.deps(), body, spec.FirstPrivate)
+	} else {
+		t = rt.g.Submit(spec.Label, spec.deps(), body, spec.FirstPrivate)
+	}
+	if p := rt.cfg.Profile; p != nil {
+		p.TaskCreated(rt.now())
+	}
+	if t.Detached {
+		if ev == nil {
+			// Replay of a recorded detached task submitted without the
+			// Detached flag set again: still needs an event bound to
+			// this instance.
+			ev = &Event{rt: rt}
+		}
+		rt.detached.Add(1)
+		ev.t.Store(t)
+		return ev
+	}
+	return nil
+}
+
+// TaskLoop partitions [0,n) into numTasks contiguous chunks and submits
+// one task per chunk, the runtime's equivalent of `taskloop num_tasks(t)`
+// with a depend clause. depsFor returns the Spec (without Body) for chunk
+// c covering [lo,hi); body receives the chunk bounds.
+func (rt *Runtime) TaskLoop(n, numTasks int, depsFor func(c, lo, hi int) Spec, body func(lo, hi int)) {
+	if numTasks <= 0 {
+		numTasks = 1
+	}
+	if numTasks > n {
+		numTasks = n
+	}
+	for c := 0; c < numTasks; c++ {
+		lo := c * n / numTasks
+		hi := (c + 1) * n / numTasks
+		spec := depsFor(c, lo, hi)
+		l, h := lo, hi
+		spec.Body = func(any) { body(l, h) }
+		rt.Submit(spec)
+	}
+}
+
+// throttle blocks the producer while the graph exceeds the configured
+// thresholds, executing tasks meanwhile ("producer threads stop producing
+// and start consuming").
+func (rt *Runtime) throttle() {
+	for {
+		tot, rdy := rt.cfg.ThrottleTotal, rt.cfg.ThrottleReady
+		over := (tot > 0 && rt.g.Live() >= tot) || (rdy > 0 && rt.g.ReadyCount() >= rdy)
+		if !over {
+			return
+		}
+		if !rt.produceConsumeOne() {
+			rt.pollAndYield()
+		}
+	}
+}
+
+// produceConsumeOne lets the producer execute one ready task; reports
+// whether it ran something.
+func (rt *Runtime) produceConsumeOne() bool {
+	t := rt.s.Pop(-1)
+	if t == nil {
+		return false
+	}
+	rt.execute(-1, t)
+	return true
+}
+
+func (rt *Runtime) pollAndYield() {
+	seq := rt.s.Seq()
+	if rt.cfg.Poll != nil && rt.cfg.Poll() {
+		return
+	}
+	// Re-check queues after reading seq to avoid lost wake-ups.
+	if rt.s.Pending() > 0 || rt.g.Live() == 0 {
+		return
+	}
+	if rt.cfg.Poll != nil {
+		// With an external engine we must keep polling rather than
+		// block indefinitely: completions may only arrive via Poll.
+		time.Sleep(5 * time.Microsecond)
+		return
+	}
+	rt.s.WaitChange(seq)
+}
+
+// Taskwait blocks the producer until every discovered task has completed,
+// executing ready tasks meanwhile. It flushes open inoutset groups first
+// (a synchronization point).
+func (rt *Runtime) Taskwait() {
+	rt.g.Flush()
+	for rt.g.Live() > 0 {
+		if !rt.produceConsumeOne() {
+			rt.pollAndYield()
+		}
+	}
+}
+
+// execute runs one task as worker w (-1 = producer) and completes it.
+func (rt *Runtime) execute(w int, t *graph.Task) {
+	p := rt.cfg.Profile
+	slot := w
+	if slot < 0 {
+		slot = rt.cfg.Workers // producer slot
+	}
+	var t0 float64
+	if p != nil {
+		t0 = rt.now()
+		p.SetState(slot, trace.Work, t0)
+	}
+	rt.g.Start(t)
+	if t.Body != nil {
+		t.Body(t.FirstPrivate)
+	}
+	if p != nil {
+		t1 := rt.now()
+		p.SetState(slot, trace.Overhead, t1)
+		if !t.Redirect {
+			p.TaskScheduled(trace.TaskRecord{
+				TaskID: t.ID, Label: t.Label, Worker: slot,
+				Iter: int(rt.iter.Load()), Start: t0, End: t1,
+			})
+		}
+	}
+	if t.Detached {
+		// Completion arrives via Event.Fulfill.
+		return
+	}
+	rt.complete(w, t)
+}
+
+// complete finishes t and schedules released successors on worker w's
+// deque (depth-first locality) or the global queue for w == -1.
+func (rt *Runtime) complete(w int, t *graph.Task) {
+	released := rt.g.Complete(t)
+	for _, s := range released {
+		rt.s.Push(w, s)
+	}
+	if len(released) == 0 || rt.g.Live() == 0 {
+		// Waiters (taskwait, throttled producer, idle workers racing on
+		// Live) may need the transition even without new queue entries.
+		rt.s.Kick()
+	}
+}
+
+// worker is the main loop of worker w.
+func (rt *Runtime) worker(w int) {
+	defer rt.wg.Done()
+	p := rt.cfg.Profile
+	if p != nil {
+		p.SetState(w, trace.Idle, rt.now())
+	}
+	for {
+		t := rt.s.Pop(w)
+		if t == nil {
+			// Exit on shutdown once no queued work remains. Close()
+			// drains the graph via Taskwait first, so not-yet-ready
+			// tasks cannot exist here in a correct program; requiring
+			// Live()==0 as well would turn any wedged/raced counter
+			// into an unbounded hot spin of every worker.
+			if rt.shutdown.Load() && rt.s.Pending() == 0 {
+				return
+			}
+			if p != nil {
+				// No ready task anywhere: idle. (Approximation: a
+				// task could be queued between Pop and here; the
+				// next loop iteration corrects the state.)
+				p.SetState(w, trace.Idle, rt.now())
+			}
+			seq := rt.s.Seq()
+			if rt.cfg.Poll != nil {
+				if rt.cfg.Poll() {
+					continue
+				}
+				if rt.s.Pending() == 0 && !rt.shutdown.Load() {
+					time.Sleep(5 * time.Microsecond)
+				}
+				continue
+			}
+			if rt.s.Pending() == 0 && !rt.shutdown.Load() {
+				rt.s.WaitChange(seq)
+			}
+			continue
+		}
+		if p != nil {
+			p.SetState(w, trace.Overhead, rt.now())
+		}
+		rt.execute(w, t)
+		if rt.cfg.Poll != nil {
+			rt.cfg.Poll() // scheduling point
+		}
+	}
+}
+
+// ErrReplayShape reports a persistent body that changed shape between
+// iterations.
+var ErrReplayShape = errors.New("rt: persistent body changed its task stream between iterations")
+
+// Persistent runs body(iter) for iters iterations under the persistent
+// TDG extension (optimization p): iteration 0 records the graph; later
+// iterations replay it, with per-task cost reduced to the firstprivate
+// copy. An implicit barrier (Taskwait) ends every iteration, as in the
+// paper's implementation.
+func (rt *Runtime) Persistent(iters int, body func(iter int)) error {
+	if rt.inPersistent {
+		return fmt.Errorf("rt: nested Persistent regions are not supported")
+	}
+	rt.inPersistent = true
+	defer func() { rt.inPersistent = false }()
+
+	rt.g.BeginRecording()
+	rt.iter.Store(0)
+	body(0)
+	rt.g.Flush()
+	rt.g.EndRecording()
+	rt.Taskwait()
+	if p := rt.cfg.Profile; p != nil {
+		p.IterationEnd(rt.now())
+	}
+
+	recorded := rt.g.RecordedLen()
+	for it := 1; it < iters; it++ {
+		if err := rt.g.BeginReplay(); err != nil {
+			return err
+		}
+		rt.iter.Store(int32(it))
+		rt.replay = true
+		body(it)
+		rt.replay = false
+		if err := rt.g.FinishReplay(); err != nil {
+			// Release the rest of the recording so the graph can
+			// drain, then surface the mismatch.
+			rt.g.AbortReplay()
+			rt.Taskwait()
+			rt.g.EndPersistent()
+			return fmt.Errorf("%w: %v (recorded %d tasks)", ErrReplayShape, err, recorded)
+		}
+		rt.Taskwait()
+		if p := rt.cfg.Profile; p != nil {
+			p.IterationEnd(rt.now())
+		}
+	}
+	rt.g.EndPersistent()
+	return nil
+}
+
+// PersistentFrozen runs body(0) once to record the task graph, then
+// replays it iters-1 more times without re-running the body: every
+// closure and firstprivate is captured at record time. These are the
+// semantics of the OpenMP `taskgraph` proposal the paper contrasts with
+// its own extension (§3.2, §6) — cheaper per iteration than Persistent,
+// but nothing can be updated between iterations.
+func (rt *Runtime) PersistentFrozen(iters int, body func()) error {
+	if rt.inPersistent {
+		return fmt.Errorf("rt: nested Persistent regions are not supported")
+	}
+	rt.inPersistent = true
+	defer func() { rt.inPersistent = false }()
+
+	rt.g.BeginRecording()
+	rt.iter.Store(0)
+	body()
+	rt.g.Flush()
+	rt.g.EndRecording()
+	rt.Taskwait()
+	if p := rt.cfg.Profile; p != nil {
+		p.IterationEnd(rt.now())
+	}
+	for it := 1; it < iters; it++ {
+		if err := rt.g.BeginReplay(); err != nil {
+			return err
+		}
+		rt.iter.Store(int32(it))
+		rt.g.ReplayAll()
+		if err := rt.g.FinishReplay(); err != nil {
+			return err
+		}
+		rt.Taskwait()
+		if p := rt.cfg.Profile; p != nil {
+			p.IterationEnd(rt.now())
+		}
+	}
+	rt.g.EndPersistent()
+	return nil
+}
+
+// PersistentAdaptive runs body(iter) under the persistent extension,
+// re-recording the graph whenever changed(iter) reports that the task
+// stream's shape differs from the last recording — the paper's §3.2
+// applicability argument for adaptive mesh refinement: AMR changes the
+// TDG only every few iterations, so recording cost is amortized over
+// the unchanged stretches. changed is consulted before every iteration
+// after the first; iteration 0 always records.
+func (rt *Runtime) PersistentAdaptive(iters int, body func(iter int), changed func(iter int) bool) error {
+	if rt.inPersistent {
+		return fmt.Errorf("rt: nested Persistent regions are not supported")
+	}
+	rt.inPersistent = true
+	defer func() { rt.inPersistent = false }()
+
+	endIter := func() {
+		rt.Taskwait()
+		if p := rt.cfg.Profile; p != nil {
+			p.IterationEnd(rt.now())
+		}
+	}
+	it := 0
+	for it < iters {
+		// Record a fresh graph at the segment head.
+		rt.g.BeginRecording()
+		rt.iter.Store(int32(it))
+		body(it)
+		rt.g.Flush()
+		rt.g.EndRecording()
+		endIter()
+		it++
+		// Replay while the shape holds.
+		for it < iters && !changed(it) {
+			if err := rt.g.BeginReplay(); err != nil {
+				rt.g.EndPersistent()
+				return err
+			}
+			rt.iter.Store(int32(it))
+			rt.replay = true
+			body(it)
+			rt.replay = false
+			if err := rt.g.FinishReplay(); err != nil {
+				rt.g.AbortReplay()
+				rt.Taskwait()
+				rt.g.EndPersistent()
+				return fmt.Errorf("%w: %v (use changed() to flag shape changes)", ErrReplayShape, err)
+			}
+			endIter()
+			it++
+		}
+		rt.g.EndPersistent()
+	}
+	return nil
+}
+
+// Close waits for all tasks, then stops the workers. The runtime must not
+// be used afterwards.
+func (rt *Runtime) Close() {
+	rt.Taskwait()
+	rt.shutdown.Store(true)
+	rt.s.Kick()
+	rt.wg.Wait()
+	if p := rt.cfg.Profile; p != nil {
+		p.Finish(rt.now())
+	}
+}

@@ -1,0 +1,339 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/mpi"
+	"taskdep/internal/sched"
+	"taskdep/internal/trace"
+)
+
+func TestBreadthFirstPersistentReplay(t *testing.T) {
+	rt := New(Config{Workers: 3, Policy: sched.BreadthFirst, Opts: graph.OptAll})
+	var runs atomic.Int32
+	err := rt.Persistent(4, func(iter int) {
+		for i := 0; i < 24; i++ {
+			rt.Submit(Spec{InOut: []graph.Key{graph.Key(i % 6)}, Body: func(any) { runs.Add(1) }})
+		}
+	})
+	rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 4*24 {
+		t.Fatalf("runs = %d", runs.Load())
+	}
+}
+
+func TestDetachedInsidePersistentRegion(t *testing.T) {
+	// Detached tasks recorded in iteration 0 must work on every replay:
+	// each instance gets a fresh event whose fulfillment releases the
+	// successor of that iteration.
+	rt := New(Config{Workers: 2, Opts: graph.OptAll})
+	w := mpi.NewWorld(2)
+	c0, c1 := w.Comm(0), w.Comm(1)
+	const iters = 4
+	buf := make([]float64, 1)
+	var got []float64
+	var mu sync.Mutex
+
+	// Peer: send one message per iteration, from a plain goroutine.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for it := 0; it < iters; it++ {
+			c1.Send([]float64{float64(10 + it)}, 0, 3)
+		}
+	}()
+
+	err := rt.Persistent(iters, func(iter int) {
+		rt.Submit(Spec{
+			Label: "irecv", Out: []graph.Key{1}, Detached: true,
+			DetachedBody: func(_ any, ev *Event) {
+				c0.Irecv(buf, 1, 3).OnComplete(ev.Fulfill)
+			},
+		})
+		rt.Submit(Spec{
+			Label: "use", In: []graph.Key{1},
+			Body: func(any) {
+				mu.Lock()
+				got = append(got, buf[0])
+				mu.Unlock()
+			},
+		})
+	})
+	rt.Close()
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != iters {
+		t.Fatalf("received %d messages, want %d", len(got), iters)
+	}
+	for i, v := range got {
+		if v != float64(10+i) {
+			t.Fatalf("got[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestTaskwaitDrivenByPollHook(t *testing.T) {
+	// A detached task fulfilled only from the Poll hook must not
+	// deadlock Taskwait.
+	var fulfilled atomic.Bool
+	var pending atomic.Pointer[Event]
+	rt := New(Config{Workers: 1, Poll: func() bool {
+		if ev := pending.Swap(nil); ev != nil {
+			fulfilled.Store(true)
+			ev.Fulfill()
+			return true
+		}
+		return false
+	}})
+	rt.Submit(Spec{
+		Label: "d", Out: []graph.Key{1}, Detached: true,
+		DetachedBody: func(_ any, ev *Event) { pending.Store(ev) },
+	})
+	doneCh := make(chan struct{})
+	go func() { rt.Taskwait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("taskwait deadlocked on poll-fulfilled detach")
+	}
+	if !fulfilled.Load() {
+		t.Fatalf("poll hook never fulfilled the event")
+	}
+	rt.Close()
+}
+
+func TestProfileSeparatesProducerSlot(t *testing.T) {
+	const workers = 2
+	p := trace.New(workers+1, false)
+	rt := New(Config{Workers: workers, ThrottleTotal: 2, Profile: p})
+	// With an aggressive throttle the producer must execute tasks
+	// itself — its slot (index `workers`) accumulates work time.
+	for i := 0; i < 64; i++ {
+		rt.Submit(Spec{Body: func(any) { time.Sleep(100 * time.Microsecond) }})
+	}
+	rt.Close()
+	b := p.Breakdown()
+	if b.Work <= 0 {
+		t.Fatalf("no work recorded")
+	}
+}
+
+func TestMismatchedProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("undersized profile accepted")
+		}
+	}()
+	New(Config{Workers: 4, Profile: trace.New(2, false)})
+}
+
+func TestManySmallPersistentIterations(t *testing.T) {
+	rt := New(Config{Workers: 4, Opts: graph.OptAll})
+	var n atomic.Int64
+	const iters = 50
+	err := rt.Persistent(iters, func(iter int) {
+		for i := 0; i < 8; i++ {
+			rt.Submit(Spec{
+				InOutSet: []graph.Key{1},
+				Body:     func(any) { n.Add(1) },
+			})
+		}
+		rt.Submit(Spec{In: []graph.Key{1}, Body: func(any) { n.Add(1) }})
+	})
+	rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != iters*9 {
+		t.Fatalf("ran %d, want %d", n.Load(), iters*9)
+	}
+}
+
+func TestGraphStatsExposedThroughRuntime(t *testing.T) {
+	rt := New(Config{Workers: 2, Opts: graph.OptDedup})
+	gate := make(chan struct{})
+	// Hold the writer open so the reader's edges are created (not
+	// pruned) regardless of scheduling.
+	rt.Submit(Spec{Out: []graph.Key{1, 2}, Body: func(any) { <-gate }})
+	rt.Submit(Spec{In: []graph.Key{1, 2}, Body: func(any) {}})
+	close(gate)
+	rt.Close()
+	st := rt.Graph().Stats()
+	if st.Tasks != 2 || st.EdgesDuplicate != 1 || st.EdgesCreated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCloseIdempotentAfterWorkDone(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	for i := 0; i < 10; i++ {
+		rt.Submit(Spec{Body: func(any) {}})
+	}
+	rt.Taskwait()
+	rt.Close() // must return; no tasks remain
+}
+
+func TestHeavyChurnManyKeys(t *testing.T) {
+	rt := New(Config{Workers: 4, Opts: graph.OptAll, ThrottleTotal: 256})
+	var n atomic.Int64
+	for i := 0; i < 5000; i++ {
+		k := graph.Key(i % 97)
+		spec := Spec{Label: fmt.Sprintf("t%d", i), Body: func(any) { n.Add(1) }}
+		switch i % 3 {
+		case 0:
+			spec.Out = []graph.Key{k}
+		case 1:
+			spec.In = []graph.Key{k}
+		case 2:
+			spec.InOutSet = []graph.Key{k}
+		}
+		rt.Submit(spec)
+	}
+	rt.Close()
+	if n.Load() != 5000 {
+		t.Fatalf("ran %d", n.Load())
+	}
+}
+
+func TestPersistentFrozenReplaysCapturedClosures(t *testing.T) {
+	rt := New(Config{Workers: 3, Opts: graph.OptAll})
+	var mu sync.Mutex
+	var seen []int
+	const iters = 4
+	err := rt.PersistentFrozen(iters, func() {
+		for i := 0; i < 8; i++ {
+			i := i
+			rt.Submit(Spec{
+				InOut:        []graph.Key{graph.Key(i % 2)},
+				FirstPrivate: i,
+				Body: func(fp any) {
+					mu.Lock()
+					seen = append(seen, fp.(int))
+					mu.Unlock()
+				},
+			})
+		}
+	})
+	rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != iters*8 {
+		t.Fatalf("ran %d, want %d", len(seen), iters*8)
+	}
+	// Captured firstprivates: each value appears exactly iters times.
+	counts := map[int]int{}
+	for _, v := range seen {
+		counts[v]++
+	}
+	for i := 0; i < 8; i++ {
+		if counts[i] != iters {
+			t.Fatalf("value %d ran %d times: %v", i, counts[i], counts)
+		}
+	}
+}
+
+func TestPersistentAdaptiveReRecordsOnShapeChange(t *testing.T) {
+	rt := New(Config{Workers: 3, Opts: graph.OptAll})
+	var n atomic.Int64
+	const iters = 12
+	// The task stream widens at iterations 4 and 8 (AMR-style).
+	width := func(iter int) int { return 4 + (iter/4)*2 }
+	err := rt.PersistentAdaptive(iters,
+		func(iter int) {
+			for i := 0; i < width(iter); i++ {
+				rt.Submit(Spec{
+					InOut:        []graph.Key{graph.Key(i % 3)},
+					FirstPrivate: iter,
+					Body:         func(any) { n.Add(1) },
+				})
+			}
+		},
+		func(iter int) bool { return iter == 4 || iter == 8 },
+	)
+	rt.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for it := 0; it < iters; it++ {
+		want += int64(width(it))
+	}
+	if n.Load() != want {
+		t.Fatalf("ran %d, want %d", n.Load(), want)
+	}
+	// Three recordings (iterations 0, 4, 8) and 9 replays.
+	st := rt.Graph().Stats()
+	if st.ReplayedTasks == 0 {
+		t.Fatalf("no replays")
+	}
+}
+
+func TestPersistentAdaptiveUndetectedChangeErrors(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	err := rt.PersistentAdaptive(3,
+		func(iter int) {
+			n := 2
+			if iter == 1 {
+				n = 1 // shape change NOT flagged by changed()
+			}
+			for i := 0; i < n; i++ {
+				rt.Submit(Spec{InOut: []graph.Key{1}, Body: func(any) {}})
+			}
+		},
+		func(iter int) bool { return false },
+	)
+	rt.Close()
+	if err == nil {
+		t.Fatalf("undetected shape change did not error")
+	}
+}
+
+func TestCrossBoundaryDependenceIntoPersistentRegion(t *testing.T) {
+	// A task submitted before the persistent region writes a key the
+	// recorded tasks read: iteration 0 must wait for it; replays must
+	// not deadlock on it (epoch fix).
+	rt := New(Config{Workers: 2, Opts: graph.OptAll})
+	gate := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	rt.Submit(Spec{Label: "pre", Out: []graph.Key{1}, Body: func(any) {
+		<-gate
+		mu.Lock()
+		order = append(order, "pre")
+		mu.Unlock()
+	}})
+	done := make(chan error, 1)
+	go func() {
+		done <- rt.Persistent(3, func(iter int) {
+			rt.Submit(Spec{Label: "body", In: []graph.Key{1}, InOut: []graph.Key{2}, Body: func(any) {
+				mu.Lock()
+				order = append(order, "body")
+				mu.Unlock()
+			}})
+		})
+	}()
+	close(gate)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("replay deadlocked on cross-boundary edge")
+	}
+	rt.Close()
+	if len(order) != 4 || order[0] != "pre" {
+		t.Fatalf("order = %v", order)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sched provides the ready-task scheduling structures used by both
+// executors: per-worker double-ended queues with LIFO pop (depth-first
+// descent into the task graph) and FIFO stealing, plus a breadth-first
+// global-queue policy for comparison runs.
+//
+// The paper's key scheduling observation is that a depth-first (LIFO)
+// policy executes a task's freshly released successors immediately on the
+// completing core, so the data the predecessor produced is still cached.
+// When discovery is too slow, successors are unknown at completion time
+// and workers fall back to stealing old (breadth-first) work — destroying
+// reuse. The structures here let the executors express both behaviours.
+package sched
+
+import (
+	"sync"
+
+	"taskdep/internal/graph"
+)
+
+// Policy selects the order in which ready tasks are executed.
+type Policy int
+
+const (
+	// DepthFirst: per-worker LIFO deques, successors pushed to the
+	// completing worker's top, FIFO steals.
+	DepthFirst Policy = iota
+	// BreadthFirst: one global FIFO queue (the behaviour the paper's
+	// discovery-bound executions degrade to).
+	BreadthFirst
+)
+
+func (p Policy) String() string {
+	if p == DepthFirst {
+		return "depth-first"
+	}
+	return "breadth-first"
+}
+
+// Deque is an unbounded double-ended queue of tasks backed by a growable
+// ring buffer; every operation is O(1) amortized. The top is the LIFO end
+// owned by the worker; the bottom is the FIFO end used by thieves. It is
+// safe for concurrent use.
+type Deque struct {
+	mu   sync.Mutex
+	buf  []*graph.Task
+	head int // index of the bottom element
+	n    int
+}
+
+func (d *Deque) grow() {
+	c := len(d.buf) * 2
+	if c == 0 {
+		c = 8
+	}
+	buf := make([]*graph.Task, c)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
+}
+
+// PushTop adds t at the LIFO end.
+func (d *Deque) PushTop(t *graph.Task) {
+	d.mu.Lock()
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = t
+	d.n++
+	d.mu.Unlock()
+}
+
+// PushBottom adds t at the FIFO end, ahead of everything already queued.
+func (d *Deque) PushBottom(t *graph.Task) {
+	d.mu.Lock()
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = t
+	d.n++
+	d.mu.Unlock()
+}
+
+// PopTop removes and returns the most recently top-pushed task, or nil.
+func (d *Deque) PopTop() *graph.Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n == 0 {
+		return nil
+	}
+	i := (d.head + d.n - 1) % len(d.buf)
+	t := d.buf[i]
+	d.buf[i] = nil
+	d.n--
+	return t
+}
+
+// PopBottom removes and returns the oldest task, or nil. Used by thieves
+// (stealing breadth keeps the owner's locality intact).
+func (d *Deque) PopBottom() *graph.Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.n == 0 {
+		return nil
+	}
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
+	return t
+}
+
+// Len returns the current queue length.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// Scheduler distributes ready tasks over nWorkers according to a policy.
+// Worker IDs are 0..nWorkers-1; ID -1 designates the producer (or any
+// non-worker context, e.g. an MPI progress callback).
+type Scheduler struct {
+	policy  Policy
+	workers []*Deque
+	// global receives producer-submitted tasks and, under BreadthFirst,
+	// all work. PushTop/PopBottom make it a FIFO.
+	global *Deque
+
+	wakeMu sync.Mutex
+	wake   *sync.Cond
+	seq    uint64 // bumped on every push/kick; guards lost wake-ups
+}
+
+// New creates a scheduler for nWorkers workers.
+func New(policy Policy, nWorkers int) *Scheduler {
+	s := &Scheduler{
+		policy:  policy,
+		workers: make([]*Deque, nWorkers),
+		global:  &Deque{},
+	}
+	for i := range s.workers {
+		s.workers[i] = &Deque{}
+	}
+	s.wake = sync.NewCond(&s.wakeMu)
+	return s
+}
+
+// Policy returns the scheduling policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// NumWorkers returns the worker count.
+func (s *Scheduler) NumWorkers() int { return len(s.workers) }
+
+// Push makes t runnable, attributed to worker (or -1). Depth-first pushes
+// from a worker go to that worker's LIFO top; everything else enters the
+// global FIFO.
+func (s *Scheduler) Push(worker int, t *graph.Task) {
+	if s.policy == DepthFirst && worker >= 0 && worker < len(s.workers) {
+		s.workers[worker].PushTop(t)
+	} else {
+		s.global.PushTop(t)
+	}
+	s.wakeMu.Lock()
+	s.seq++
+	s.wakeMu.Unlock()
+	s.wake.Broadcast()
+}
+
+// Pop returns the next task for the worker, or nil if none is available
+// anywhere. Depth-first order: own deque top, then the global FIFO, then
+// steal the oldest task from siblings (round-robin from worker+1).
+func (s *Scheduler) Pop(worker int) *graph.Task {
+	if s.policy == BreadthFirst {
+		return s.global.PopBottom()
+	}
+	if worker >= 0 && worker < len(s.workers) {
+		if t := s.workers[worker].PopTop(); t != nil {
+			return t
+		}
+	}
+	if t := s.global.PopBottom(); t != nil {
+		return t
+	}
+	n := len(s.workers)
+	if n == 0 {
+		return nil
+	}
+	if worker < 0 {
+		worker = 0
+	}
+	for i := 1; i <= n; i++ {
+		if t := s.workers[(worker+i)%n].PopBottom(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// Seq returns the wake sequence number. Read it before a final Pop
+// attempt, then pass it to WaitChange to sleep without missing pushes.
+func (s *Scheduler) Seq() uint64 {
+	s.wakeMu.Lock()
+	defer s.wakeMu.Unlock()
+	return s.seq
+}
+
+// WaitChange blocks until the wake sequence differs from prev. Spurious
+// returns are possible (Kick); callers re-poll.
+func (s *Scheduler) WaitChange(prev uint64) {
+	s.wakeMu.Lock()
+	for s.seq == prev {
+		s.wake.Wait()
+	}
+	s.wakeMu.Unlock()
+}
+
+// Kick wakes all blocked workers without adding work (shutdown, detach
+// events, MPI completions).
+func (s *Scheduler) Kick() {
+	s.wakeMu.Lock()
+	s.seq++
+	s.wakeMu.Unlock()
+	s.wake.Broadcast()
+}
+
+// Pending returns the total number of queued tasks across all queues.
+func (s *Scheduler) Pending() int {
+	n := s.global.Len()
+	for _, d := range s.workers {
+		n += d.Len()
+	}
+	return n
+}

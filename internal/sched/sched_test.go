@@ -1,0 +1,309 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"taskdep/internal/graph"
+)
+
+func mkTasks(n int) []*graph.Task {
+	ts := make([]*graph.Task, n)
+	for i := range ts {
+		ts[i] = &graph.Task{ID: int64(i)}
+	}
+	return ts
+}
+
+func TestDequeLIFO(t *testing.T) {
+	d := &Deque{}
+	ts := mkTasks(10)
+	for _, tk := range ts {
+		d.PushTop(tk)
+	}
+	for i := 9; i >= 0; i-- {
+		got := d.PopTop()
+		if got == nil || got.ID != int64(i) {
+			t.Fatalf("PopTop = %v, want id %d", got, i)
+		}
+	}
+	if d.PopTop() != nil || d.PopBottom() != nil {
+		t.Fatalf("empty deque should return nil")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := &Deque{}
+	ts := mkTasks(10)
+	for _, tk := range ts {
+		d.PushTop(tk)
+	}
+	for i := 0; i < 10; i++ {
+		got := d.PopBottom()
+		if got == nil || got.ID != int64(i) {
+			t.Fatalf("PopBottom = %v, want id %d", got, i)
+		}
+	}
+}
+
+func TestDequePushBottom(t *testing.T) {
+	d := &Deque{}
+	ts := mkTasks(6)
+	for _, tk := range ts[:3] {
+		d.PushTop(tk)
+	}
+	d.PushBottom(ts[3]) // jumps the FIFO line
+	if got := d.PopBottom(); got != ts[3] {
+		t.Fatalf("PushBottom not at bottom: got id %d", got.ID)
+	}
+	if got := d.PopTop(); got != ts[2] {
+		t.Fatalf("top disturbed: got id %d", got.ID)
+	}
+}
+
+func TestDequeGrowthAcrossWrap(t *testing.T) {
+	d := &Deque{}
+	ts := mkTasks(100)
+	// Interleave pushes and pops to force head movement before growth.
+	for i := 0; i < 20; i++ {
+		d.PushTop(ts[i])
+	}
+	for i := 0; i < 15; i++ {
+		d.PopBottom()
+	}
+	for i := 20; i < 100; i++ {
+		d.PushTop(ts[i])
+	}
+	want := int64(15)
+	for d.Len() > 0 {
+		got := d.PopBottom()
+		if got.ID != want {
+			t.Fatalf("order broken after growth: got %d want %d", got.ID, want)
+		}
+		want++
+	}
+	if want != 100 {
+		t.Fatalf("drained %d items, want 85", want-15)
+	}
+}
+
+// TestPropertyDequeSequence model-checks the deque against a reference
+// slice under random operation sequences.
+func TestPropertyDequeSequence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := &Deque{}
+		var ref []*graph.Task
+		id := int64(0)
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				tk := &graph.Task{ID: id}
+				id++
+				d.PushTop(tk)
+				ref = append(ref, tk)
+			case 1:
+				tk := &graph.Task{ID: id}
+				id++
+				d.PushBottom(tk)
+				ref = append([]*graph.Task{tk}, ref...)
+			case 2:
+				got := d.PopTop()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := ref[len(ref)-1]
+					ref = ref[:len(ref)-1]
+					if got != want {
+						return false
+					}
+				}
+			case 3:
+				got := d.PopBottom()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := ref[0]
+					ref = ref[1:]
+					if got != want {
+						return false
+					}
+				}
+			}
+			if d.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerDepthFirstPrefersOwnTop(t *testing.T) {
+	s := New(DepthFirst, 2)
+	ts := mkTasks(3)
+	s.Push(0, ts[0])
+	s.Push(0, ts[1])
+	s.Push(1, ts[2])
+	if got := s.Pop(0); got != ts[1] {
+		t.Fatalf("worker 0 should pop its own LIFO top, got %d", got.ID)
+	}
+	if got := s.Pop(1); got != ts[2] {
+		t.Fatalf("worker 1 should pop its own task, got %d", got.ID)
+	}
+	// Worker 1's deque is empty; it steals worker 0's oldest.
+	if got := s.Pop(1); got != ts[0] {
+		t.Fatalf("worker 1 should steal task 0, got %v", got)
+	}
+}
+
+func TestSchedulerProducerPushGoesGlobalFIFO(t *testing.T) {
+	s := New(DepthFirst, 2)
+	ts := mkTasks(3)
+	for _, tk := range ts {
+		s.Push(-1, tk)
+	}
+	for i := 0; i < 3; i++ {
+		if got := s.Pop(0); got != ts[i] {
+			t.Fatalf("global queue not FIFO at %d: got %v", i, got)
+		}
+	}
+}
+
+func TestSchedulerBreadthFirstIsGlobalFIFO(t *testing.T) {
+	s := New(BreadthFirst, 4)
+	ts := mkTasks(8)
+	for i, tk := range ts {
+		s.Push(i%4, tk) // worker attribution ignored
+	}
+	for i := 0; i < 8; i++ {
+		if got := s.Pop(i % 4); got != ts[i] {
+			t.Fatalf("breadth-first order broken at %d", i)
+		}
+	}
+}
+
+func TestSchedulerPending(t *testing.T) {
+	s := New(DepthFirst, 2)
+	ts := mkTasks(5)
+	s.Push(0, ts[0])
+	s.Push(1, ts[1])
+	s.Push(-1, ts[2])
+	if s.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", s.Pending())
+	}
+	s.Pop(0)
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestWaitChangeWakesOnPush(t *testing.T) {
+	s := New(DepthFirst, 1)
+	seq := s.Seq()
+	done := make(chan struct{})
+	go func() {
+		s.WaitChange(seq)
+		close(done)
+	}()
+	s.Push(-1, &graph.Task{})
+	<-done // must not hang
+	if got := s.Pop(0); got == nil {
+		t.Fatalf("task lost")
+	}
+}
+
+func TestKickWakesWithoutWork(t *testing.T) {
+	s := New(DepthFirst, 1)
+	seq := s.Seq()
+	done := make(chan struct{})
+	go func() {
+		s.WaitChange(seq)
+		close(done)
+	}()
+	s.Kick()
+	<-done
+}
+
+// TestConcurrentStealNoLossNoDup runs many producers and thieves and
+// checks every task is seen exactly once. Run with -race.
+func TestConcurrentStealNoLossNoDup(t *testing.T) {
+	const nTasks = 10000
+	const nWorkers = 8
+	s := New(DepthFirst, nWorkers)
+	ts := mkTasks(nTasks)
+
+	var seen sync.Map
+	var wg sync.WaitGroup
+	var popped [nWorkers]int
+
+	stop := make(chan struct{})
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				tk := s.Pop(w)
+				if tk == nil {
+					select {
+					case <-stop:
+						// final drain
+						for tk := s.Pop(w); tk != nil; tk = s.Pop(w) {
+							if _, dup := seen.LoadOrStore(tk.ID, w); dup {
+								t.Errorf("task %d seen twice", tk.ID)
+							}
+							popped[w]++
+						}
+						return
+					default:
+						continue
+					}
+				}
+				if _, dup := seen.LoadOrStore(tk.ID, w); dup {
+					t.Errorf("task %d seen twice", tk.ID)
+				}
+				popped[w]++
+			}
+		}(w)
+	}
+	for i, tk := range ts {
+		s.Push(i%nWorkers, tk)
+	}
+	close(stop)
+	wg.Wait()
+	total := 0
+	for _, c := range popped {
+		total += c
+	}
+	if total != nTasks {
+		t.Fatalf("popped %d of %d", total, nTasks)
+	}
+}
+
+func BenchmarkDequePushPop(b *testing.B) {
+	d := &Deque{}
+	tk := &graph.Task{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushTop(tk)
+		d.PopTop()
+	}
+}
+
+func BenchmarkSchedulerPushPop(b *testing.B) {
+	s := New(DepthFirst, 8)
+	tk := &graph.Task{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(i%8, tk)
+		s.Pop(i % 8)
+	}
+}

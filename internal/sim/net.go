@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math"
+	"sync/atomic"
+
+	"taskdep/internal/trace"
+)
+
+// NetConfig models the interconnect (the paper's Atos BXI V2 with Open
+// MPI 4.1.4): eager point-to-point below a size threshold, rendezvous
+// above, and binomial-tree collectives.
+type NetConfig struct {
+	// Latency is the one-way message latency in seconds.
+	Latency float64
+	// Bandwidth in bytes/second.
+	Bandwidth float64
+	// EagerThreshold in bytes; messages >= it use rendezvous.
+	EagerThreshold int
+	// RendezvousRTT is the extra handshake time for rendezvous.
+	RendezvousRTT float64
+}
+
+// DefaultNetConfig returns BXI-like defaults (1.5 us latency, 12 GB/s).
+func DefaultNetConfig() NetConfig {
+	return NetConfig{
+		Latency:        1.5e-6,
+		Bandwidth:      12e9,
+		EagerThreshold: 64 << 10,
+		RendezvousRTT:  4e-6,
+	}
+}
+
+// transfer returns the wire time of n bytes.
+func (c *NetConfig) transfer(n int) float64 {
+	return c.Latency + float64(n)/c.Bandwidth
+}
+
+// netMsg is a posted send awaiting its receive.
+type netMsg struct {
+	src, tag int
+	bytes    int
+	postT    float64
+	eager    bool
+	arrival  float64 // eager: when payload lands at dst
+	// sendDoneFn schedules the sender-side completion at the match time
+	// (rendezvous protocol only).
+	sendDoneFn func(at float64)
+}
+
+// netRecv is a posted receive awaiting its send.
+type netRecv struct {
+	src, tag int
+	postT    float64
+	done     func()
+}
+
+// netColl is one in-flight allreduce instance.
+type netColl struct {
+	count   int
+	maxPost float64
+	bytes   int
+	dones   []func()
+	profs   []*trace.Profile
+	reqIDs  []int64
+}
+
+// Network couples simulated ranks in virtual time.
+type Network struct {
+	eng   *Engine
+	cfg   NetConfig
+	size  int
+	inbox []map[int][]netMsg  // per dst: tag -> pending msgs (FIFO)
+	recvq []map[int][]netRecv // per dst: tag -> pending recvs (FIFO)
+
+	collSeq []int64
+	colls   map[int64]*netColl
+
+	reqID atomic.Int64
+}
+
+// NewNetwork creates a network for size ranks on the engine.
+func NewNetwork(eng *Engine, size int, cfg NetConfig) *Network {
+	n := &Network{
+		eng:     eng,
+		cfg:     cfg,
+		size:    size,
+		inbox:   make([]map[int][]netMsg, size),
+		recvq:   make([]map[int][]netRecv, size),
+		collSeq: make([]int64, size),
+		colls:   make(map[int64]*netColl),
+	}
+	for i := 0; i < size; i++ {
+		n.inbox[i] = make(map[int][]netMsg)
+		n.recvq[i] = make(map[int][]netRecv)
+	}
+	return n
+}
+
+func (n *Network) register(r *Rank) {
+	if r.ID < 0 || r.ID >= n.size {
+		panic("sim: rank id outside network size")
+	}
+}
+
+// key combines src and tag for matching (no wildcards in the DES apps).
+func key(src, tag int) int { return src<<20 | (tag & 0xfffff) }
+
+// PostSend posts a point-to-point send from src to dst. For eager
+// messages, done fires after the local injection overhead; the payload
+// arrives at dst after the wire time. For rendezvous, done fires at the
+// match + transfer time (both sides complete together).
+func (n *Network) PostSend(src, dst, tag, bytes int, prof *trace.Profile, done func()) {
+	now := n.eng.Now()
+	reqID := n.reqID.Add(1)
+	if prof != nil {
+		prof.CommPost(reqID, trace.Send, bytes, now)
+	}
+	wrapped := func(at float64) {
+		n.eng.At(at, func() {
+			if prof != nil {
+				prof.CommComplete(reqID, n.eng.Now())
+			}
+			done()
+		})
+	}
+	eager := bytes < n.cfg.EagerThreshold
+	k := key(src, tag)
+	// Match an already-posted receive.
+	if q := n.recvq[dst][k]; len(q) > 0 {
+		rv := q[0]
+		n.recvq[dst][k] = q[1:]
+		var tDone float64
+		if eager {
+			tDone = now + n.cfg.transfer(bytes)
+			wrapped(now + n.cfg.Latency) // local completion
+		} else {
+			tDone = math.Max(now, rv.postT) + n.cfg.RendezvousRTT + n.cfg.transfer(bytes)
+			wrapped(tDone)
+		}
+		n.eng.At(tDone, rv.done)
+		return
+	}
+	m := netMsg{src: src, tag: tag, bytes: bytes, postT: now, eager: eager}
+	if eager {
+		m.arrival = now + n.cfg.transfer(bytes)
+		wrapped(now + n.cfg.Latency)
+	} else {
+		m.sendDoneFn = wrapped
+	}
+	n.inbox[dst][k] = append(n.inbox[dst][k], m)
+}
+
+// PostRecv posts a receive at dst from src with tag.
+func (n *Network) PostRecv(dst, src, tag, bytes int, prof *trace.Profile, done func()) {
+	now := n.eng.Now()
+	reqID := n.reqID.Add(1)
+	if prof != nil {
+		prof.CommPost(reqID, trace.Recv, bytes, now)
+	}
+	fire := func(at float64) {
+		n.eng.At(at, func() {
+			if prof != nil {
+				prof.CommComplete(reqID, n.eng.Now())
+			}
+			done()
+		})
+	}
+	k := key(src, tag)
+	if q := n.inbox[dst][k]; len(q) > 0 {
+		m := q[0]
+		n.inbox[dst][k] = q[1:]
+		if m.eager {
+			fire(math.Max(now, m.arrival))
+		} else {
+			tDone := math.Max(now, m.postT) + n.cfg.RendezvousRTT + n.cfg.transfer(m.bytes)
+			fire(tDone)
+			if m.sendDoneFn != nil {
+				m.sendDoneFn(tDone)
+			}
+		}
+		return
+	}
+	n.recvq[dst][k] = append(n.recvq[dst][k], netRecv{src: src, tag: tag, postT: now, done: func() {
+		fire(n.eng.Now())
+	}})
+}
+
+// PostAllreduce posts rank's contribution to the current allreduce
+// instance (matched by per-rank call order). All callbacks fire at
+// maxPost + 2*ceil(log2 P) tree hops, the classic binomial-tree model.
+func (n *Network) PostAllreduce(rank, bytes int, prof *trace.Profile, done func()) {
+	now := n.eng.Now()
+	reqID := n.reqID.Add(1)
+	if prof != nil {
+		prof.CommPost(reqID, trace.Collective, bytes, now)
+	}
+	n.collSeq[rank]++
+	seq := n.collSeq[rank]
+	coll := n.colls[seq]
+	if coll == nil {
+		coll = &netColl{bytes: bytes}
+		n.colls[seq] = coll
+	}
+	coll.count++
+	if now > coll.maxPost {
+		coll.maxPost = now
+	}
+	coll.dones = append(coll.dones, done)
+	coll.profs = append(coll.profs, prof)
+	coll.reqIDs = append(coll.reqIDs, reqID)
+	if coll.count == n.size {
+		delete(n.colls, seq)
+		hops := 2 * math.Ceil(math.Log2(float64(n.size)))
+		if n.size == 1 {
+			hops = 0
+		}
+		tDone := coll.maxPost + hops*n.cfg.transfer(coll.bytes)
+		for i, d := range coll.dones {
+			i, d := i, d
+			n.eng.At(tDone, func() {
+				if coll.profs[i] != nil {
+					coll.profs[i].CommComplete(coll.reqIDs[i], n.eng.Now())
+				}
+				d()
+			})
+		}
+	}
+}
+
+// Cluster runs a set of ranks coupled by a network to completion.
+type Cluster struct {
+	Engine *Engine
+	Net    *Network
+	Ranks  []*Rank
+}
+
+// NewCluster builds size ranks with identical config and per-rank
+// scripts provided by build(rank) (ops, iters).
+func NewCluster(size int, netCfg NetConfig, rankCfg RankConfig, build func(rank int) ([]Op, int)) *Cluster {
+	eng := NewEngine()
+	var net *Network
+	if size > 1 {
+		net = NewNetwork(eng, size, netCfg)
+	}
+	cl := &Cluster{Engine: eng, Net: net}
+	for rk := 0; rk < size; rk++ {
+		ops, iters := build(rk)
+		cl.Ranks = append(cl.Ranks, NewRank(rk, eng, net, rankCfg, ops, iters))
+	}
+	return cl
+}
+
+// Run executes the whole cluster and returns the global makespan.
+func (cl *Cluster) Run() float64 {
+	remaining := len(cl.Ranks)
+	for _, r := range cl.Ranks {
+		r.Start(func() { remaining-- })
+	}
+	end := cl.Engine.Run()
+	if remaining != 0 {
+		panic("sim: cluster deadlock: ranks did not quiesce (mismatched communication?)")
+	}
+	return end
+}

@@ -1,0 +1,510 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskdep/internal/graph"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Fatalf("end = %v", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.At(1, func() {
+		e.After(2, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 3 {
+		t.Fatalf("nested event at %v, want 3", at)
+	}
+}
+
+func TestEnginePastEventClamped(t *testing.T) {
+	e := NewEngine()
+	var at float64
+	e.At(5, func() {
+		e.At(1, func() { at = e.Now() }) // in the past: clamps to now
+	})
+	e.Run()
+	if at != 5 {
+		t.Fatalf("past event at %v, want 5", at)
+	}
+}
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRU(4<<10, 1<<10) // 4 blocks
+	for i := 0; i < 4; i++ {
+		if c.touch(BlockID(i)) {
+			t.Fatalf("cold access hit")
+		}
+	}
+	if !c.touch(0) {
+		t.Fatalf("resident block missed")
+	}
+	c.touch(4) // evicts LRU = 1
+	if c.contains(1) {
+		t.Fatalf("LRU block not evicted")
+	}
+	if !c.contains(0) || !c.contains(4) {
+		t.Fatalf("wrong eviction")
+	}
+}
+
+// TestPropertyLRUNeverExceedsCapacity model-checks occupancy and that the
+// most recent K blocks always hit (K = capacity in blocks).
+func TestPropertyLRUNeverExceedsCapacity(t *testing.T) {
+	f := func(accesses []uint8) bool {
+		const blocks = 8
+		c := newLRU(blocks<<10, 1<<10)
+		for _, a := range accesses {
+			c.touch(BlockID(a % 32))
+			if c.used > c.capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyInclusiveCounters(t *testing.T) {
+	cfg := DefaultCacheConfig()
+	h := NewHierarchy(2, cfg)
+	// First access: miss everywhere.
+	cost, dram := h.Access(0, 1)
+	if !dram || cost != cfg.DRAMTime {
+		t.Fatalf("cold access cost=%v dram=%v", cost, dram)
+	}
+	st := h.Stats()
+	if st.L1DCM != 1 || st.L2DCM != 1 || st.L3CM != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Same block, same core: L1 hit.
+	cost, _ = h.Access(0, 1)
+	if cost != cfg.L1Time {
+		t.Fatalf("resident cost = %v", cost)
+	}
+	// Same block, other core: private L1/L2 miss, shared L3 hit.
+	cost, _ = h.Access(1, 1)
+	if cost != cfg.L3Time {
+		t.Fatalf("cross-core cost = %v, want L3", cost)
+	}
+	st = h.Stats()
+	if st.L3CM != 1 {
+		t.Fatalf("L3 misses = %d, want 1", st.L3CM)
+	}
+}
+
+func TestBlocksOf(t *testing.T) {
+	fp := BlocksOf(3, 0, 4096, 1024)
+	if len(fp) != 4 {
+		t.Fatalf("blocks = %d", len(fp))
+	}
+	fp = BlocksOf(3, 100, 101, 1024)
+	if len(fp) != 1 {
+		t.Fatalf("sub-block range blocks = %d", len(fp))
+	}
+	if got := BlocksOf(3, 10, 10, 1024); got != nil {
+		t.Fatalf("empty range not nil: %v", got)
+	}
+	// Distinct arrays never alias.
+	a := BlocksOf(1, 0, 1024, 1024)[0]
+	b := BlocksOf(2, 0, 1024, 1024)[0]
+	if a == b {
+		t.Fatalf("array namespaces alias")
+	}
+}
+
+// chainOps builds a linear dependence chain of n compute tasks.
+func chainOps(n int, compute float64) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Submit(TaskSpec{
+			Label:   "t",
+			Deps:    []graph.Dep{{Key: 1, Type: graph.InOut}},
+			Compute: compute,
+		})
+	}
+	return ops
+}
+
+// wideOps builds n independent compute tasks.
+func wideOps(n int, compute float64) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Submit(TaskSpec{
+			Label:   "w",
+			Deps:    []graph.Dep{{Key: graph.Key(100 + i), Type: graph.Out}},
+			Compute: compute,
+		})
+	}
+	return ops
+}
+
+func runSingle(cfg RankConfig, ops []Op, iters int) *Rank {
+	eng := NewEngine()
+	r := NewRank(0, eng, nil, cfg, ops, iters)
+	done := false
+	r.Start(func() { done = true })
+	eng.Run()
+	if !done {
+		panic("rank did not quiesce")
+	}
+	return r
+}
+
+func TestRankExecutesChainSerially(t *testing.T) {
+	const n, c = 10, 1e-3
+	r := runSingle(RankConfig{Cores: 4}, chainOps(n, c), 1)
+	// Chain: makespan >= n*compute (+ discovery/sched overheads).
+	if r.Makespan < n*c {
+		t.Fatalf("makespan %v < serial bound %v", r.Makespan, n*c)
+	}
+	if r.Makespan > n*c*1.2 {
+		t.Fatalf("makespan %v too large for a chain", r.Makespan)
+	}
+	b := r.Profile().Breakdown()
+	if b.Tasks != n {
+		t.Fatalf("tasks = %d", b.Tasks)
+	}
+}
+
+func TestRankParallelSpeedup(t *testing.T) {
+	const n, c = 64, 1e-3
+	r1 := runSingle(RankConfig{Cores: 2}, wideOps(n, c), 1) // core0 discovers first
+	r4 := runSingle(RankConfig{Cores: 5}, wideOps(n, c), 1)
+	if r4.Makespan >= r1.Makespan {
+		t.Fatalf("no speedup: 2-core %v vs 5-core %v", r1.Makespan, r4.Makespan)
+	}
+	// After discovery the producer core joins execution, so the ideal
+	// ratio is 5/2 = 2.5x, minus discovery overhead.
+	sp := r1.Makespan / r4.Makespan
+	if sp < 2.2 {
+		t.Fatalf("speedup = %v, want >= 2.2 (2 vs 5 cores)", sp)
+	}
+}
+
+func TestRankDiscoveryBoundIdleness(t *testing.T) {
+	// Tiny tasks (1us) with expensive discovery: workers starve and the
+	// makespan approaches the discovery time.
+	const n = 2000
+	ops := wideOps(n, 1e-6)
+	r := runSingle(RankConfig{Cores: 8}, ops, 1)
+	b := r.Profile().Breakdown()
+	if b.Discovery < 0.8*r.Makespan {
+		t.Fatalf("expected discovery-bound run: discovery %v of makespan %v", b.Discovery, r.Makespan)
+	}
+	if b.IdleTime < b.Work {
+		t.Fatalf("expected idleness to dominate: idle %v work %v", b.IdleTime, b.Work)
+	}
+}
+
+func TestRankComputeBoundWhenGrainsLarge(t *testing.T) {
+	const n = 64
+	ops := wideOps(n, 5e-3)
+	r := runSingle(RankConfig{Cores: 4}, ops, 1)
+	b := r.Profile().Breakdown()
+	if b.Discovery > 0.05*r.Makespan {
+		t.Fatalf("discovery %v should be negligible vs makespan %v", b.Discovery, r.Makespan)
+	}
+	if got, want := b.Work, float64(n)*5e-3; math.Abs(got-want) > 0.05*want {
+		t.Fatalf("work = %v, want ~%v", got, want)
+	}
+}
+
+func TestDepthFirstReusesCache(t *testing.T) {
+	// Producer/consumer pairs on the same blocks: depth-first should
+	// yield fewer L2/L3 misses than breadth-first.
+	build := func() []Op {
+		var ops []Op
+		for i := 0; i < 64; i++ {
+			fp := BlocksOf(uint64(i), 0, 64<<10, 1<<10) // 64 KiB per pair
+			ops = append(ops, Submit(TaskSpec{
+				Label: "produce", Compute: 20e-6, Footprint: fp,
+				Deps: []graph.Dep{{Key: graph.Key(i), Type: graph.Out}},
+			}))
+			ops = append(ops, Submit(TaskSpec{
+				Label: "consume", Compute: 20e-6, Footprint: fp,
+				Deps: []graph.Dep{{Key: graph.Key(i), Type: graph.In}},
+			}))
+		}
+		return ops
+	}
+	rDF := runSingle(RankConfig{Cores: 4}, build(), 1)
+	rBF := runSingle(RankConfig{Cores: 4, Policy: 1 /* BreadthFirst */}, build(), 1)
+	df, bf := rDF.CacheStats(), rBF.CacheStats()
+	if df.L2DCM >= bf.L2DCM {
+		t.Fatalf("depth-first L2 misses %d not better than breadth-first %d", df.L2DCM, bf.L2DCM)
+	}
+}
+
+func TestThrottleBoundsLiveTasksDES(t *testing.T) {
+	const limit = 16
+	ops := wideOps(500, 50e-6)
+	eng := NewEngine()
+	r := NewRank(0, eng, nil, RankConfig{Cores: 4, ThrottleTotal: limit}, ops, 1)
+	maxLive := int64(0)
+	r.Start(func() {})
+	for eng.Step() {
+		if l := r.Graph().Live(); l > maxLive {
+			maxLive = l
+		}
+	}
+	if maxLive > limit {
+		t.Fatalf("live reached %d, throttle %d", maxLive, limit)
+	}
+}
+
+func TestPersistentIterationsReplay(t *testing.T) {
+	const n, iters = 32, 6
+	ops := chainOps(n, 100e-6)
+	r := runSingle(RankConfig{Cores: 4, Persistent: true, Opts: graph.OptAll}, ops, iters)
+	st := r.Graph().Stats()
+	if st.Tasks != n {
+		t.Fatalf("tasks discovered = %d, want %d (recorded once)", st.Tasks, n)
+	}
+	if st.ReplayedTasks != int64(n*(iters-1)) {
+		t.Fatalf("replayed = %d, want %d", st.ReplayedTasks, n*(iters-1))
+	}
+	b := r.Profile().Breakdown()
+	if len(b.DiscoveryIter) != iters {
+		t.Fatalf("iteration marks = %d, want %d", len(b.DiscoveryIter), iters)
+	}
+	// Replay discovery must be much cheaper than iteration 0.
+	if b.DiscoveryIter[1] > b.DiscoveryIter[0]/2 {
+		t.Fatalf("replay discovery %v vs first %v: expected large reduction",
+			b.DiscoveryIter[1], b.DiscoveryIter[0])
+	}
+}
+
+func TestPersistentVsPlainDiscoveryFactor(t *testing.T) {
+	const n, iters = 200, 8
+	mk := func(persistent bool) float64 {
+		r := runSingle(RankConfig{Cores: 4, Persistent: persistent, Opts: graph.OptAll},
+			chainOps(n, 50e-6), iters)
+		return r.Profile().Breakdown().Discovery
+	}
+	plain := mk(false)
+	pers := mk(true)
+	if pers >= plain/3 {
+		t.Fatalf("persistent discovery %v not ≪ plain %v", pers, plain)
+	}
+}
+
+func TestDiscoverFirstMode(t *testing.T) {
+	const n = 100
+	ops := wideOps(n, 100e-6)
+	r := runSingle(RankConfig{Cores: 4, DiscoverFirst: true, DetailTrace: true}, ops, 1)
+	b := r.Profile().Breakdown()
+	// No task may start before discovery completed.
+	var firstStart float64 = math.Inf(1)
+	for _, tr := range r.Profile().Tasks() {
+		if tr.Start < firstStart {
+			firstStart = tr.Start
+		}
+	}
+	if firstStart < b.Discovery {
+		t.Fatalf("execution started at %v before discovery ended %v", firstStart, b.Discovery)
+	}
+}
+
+func TestTaskwaitOpBlocksDiscovery(t *testing.T) {
+	ops := []Op{
+		Submit(TaskSpec{Label: "a", Compute: 1e-3, Deps: []graph.Dep{{Key: 1, Type: graph.Out}}}),
+		Taskwait(),
+		Submit(TaskSpec{Label: "b", Compute: 1e-3, Deps: []graph.Dep{{Key: 2, Type: graph.Out}}}),
+	}
+	r := runSingle(RankConfig{Cores: 2, DetailTrace: true}, ops, 1)
+	recs := r.Profile().Tasks()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	var a, b *struct{ s, e float64 }
+	for _, tr := range recs {
+		v := &struct{ s, e float64 }{tr.Start, tr.End}
+		if tr.Label == "a" {
+			a = v
+		} else {
+			b = v
+		}
+	}
+	if b.s < a.e {
+		t.Fatalf("task b started %v before taskwait (a ends %v)", b.s, a.e)
+	}
+}
+
+func TestNetworkEagerSendRecv(t *testing.T) {
+	eng := NewEngine()
+	net := NewNetwork(eng, 2, DefaultNetConfig())
+	var sendDone, recvDone float64 = -1, -1
+	eng.At(0, func() {
+		net.PostSend(0, 1, 7, 1024, nil, func() { sendDone = eng.Now() })
+	})
+	eng.At(1e-6, func() {
+		net.PostRecv(1, 0, 7, 1024, nil, func() { recvDone = eng.Now() })
+	})
+	eng.Run()
+	if sendDone < 0 || recvDone < 0 {
+		t.Fatalf("ops incomplete: send=%v recv=%v", sendDone, recvDone)
+	}
+	if sendDone > 0.5e-5 {
+		t.Fatalf("eager send completed late: %v", sendDone)
+	}
+	if recvDone < sendDone {
+		t.Fatalf("recv before send payload")
+	}
+}
+
+func TestNetworkRendezvousCouplesCompletion(t *testing.T) {
+	eng := NewEngine()
+	cfg := DefaultNetConfig()
+	net := NewNetwork(eng, 2, cfg)
+	bytes := cfg.EagerThreshold * 2
+	var sendDone, recvDone float64 = -1, -1
+	eng.At(0, func() {
+		net.PostSend(0, 1, 7, bytes, nil, func() { sendDone = eng.Now() })
+	})
+	const recvPost = 5e-3 // late receiver
+	eng.At(recvPost, func() {
+		net.PostRecv(1, 0, 7, bytes, nil, func() { recvDone = eng.Now() })
+	})
+	eng.Run()
+	if sendDone < recvPost {
+		t.Fatalf("rendezvous send completed at %v before recv posted at %v", sendDone, recvPost)
+	}
+	if math.Abs(sendDone-recvDone) > 1e-12 {
+		t.Fatalf("rendezvous completions differ: %v vs %v", sendDone, recvDone)
+	}
+}
+
+func TestNetworkAllreduceWaitsForAll(t *testing.T) {
+	eng := NewEngine()
+	net := NewNetwork(eng, 4, DefaultNetConfig())
+	posts := []float64{0, 1e-3, 2e-3, 8e-3}
+	var dones []float64
+	for r := 0; r < 4; r++ {
+		r := r
+		eng.At(posts[r], func() {
+			net.PostAllreduce(r, 8, nil, func() { dones = append(dones, eng.Now()) })
+		})
+	}
+	eng.Run()
+	if len(dones) != 4 {
+		t.Fatalf("completions = %d", len(dones))
+	}
+	for _, d := range dones {
+		if d < 8e-3 {
+			t.Fatalf("allreduce completed at %v before last post", d)
+		}
+	}
+}
+
+func TestClusterTwoRankPingPong(t *testing.T) {
+	// Rank 0 sends to rank 1, rank 1 receives then sends back.
+	build := func(rk int) ([]Op, int) {
+		var ops []Op
+		if rk == 0 {
+			ops = append(ops,
+				Submit(TaskSpec{Label: "send", Comm: &CommOp{Kind: SendOp, Peer: 1, Tag: 1, Bytes: 1024},
+					Deps: []graph.Dep{{Key: 1, Type: graph.Out}}}),
+				Submit(TaskSpec{Label: "recv", Comm: &CommOp{Kind: RecvOp, Peer: 1, Tag: 2, Bytes: 1024},
+					Deps: []graph.Dep{{Key: 2, Type: graph.Out}}}),
+			)
+		} else {
+			ops = append(ops,
+				Submit(TaskSpec{Label: "recv", Comm: &CommOp{Kind: RecvOp, Peer: 0, Tag: 1, Bytes: 1024},
+					Deps: []graph.Dep{{Key: 1, Type: graph.Out}}}),
+				Submit(TaskSpec{Label: "work", Compute: 1e-3,
+					Deps: []graph.Dep{{Key: 1, Type: graph.In}, {Key: 2, Type: graph.Out}}}),
+				Submit(TaskSpec{Label: "send", Comm: &CommOp{Kind: SendOp, Peer: 0, Tag: 2, Bytes: 1024},
+					Deps: []graph.Dep{{Key: 2, Type: graph.In}, {Key: 3, Type: graph.Out}}}),
+			)
+		}
+		return ops, 1
+	}
+	cl := NewCluster(2, DefaultNetConfig(), RankConfig{Cores: 2}, build)
+	end := cl.Run()
+	if end < 1e-3 {
+		t.Fatalf("makespan %v less than rank 1's work", end)
+	}
+	for _, r := range cl.Ranks {
+		if !r.finished {
+			t.Fatalf("rank %d did not finish", r.ID)
+		}
+	}
+}
+
+func TestClusterAllreduceAcrossIterations(t *testing.T) {
+	const ranks, iters = 4, 3
+	build := func(rk int) ([]Op, int) {
+		ops := []Op{
+			Submit(TaskSpec{Label: "dt", Comm: &CommOp{Kind: AllreduceOp, Bytes: 8},
+				Deps: []graph.Dep{{Key: 10, Type: graph.InOut}}}),
+			Submit(TaskSpec{Label: "work", Compute: 0.5e-3,
+				Deps: []graph.Dep{{Key: 10, Type: graph.In}, {Key: 11, Type: graph.InOut}}}),
+		}
+		return ops, iters
+	}
+	cl := NewCluster(ranks, DefaultNetConfig(), RankConfig{Cores: 2}, build)
+	end := cl.Run()
+	if end < float64(iters)*0.5e-3 {
+		t.Fatalf("makespan %v < serial allreduce chain bound", end)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func(rk int) ([]Op, int) {
+		var ops []Op
+		for i := 0; i < 40; i++ {
+			ops = append(ops, Submit(TaskSpec{
+				Label: "w", Compute: float64(i%7) * 10e-6,
+				Footprint: BlocksOf(uint64(i%5), 0, 8<<10, 1<<10),
+				Deps:      []graph.Dep{{Key: graph.Key(i % 3), Type: graph.InOut}},
+			}))
+		}
+		ops = append(ops, Submit(TaskSpec{Label: "ar", Comm: &CommOp{Kind: AllreduceOp, Bytes: 8},
+			Deps: []graph.Dep{{Key: 99, Type: graph.InOut}}}))
+		return ops, 2
+	}
+	run := func() float64 {
+		cl := NewCluster(3, DefaultNetConfig(), RankConfig{Cores: 3, Opts: graph.OptAll}, build)
+		return cl.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic makespan: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Gantt renders recorded task boxes as the paper's Fig. 8: one row per
+// worker, one glyph/color per iteration, so the inter-iteration barrier
+// introduced by the persistent TDG is visible as vertical alignment.
+type Gantt struct {
+	Tasks []TaskRecord
+	// T0/T1 clip the rendered window; zero values mean full range.
+	T0, T1 float64
+}
+
+// iterGlyphs color iterations in ASCII output.
+var iterGlyphs = []byte("0123456789abcdefghijklmnopqrstuvwxyz")
+
+// bounds returns the time range and worker count of the clipped records.
+func (g *Gantt) bounds() (t0, t1 float64, workers int, recs []TaskRecord) {
+	t0, t1 = g.T0, g.T1
+	if t1 <= t0 {
+		first := true
+		for _, r := range g.Tasks {
+			if first || r.Start < t0 {
+				t0 = r.Start
+			}
+			if first || r.End > t1 {
+				t1 = r.End
+			}
+			first = false
+		}
+	}
+	for _, r := range g.Tasks {
+		if r.End <= t0 || r.Start >= t1 {
+			continue
+		}
+		recs = append(recs, r)
+		if r.Worker+1 > workers {
+			workers = r.Worker + 1
+		}
+	}
+	return t0, t1, workers, recs
+}
+
+// WriteASCII renders a width-column text chart to w.
+func (g *Gantt) WriteASCII(w io.Writer, width int) error {
+	if width < 10 {
+		width = 80
+	}
+	t0, t1, workers, recs := g.bounds()
+	if len(recs) == 0 {
+		_, err := fmt.Fprintln(w, "(empty gantt)")
+		return err
+	}
+	span := t1 - t0
+	rows := make([][]byte, workers)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
+	for _, r := range recs {
+		c0 := int(float64(width) * (r.Start - t0) / span)
+		c1 := int(float64(width) * (r.End - t0) / span)
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if c1 > width {
+			c1 = width
+		}
+		glyph := iterGlyphs[r.Iter%len(iterGlyphs)]
+		for c := c0; c < c1; c++ {
+			if c >= 0 && c < width {
+				rows[r.Worker][c] = glyph
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "gantt [%.6f, %.6f]s, glyph = iteration mod %d\n", t0, t1, len(iterGlyphs)); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if _, err := fmt.Fprintf(w, "worker %2d |%s|\n", i, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// svgPalette colors iterations in SVG output.
+var svgPalette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// WriteSVG renders an SVG chart to w.
+func (g *Gantt) WriteSVG(w io.Writer, pxWidth, rowHeight int) error {
+	if pxWidth <= 0 {
+		pxWidth = 1000
+	}
+	if rowHeight <= 0 {
+		rowHeight = 18
+	}
+	t0, t1, workers, recs := g.bounds()
+	if len(recs) == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg"/>`)
+		return err
+	}
+	span := t1 - t0
+	h := workers*rowHeight + 20
+	if _, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", pxWidth+80, h); err != nil {
+		return err
+	}
+	for i := 0; i < workers; i++ {
+		fmt.Fprintf(w, `<text x="0" y="%d" font-size="10">w%d</text>`+"\n", i*rowHeight+12, i)
+	}
+	for _, r := range recs {
+		x := 60 + float64(pxWidth)*(r.Start-t0)/span
+		wd := float64(pxWidth) * (r.End - r.Start) / span
+		if wd < 0.5 {
+			wd = 0.5
+		}
+		y := r.Worker * rowHeight
+		color := svgPalette[r.Iter%len(svgPalette)]
+		fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"><title>%s it%d [%.6f,%.6f]</title></rect>`+"\n",
+			x, y+2, wd, rowHeight-4, color, r.Label, r.Iter, r.Start, r.End)
+	}
+	_, err := fmt.Fprint(w, "</svg>\n")
+	return err
+}

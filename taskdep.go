@@ -1,0 +1,154 @@
+// Package taskdep is a dependent-task runtime for Go with persistent
+// task-graph support, reproducing the system of "Investigating Dependency
+// Graph Discovery Impact on Task-based MPI+OpenMP Applications
+// Performances" (Pereira, Roussel, Carribault, Gautier — ICPP 2023).
+//
+// The runtime executes tasks ordered by OpenMP 5.1-style data
+// dependences (in / out / inout / inoutset) declared on opaque keys. A
+// single producer goroutine discovers the task dependency graph (TDG)
+// while a pool of workers executes it with depth-first (LIFO) scheduling
+// and work stealing. The paper's discovery optimizations are built in:
+//
+//   - (b) O(1) duplicate-edge elimination (OptDedup);
+//   - (c) inoutset redirect nodes turning m×n edges into m+n
+//     (OptInOutSetNode);
+//   - (p) persistent task sub-graphs: Runtime.Persistent records the
+//     graph on the first iteration and replays it afterwards, reducing
+//     per-task discovery to a firstprivate copy;
+//   - ready-task and total-task throttling;
+//   - detached tasks whose completion is signalled by an external event
+//     (the OpenMP detach clause), used to nest nonblocking message
+//     passing inside tasks.
+//
+// A message-passing layer (World/Comm: ranks as goroutines, eager and
+// rendezvous point-to-point, nonblocking allreduce) supports distributed
+// applications; a profiler reports the paper's work/overhead/idle
+// breakdown, discovery time, communication overlap ratio, and Gantt
+// charts.
+//
+// # Quick start
+//
+//	rt := taskdep.New(taskdep.Config{Workers: 8, Opts: taskdep.OptAll})
+//	defer rt.Close()
+//	rt.Submit(taskdep.Spec{
+//		Label: "produce", Out: []taskdep.Key{1},
+//		Body: func(any) { /* write x */ },
+//	})
+//	rt.Submit(taskdep.Spec{
+//		Label: "consume", In: []taskdep.Key{1},
+//		Body: func(any) { /* read x */ },
+//	})
+//	rt.Taskwait()
+//
+// See examples/ for iterative stencils with persistent graphs,
+// communication overlap with detached tasks, and a dense Cholesky
+// factorization.
+package taskdep
+
+import (
+	"io"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/mpi"
+	"taskdep/internal/rt"
+	"taskdep/internal/sched"
+	"taskdep/internal/trace"
+)
+
+// Key identifies a datum that dependences are declared on — the moral
+// equivalent of a variable in an OpenMP depend clause. Applications
+// typically derive keys from array/block indices.
+type Key = graph.Key
+
+// Opt is a bitmask of TDG discovery optimizations.
+type Opt = graph.Opt
+
+// Discovery optimizations (paper §3.1).
+const (
+	// OptDedup is optimization (b): duplicate-edge elimination.
+	OptDedup = graph.OptDedup
+	// OptInOutSetNode is optimization (c): inoutset redirect nodes.
+	OptInOutSetNode = graph.OptInOutSetNode
+	// OptAll enables every runtime-side optimization.
+	OptAll = graph.OptAll
+)
+
+// Policy selects the ready-task scheduling order.
+type Policy = sched.Policy
+
+// Scheduling policies.
+const (
+	// DepthFirst runs freshly released successors first on the
+	// completing worker (cache reuse; the paper's MPC-OMP heuristic).
+	DepthFirst = sched.DepthFirst
+	// BreadthFirst drains a global FIFO (the degenerate behaviour of
+	// discovery-bound runs).
+	BreadthFirst = sched.BreadthFirst
+)
+
+// Config parametrizes a Runtime; see rt.Config for field documentation.
+type Config = rt.Config
+
+// Spec describes one task submission.
+type Spec = rt.Spec
+
+// Event completes a detached task from an external engine.
+type Event = rt.Event
+
+// Runtime executes dependent tasks discovered by a single producer
+// goroutine.
+type Runtime = rt.Runtime
+
+// New creates and starts a runtime. Close must be called to drain and
+// join the workers.
+func New(cfg Config) *Runtime { return rt.New(cfg) }
+
+// GraphStats snapshots discovery counters (tasks, edges created /
+// pruned / deduplicated, redirect nodes, replays).
+type GraphStats = graph.Stats
+
+// Task is a node of the dependency graph (exposed for DOT export and
+// inspection).
+type Task = graph.Task
+
+// WriteDOT renders tasks and their precedence edges in Graphviz DOT
+// format — e.g. WriteDOT(w, rt.Graph().Recorded(), "tdg") after a
+// persistent recording.
+func WriteDOT(w io.Writer, tasks []*Task, name string) error {
+	return graph.WriteDOT(w, tasks, name)
+}
+
+// Profile accumulates the paper's execution metrics. Create with
+// NewProfile(workers+1, detail) and pass in Config.Profile.
+type Profile = trace.Profile
+
+// NewProfile creates a profile; detail enables per-task records (Gantt
+// charts, communication-overlap computation).
+func NewProfile(slots int, detail bool) *Profile { return trace.New(slots, detail) }
+
+// Breakdown is the work/overhead/idle/discovery summary.
+type Breakdown = trace.Breakdown
+
+// Gantt renders recorded task boxes (one row per worker, one color per
+// iteration) as ASCII or SVG.
+type Gantt = trace.Gantt
+
+// World is an in-process set of MPI-style ranks (goroutines).
+type World = mpi.World
+
+// Comm is one rank's communicator.
+type Comm = mpi.Comm
+
+// Request is a nonblocking communication handle.
+type Request = mpi.Request
+
+// Reduction operators for Allreduce.
+const (
+	Sum = mpi.Sum
+	Min = mpi.Min
+	Max = mpi.Max
+)
+
+// NewWorld creates an in-process world of n ranks. Use World.Run to
+// execute a function per rank.
+func NewWorld(n int) *World { return mpi.NewWorld(n) }
