@@ -1,0 +1,504 @@
+package main
+
+// lint.go implements the four taskdep API-misuse rules over go/ast +
+// go/types. Type information is best-effort: imports resolve through a
+// stub importer (no module loading, no new dependencies), which is
+// enough for the rules here — they need object identity and scope for
+// identifiers of the linted package, not cross-package signatures.
+//
+// Rules:
+//
+//	loop-capture     a Spec Body/DetachedBody closure captures a
+//	                 variable that the enclosing loop mutates (declared
+//	                 outside the loop, assigned inside it) — the body
+//	                 runs concurrently with later iterations;
+//	uses-after-close Submit/Taskwait/Persistent on a runtime after
+//	                 Close() in the same function;
+//	fulfill-nil-event calling Fulfill on the result of a Submit whose
+//	                 Spec is not Detached (Submit returns nil);
+//	missing-out      a Spec whose Body writes package-level state but
+//	                 declares no Out/InOut/InOutSet keys.
+//
+// A finding is suppressed by a comment containing "taskdeplint:ignore"
+// on the same line or the line above.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported misuse.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+const (
+	ruleLoopCapture   = "loop-capture"
+	ruleUseAfterClose = "use-after-close"
+	ruleFulfillNil    = "fulfill-nil-event"
+	ruleMissingOut    = "missing-out"
+)
+
+// taskdepPaths are the import paths whose New() produces a runtime the
+// use-after-close rule tracks.
+func isTaskdepPath(path string) bool {
+	return path == "taskdep" || path == "taskdep/internal/rt" ||
+		strings.HasSuffix(path, "/taskdep")
+}
+
+type pkgLint struct {
+	fset  *token.FileSet
+	info  *types.Info
+	pkg   *types.Package
+	finds []Finding
+}
+
+// lintPackage analyzes one type-checked package (possibly with ignored
+// type errors) and returns its findings sorted by position.
+func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) []Finding {
+	l := &pkgLint{fset: fset, info: info, pkg: pkg}
+	for _, f := range files {
+		l.lintFile(f)
+	}
+	sort.Slice(l.finds, func(i, j int) bool {
+		a, b := l.finds[i].Pos, l.finds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return l.finds
+}
+
+func (l *pkgLint) lintFile(f *ast.File) {
+	ignore := ignoredLines(l.fset, f)
+	before := len(l.finds)
+
+	// Spec-literal rules, with the enclosing-node stack for loop context.
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.CompositeLit); ok && isSpecLit(lit) {
+			l.checkLoopCapture(lit, stack)
+			l.checkMissingOut(lit)
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	// Sequential rules, one context per function body.
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			l.seqLint(fd.Body, map[types.Object]bool{})
+		}
+	}
+
+	// Suppression.
+	kept := l.finds[:before]
+	for _, fd := range l.finds[before:] {
+		if ignore[fd.Pos.Line] || ignore[fd.Pos.Line-1] {
+			continue
+		}
+		kept = append(kept, fd)
+	}
+	l.finds = kept
+}
+
+// ignoredLines returns the lines carrying a "taskdeplint:ignore" comment.
+func ignoredLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "taskdeplint:ignore") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+func (l *pkgLint) report(pos token.Pos, rule, format string, args ...any) {
+	l.finds = append(l.finds, Finding{
+		Pos:  l.fset.Position(pos),
+		Rule: rule,
+		Msg:  fmt.Sprintf(format, args...),
+	})
+}
+
+// --- Spec literal helpers ---
+
+// isSpecLit matches composite literals of type Spec / pkg.Spec.
+func isSpecLit(lit *ast.CompositeLit) bool {
+	switch t := lit.Type.(type) {
+	case *ast.Ident:
+		return t.Name == "Spec"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Spec"
+	}
+	return false
+}
+
+// specFields returns the keyed fields of a Spec literal.
+func specFields(lit *ast.CompositeLit) map[string]ast.Expr {
+	out := map[string]ast.Expr{}
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				out[id.Name] = kv.Value
+			}
+		}
+	}
+	return out
+}
+
+// specIsDetached reports whether the literal statically declares
+// Detached: true. A non-literal Detached value counts as detached
+// (unknown: do not flag).
+func specIsDetached(fields map[string]ast.Expr) bool {
+	v, ok := fields["Detached"]
+	if !ok {
+		return false
+	}
+	if id, ok := v.(*ast.Ident); ok {
+		return id.Name != "false"
+	}
+	return true // dynamic value: assume the author knows
+}
+
+// objOf resolves an identifier to its object (use or definition).
+func (l *pkgLint) objOf(id *ast.Ident) types.Object {
+	if o := l.info.Uses[id]; o != nil {
+		return o
+	}
+	return l.info.Defs[id]
+}
+
+// varOf resolves an identifier to a *types.Var, nil otherwise.
+func (l *pkgLint) varOf(id *ast.Ident) *types.Var {
+	v, _ := l.objOf(id).(*types.Var)
+	return v
+}
+
+// --- rule: loop-capture ---
+
+// checkLoopCapture flags Body/DetachedBody closures that capture a
+// variable mutated by an enclosing loop. Go 1.22 made loop-declared
+// variables per-iteration, so the dangerous remainder is precisely a
+// variable declared OUTSIDE the loop and assigned inside it: the task
+// body runs concurrently with later iterations overwriting it.
+func (l *pkgLint) checkLoopCapture(lit *ast.CompositeLit, stack []ast.Node) {
+	fields := specFields(lit)
+	for _, name := range []string{"Body", "DetachedBody"} {
+		fn, ok := fields[name].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		for _, obj := range l.capturedVars(fn) {
+			for i := len(stack) - 1; i >= 0; i-- {
+				loop := stack[i]
+				switch loop.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+				default:
+					continue
+				}
+				if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+					continue // declared inside the loop: per-iteration since Go 1.22
+				}
+				if l.mutatedIn(loop, obj, fn) {
+					l.report(lit.Pos(), ruleLoopCapture,
+						"task %s captures %q, which the enclosing loop mutates; the body runs concurrently with later iterations (copy it into a loop-local first)",
+						name, obj.Name())
+					break
+				}
+			}
+		}
+	}
+}
+
+// capturedVars lists the free variables of fn (identifiers resolving to
+// variables declared outside the closure), deduplicated, in first-use
+// order.
+func (l *pkgLint) capturedVars(fn *ast.FuncLit) []*types.Var {
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := l.varOf(id)
+		if v == nil || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Pos() >= fn.Pos() && v.Pos() < fn.End() {
+			return true // declared within the closure (params, locals)
+		}
+		seen[v] = true
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// mutatedIn reports whether obj is assigned anywhere in the loop node,
+// excluding the submitted closure itself.
+func (l *pkgLint) mutatedIn(loop ast.Node, obj *types.Var, exclude *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found || n == exclude {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true // := declares new objects, never mutates obj
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && l.varOf(id) == obj {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok && l.varOf(id) == obj {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if s.Tok == token.ASSIGN {
+				for _, e := range []ast.Expr{s.Key, s.Value} {
+					if id, ok := e.(*ast.Ident); ok && l.varOf(id) == obj {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// --- rule: missing-out ---
+
+// checkMissingOut flags a Spec whose Body writes package-level state
+// while declaring no writer dependence: two such tasks (or the task and
+// any reader) race with nothing ordering them.
+func (l *pkgLint) checkMissingOut(lit *ast.CompositeLit) {
+	fields := specFields(lit)
+	fn, ok := fields["Body"].(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	if fields["Out"] != nil || fields["InOut"] != nil || fields["InOutSet"] != nil {
+		return
+	}
+	var flagged map[string]bool
+	check := func(e ast.Expr) {
+		root := rootIdent(e)
+		if root == nil {
+			return
+		}
+		name := ""
+		if pn, ok := l.objOf(root).(*types.PkgName); ok {
+			// Write through a selector rooted at an imported package:
+			// package-level state of another package.
+			name = pn.Name() + ".…"
+			if sel, ok := e.(*ast.SelectorExpr); ok {
+				name = pn.Name() + "." + sel.Sel.Name
+			}
+		} else if v := l.varOf(root); v != nil && l.pkg != nil && v.Parent() == l.pkg.Scope() {
+			name = v.Name()
+		} else {
+			return
+		}
+		if flagged[name] {
+			return
+		}
+		if flagged == nil {
+			flagged = map[string]bool{}
+		}
+		flagged[name] = true
+		l.report(lit.Pos(), ruleMissingOut,
+			"task body writes package-level %s but the Spec declares no Out/InOut/InOutSet keys — nothing orders this write against other tasks", name)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(s.X)
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps index/selector/star/paren chains to the base
+// identifier of an assignable expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// --- sequential rules: use-after-close, fulfill-nil-event ---
+
+// seqLint walks one function body in source order, tracking runtime
+// variables (created by taskdep.New / rt.New), their Close calls, and
+// variables holding the nil Event a non-detached Submit returns. Nested
+// closures get their own close/event context (they execute at a
+// different time) but share the runtime set.
+func (l *pkgLint) seqLint(body *ast.BlockStmt, runtimes map[types.Object]bool) {
+	closed := map[types.Object]token.Pos{}
+	nilEv := map[types.Object]token.Pos{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			// defer rt.Close() is the idiom, and deferred calls run at
+			// return: exclude the whole subtree from ordering checks.
+			return false
+		case *ast.FuncLit:
+			l.seqLint(s.Body, runtimes)
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := l.objOf(id)
+				if obj == nil {
+					continue
+				}
+				// Any reassignment revives the variable.
+				delete(closed, obj)
+				delete(nilEv, obj)
+				if len(s.Rhs) != len(s.Lhs) && len(s.Rhs) != 1 {
+					continue
+				}
+				rhs := s.Rhs[0]
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				}
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if l.isRuntimeNew(call) {
+					runtimes[obj] = true
+				}
+				if l.isNonDetachedSubmit(call) {
+					nilEv[obj] = s.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := s.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Chained rt.Submit(Spec{...}).Fulfill().
+			if sel.Sel.Name == "Fulfill" {
+				if inner, ok := sel.X.(*ast.CallExpr); ok && l.isNonDetachedSubmit(inner) {
+					l.report(s.Pos(), ruleFulfillNil,
+						"Fulfill on the result of a non-detached Submit — Submit returns a nil *Event unless the Spec sets Detached: true")
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := l.objOf(id); obj != nil {
+						if _, bad := nilEv[obj]; bad {
+							l.report(s.Pos(), ruleFulfillNil,
+								"Fulfill on %q, which holds the nil *Event of a non-detached Submit (set Detached: true in the Spec)", id.Name)
+						}
+					}
+				}
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := l.objOf(id)
+			if obj == nil || !runtimes[obj] {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Close":
+				if _, already := closed[obj]; !already {
+					closed[obj] = s.Pos()
+				}
+			case "Submit", "TaskLoop", "Taskwait", "Persistent", "PersistentFrozen", "PersistentAdaptive":
+				if pos, bad := closed[obj]; bad {
+					l.report(s.Pos(), ruleUseAfterClose,
+						"%s on %q after its Close at %s — the workers are gone; move the Close after the last use (or defer it)",
+						sel.Sel.Name, id.Name, l.fset.Position(pos))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isRuntimeNew matches taskdep.New(...) / rt.New(...) where the
+// qualifier is an import of the taskdep module (path-checked when type
+// info resolves it).
+func (l *pkgLint) isRuntimeNew(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "New" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := l.objOf(id).(*types.PkgName)
+	if !ok {
+		return false
+	}
+	return isTaskdepPath(pn.Imported().Path())
+}
+
+// isNonDetachedSubmit matches <recv>.Submit(Spec{...}) whose literal is
+// statically not detached.
+func (l *pkgLint) isNonDetachedSubmit(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Submit" || len(call.Args) != 1 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.CompositeLit)
+	if !ok || !isSpecLit(lit) {
+		return false
+	}
+	return !specIsDetached(specFields(lit))
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestFixtures lints testdata/ as one package and matches the findings
+// against `// want "rule"` markers: every finding needs a marker on its
+// line, every marker needs a finding.
+func TestFixtures(t *testing.T) {
+	finds, err := lintDir("testdata")
+	if err != nil {
+		t.Fatalf("lintDir: %v", err)
+	}
+	wants := collectWants(t, "testdata")
+
+	matched := map[string]bool{}
+	for _, f := range finds {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		want, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		if !strings.Contains(f.Rule, want) && !strings.Contains(f.Msg, want) {
+			t.Errorf("finding at %s is %q, want %q", key, f.Rule, want)
+		}
+		matched[key] = true
+	}
+	for key, want := range wants {
+		if !matched[key] {
+			t.Errorf("missing finding %q at %s", want, key)
+		}
+	}
+}
+
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+// collectWants scans testdata files for `// want "..."` markers,
+// returning base-filename:line → expected substring.
+func collectWants(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", e.Name(), err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := wantRe.FindStringSubmatch(c.Text); m != nil {
+					line := fset.Position(c.Pos()).Line
+					out[fmt.Sprintf("%s:%d", e.Name(), line)] = m[1]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestRepoIsClean runs the linter over the repository itself — the tree
+// must stay warning-free (CI enforces the same via go run).
+func TestRepoIsClean(t *testing.T) {
+	dirs, err := expandPatterns([]string{"../../..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(dirs) < 10 {
+		t.Fatalf("pattern expansion found only %d package dirs, expected the whole repo", len(dirs))
+	}
+	for _, dir := range dirs {
+		finds, err := lintDir(dir)
+		if err != nil {
+			t.Errorf("%s: %v", dir, err)
+			continue
+		}
+		for _, f := range finds {
+			t.Errorf("repo finding: %s", f)
+		}
+	}
+}
+
+// TestExpandPatternsSkipsTestdata: the walker must not descend into
+// testdata (fixtures intentionally contain findings).
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	dirs, err := expandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("testdata not skipped: %s", d)
+		}
+	}
+}

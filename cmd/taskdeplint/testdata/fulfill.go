@@ -1,0 +1,39 @@
+package fixtures
+
+import "taskdep"
+
+// Positive: Submit without Detached returns a nil *Event.
+func fulfillNonDetached(rt *taskdep.Runtime) {
+	ev := rt.Submit(taskdep.Spec{Label: "plain", Body: func(any) {}})
+	ev.Fulfill() // want "fulfill-nil-event"
+}
+
+// Positive: chained form.
+func fulfillChained(rt *taskdep.Runtime) {
+	rt.Submit(taskdep.Spec{Label: "plain", Body: func(any) {}}).Fulfill() // want "fulfill-nil-event"
+}
+
+// Negative: a detached Spec really does return an Event.
+func fulfillDetached(rt *taskdep.Runtime) {
+	ev := rt.Submit(taskdep.Spec{
+		Label:        "detached",
+		Detached:     true,
+		DetachedBody: func(_ any, e *taskdep.Event) {},
+	})
+	ev.Fulfill()
+}
+
+// Negative: reassignment clears the taint.
+func fulfillReassigned(rt *taskdep.Runtime) {
+	ev := rt.Submit(taskdep.Spec{Label: "plain", Body: func(any) {}})
+	ev = rt.Submit(taskdep.Spec{Label: "detached", Detached: true, DetachedBody: func(_ any, e *taskdep.Event) {}})
+	ev.Fulfill()
+}
+
+// Negative: a dynamic Detached value is not second-guessed.
+func fulfillDynamic(rt *taskdep.Runtime, detach bool) {
+	ev := rt.Submit(taskdep.Spec{Label: "maybe", Detached: detach, Body: func(any) {}})
+	if detach {
+		ev.Fulfill()
+	}
+}

@@ -1,0 +1,61 @@
+package fixtures
+
+import "taskdep"
+
+// Positive: i is declared outside the loop and mutated by the loop
+// header, so every submitted body shares (and races on) the same i.
+func loopCaptureFor(rt *taskdep.Runtime, xs []int) {
+	var i int
+	for i = 0; i < len(xs); i++ {
+		rt.Submit(taskdep.Spec{ // want "loop-capture"
+			Label: "bad",
+			Out:   []taskdep.Key{taskdep.Key(i)},
+			Body:  func(any) { _ = xs[i] },
+		})
+	}
+}
+
+// Positive: range with = assigns into outer-declared v each iteration.
+func loopCaptureRange(rt *taskdep.Runtime, xs []int) {
+	var v int
+	for _, v = range xs {
+		rt.Submit(taskdep.Spec{ // want "loop-capture"
+			Label: "bad",
+			Body:  func(any) { _ = v },
+		})
+	}
+}
+
+// Negative: Go 1.22 loop variables are per-iteration; capturing them is
+// safe.
+func loopCaptureGood(rt *taskdep.Runtime, xs []int) {
+	for i := 0; i < len(xs); i++ {
+		rt.Submit(taskdep.Spec{
+			Label: "good",
+			Out:   []taskdep.Key{taskdep.Key(i)},
+			Body:  func(any) { _ = xs[i] },
+		})
+	}
+}
+
+// Negative: the classic i := i copy is also safe.
+func loopCaptureShadow(rt *taskdep.Runtime, xs []int) {
+	var i int
+	for i = 0; i < len(xs); i++ {
+		i := i
+		rt.Submit(taskdep.Spec{
+			Label: "good",
+			Body:  func(any) { _ = xs[i] },
+		})
+	}
+}
+
+// Negative: xs is captured but nothing in the loop mutates it.
+func loopCaptureReadOnly(rt *taskdep.Runtime, xs []int) {
+	for k := 0; k < 3; k++ {
+		rt.Submit(taskdep.Spec{
+			Label: "good",
+			Body:  func(any) { _ = len(xs) },
+		})
+	}
+}

@@ -1,0 +1,49 @@
+package fixtures
+
+import "taskdep"
+
+// Positive: submitting and waiting after Close.
+func closeThenUse() {
+	rt := taskdep.New(taskdep.Config{Workers: 1})
+	rt.Submit(taskdep.Spec{Label: "a", Body: func(any) {}})
+	rt.Close()
+	rt.Submit(taskdep.Spec{Label: "b", Body: func(any) {}}) // want "use-after-close"
+	rt.Taskwait()                                           // want "use-after-close"
+}
+
+// Positive: persistent iteration after Close.
+func closeThenPersistent() {
+	rt := taskdep.New(taskdep.Config{Workers: 1})
+	rt.Close()
+	_ = rt.Persistent(2, func(iter int) {}) // want "use-after-close"
+}
+
+// Negative: the deferred-Close idiom runs at return, after every use.
+func closeDeferred() {
+	rt := taskdep.New(taskdep.Config{Workers: 1})
+	defer rt.Close()
+	rt.Submit(taskdep.Spec{Label: "a", Body: func(any) {}})
+	rt.Taskwait()
+}
+
+// Negative: a fresh runtime revives the variable.
+func closeThenReplace() {
+	rt := taskdep.New(taskdep.Config{Workers: 1})
+	rt.Close()
+	rt = taskdep.New(taskdep.Config{Workers: 1})
+	defer rt.Close()
+	rt.Taskwait()
+}
+
+// Negative: Close on an unrelated type with the same method set is not
+// tracked (only taskdep.New results are).
+type fakeCloser struct{}
+
+func (fakeCloser) Close()    {}
+func (fakeCloser) Taskwait() {}
+
+func unrelatedClose() {
+	var c fakeCloser
+	c.Close()
+	c.Taskwait()
+}

@@ -1,7 +1,11 @@
 // Command tdgbench reproduces the paper's discovery-optimization
 // crossing (Table 2) plus Table 1 and the METG report:
 //
-//	tdgbench -exp table1|table2|metg [-tpl N]
+//	tdgbench -exp table1|table2|metg [-tpl N] [-verify]
+//
+// -verify appends a TDG-verifier overhead report (discovery with and
+// without verifier recording, plus the audit wall time) in the spirit
+// of the paper's runtime-overhead measurements.
 //
 // Table 2's discovery times are genuinely measured wall-clock on the
 // real graph layer; total execution comes from the machine simulator.
@@ -17,9 +21,10 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy")
-		tpl  = flag.Int("tpl", 384, "tasks per loop for table1/table2")
-		fine = flag.Int("fine", 3072, "fine-grain TPL for table1")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy")
+		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
+		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
+		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
 	)
 	flag.Parse()
 	c := experiments.DefaultIntranode()
@@ -51,5 +56,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *verify {
+		rows := experiments.RunVerifyOverhead(c, *tpl)
+		experiments.PrintVerifyOverhead(os.Stdout, rows)
 	}
 }

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunVerifyOverhead: the bench produces its three rows on a small
+// stream, the audited TDG is clean, and the audit actually covers the
+// discovered tasks.
+func TestRunVerifyOverhead(t *testing.T) {
+	c := DefaultIntranode()
+	c.Iters = 1
+	rows := RunVerifyOverhead(c, 64)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	base, inst, audit := rows[0], rows[1], rows[2]
+	if base.Tasks == 0 || base.Edges == 0 {
+		t.Fatalf("baseline discovered nothing: %+v", base)
+	}
+	if inst.Tasks != base.Tasks {
+		t.Errorf("recording changed the task count: %d vs %d", inst.Tasks, base.Tasks)
+	}
+	if inst.Edges < base.Edges {
+		t.Errorf("verify mode materializes pruned edges; edges %d < baseline %d", inst.Edges, base.Edges)
+	}
+	if audit.Findings != 0 {
+		t.Errorf("LULESH iteration audited dirty: %d findings", audit.Findings)
+	}
+	if audit.Tasks < base.Tasks {
+		t.Errorf("audit covered %d tasks, discovery made %d", audit.Tasks, base.Tasks)
+	}
+
+	var sb strings.Builder
+	PrintVerifyOverhead(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Verifier overhead", "discovery (OptAll)", "audit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

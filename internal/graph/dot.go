@@ -6,6 +6,19 @@ import (
 	"sort"
 )
 
+// EdgeHighlight marks one task pair to emphasize in a DOT export. The
+// TDG verifier uses it for race witnesses: a conflicting pair with no
+// happens-before path has no recorded edge, so the witness is drawn as
+// a dashed, colored, non-constraining edge between the two tasks.
+// Highlights that match a recorded edge recolor that edge instead.
+type EdgeHighlight struct {
+	From, To *Task
+	// Color is a Graphviz color; empty means "red".
+	Color string
+	// Label annotates the edge (e.g. the conflicting dependence key).
+	Label string
+}
+
 // WriteDOT renders a set of tasks and their precedence edges in Graphviz
 // DOT format — the kind of task-graph visualization the paper notes is
 // missing from production MPI+OpenMP tooling (§1, §5). Tasks are the
@@ -13,12 +26,24 @@ import (
 // any collection assembled by the caller); edges are each task's
 // successor list restricted to the set.
 func WriteDOT(w io.Writer, tasks []*Task, name string) error {
+	return WriteDOTHighlighted(w, tasks, name, nil)
+}
+
+// WriteDOTHighlighted is WriteDOT with a set of emphasized edges —
+// typically the race witnesses of a verify.Report.
+func WriteDOTHighlighted(w io.Writer, tasks []*Task, name string, highlights []EdgeHighlight) error {
 	if name == "" {
 		name = "tdg"
 	}
 	inSet := make(map[*Task]bool, len(tasks))
 	for _, t := range tasks {
 		inSet[t] = true
+	}
+	type pair struct{ from, to *Task }
+	hl := make(map[pair]*EdgeHighlight, len(highlights))
+	for i := range highlights {
+		h := &highlights[i]
+		hl[pair{h.From, h.To}] = h
 	}
 	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", name); err != nil {
 		return err
@@ -37,14 +62,48 @@ func WriteDOT(w io.Writer, tasks []*Task, name string) error {
 			return err
 		}
 	}
+	attr := func(h *EdgeHighlight, recorded bool) string {
+		color := h.Color
+		if color == "" {
+			color = "red"
+		}
+		s := fmt.Sprintf(" [color=%s, penwidth=2", color)
+		if h.Label != "" {
+			s += fmt.Sprintf(", fontcolor=%s, label=%q", color, h.Label)
+		}
+		if !recorded {
+			// A witness, not a real precedence: draw it dashed and keep
+			// it out of the ranking so the layout still shows the TDG.
+			s += ", style=dashed, constraint=false"
+		}
+		return s + "]"
+	}
+	used := make(map[pair]bool, len(hl))
 	for _, t := range sorted {
 		for _, s := range t.Successors() {
 			if !inSet[s] {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", t.ID, s.ID); err != nil {
+			extra := ""
+			if h, ok := hl[pair{t, s}]; ok {
+				extra = attr(h, true)
+				used[pair{t, s}] = true
+			}
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d%s;\n", t.ID, s.ID, extra); err != nil {
 				return err
 			}
+		}
+	}
+	// Highlights with no recorded edge: missing-ordering witnesses.
+	for i := range highlights {
+		h := &highlights[i]
+		p := pair{h.From, h.To}
+		if used[p] || !inSet[h.From] || !inSet[h.To] {
+			continue
+		}
+		used[p] = true
+		if _, err := fmt.Fprintf(w, "  t%d -> t%d%s;\n", h.From.ID, h.To.ID, attr(h, false)); err != nil {
+			return err
 		}
 	}
 	_, err := fmt.Fprintln(w, "}")

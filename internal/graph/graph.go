@@ -166,6 +166,14 @@ const (
 	// after an inoutset group so m producers and n consumers need m+n
 	// edges instead of m*n.
 	OptInOutSetNode
+	// OptKeepPrunedEdges materializes precedence edges even when the
+	// predecessor already completed (the case the discovery normally
+	// prunes). Completed predecessors never decrement the successor's
+	// counter, so execution is unaffected; the edge only exists so a
+	// happens-before path stays visible to the TDG verifier
+	// (internal/verify). Enabled by the runtime when Config.Verify is
+	// on; deliberately NOT part of OptAll.
+	OptKeepPrunedEdges
 	// OptAll enables every runtime-side optimization. Optimization (a)
 	// — minimizing user-declared dependences — lives in application
 	// builders, and (p) — persistence — is a mode, not a flag.
@@ -232,6 +240,11 @@ type Graph struct {
 	// openGroups tracks keys whose inoutset group holds an unreleased
 	// redirect node, for Flush.
 	openGroups []*keyState
+
+	// redirectLog retains every optimization-(c) node for the TDG
+	// verifier; populated only under OptKeepPrunedEdges (verify mode),
+	// since it pins completed nodes for the graph's lifetime.
+	redirectLog []*Task
 
 	// persistence
 	persistent  bool
@@ -443,11 +456,18 @@ func (g *Graph) newRedirect() *Task {
 		r.recordEpoch = g.epoch
 		g.recorded = append(g.recorded, r)
 	}
+	if g.opts&OptKeepPrunedEdges != 0 {
+		g.redirectLog = append(g.redirectLog, r)
+	}
 	// The producer sentinel is held until the group closes (or Flush),
 	// so the node cannot complete while member edges are still being
 	// added.
 	return r
 }
+
+// RedirectNodes returns every optimization-(c) node created so far.
+// Only tracked under OptKeepPrunedEdges (verify mode); nil otherwise.
+func (g *Graph) RedirectNodes() []*Task { return g.redirectLog }
 
 // addEdge records the precedence constraint pred -> succ, applying
 // duplicate elimination (b) and completed-predecessor pruning. succ must
@@ -472,7 +492,7 @@ func (g *Graph) addEdge(pred, succ *Task) {
 	// already completed they are pruned even while recording, otherwise
 	// they count toward the live indegree only.
 	sameRecording := g.recording && pred.Persistent && pred.recordEpoch == g.epoch
-	if done && !sameRecording {
+	if done && !sameRecording && g.opts&OptKeepPrunedEdges == 0 {
 		pred.mu.Unlock()
 		g.stats.pruned++
 		return
@@ -681,4 +701,17 @@ func (g *Graph) Recorded() []*Task { return g.recorded }
 // phases in benchmarks.
 func (g *Graph) ResetDiscoveryFrontier() {
 	g.keys = make(map[Key]*keyState)
+}
+
+// ForceEdge records a raw precedence edge pred -> succ with no
+// dependence processing, no pruning, no deduplication, and no
+// predecessor-count update. It exists so tests and the TDG verifier
+// (internal/verify) can seed structurally broken graphs — cycles,
+// duplicate edges, severed orderings — that correct discovery can never
+// produce. It must not be used on a graph that will execute: succ's
+// counter is untouched, so the edge does not order execution.
+func ForceEdge(pred, succ *Task) {
+	pred.mu.Lock()
+	pred.succs = append(pred.succs, succ)
+	pred.mu.Unlock()
 }

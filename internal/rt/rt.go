@@ -29,6 +29,7 @@ import (
 	"taskdep/internal/graph"
 	"taskdep/internal/sched"
 	"taskdep/internal/trace"
+	"taskdep/internal/verify"
 )
 
 // Config parametrizes a Runtime.
@@ -55,6 +56,17 @@ type Config struct {
 	// producer, taskwait) to progress external engines such as MPI.
 	// It returns true if it made progress.
 	Poll func() bool
+	// Verify enables the TDG verifier (internal/verify). Off: zero
+	// overhead. Observe: dependence declarations are recorded at
+	// submission, persistent replays are checked for structural
+	// divergence (a lying PersistentAdaptive `changed` callback makes
+	// Persistent* return ErrReplayDivergence), and Runtime.Verify runs
+	// the full audit on demand. Full: additionally audits at every
+	// Taskwait (see Runtime.LastVerifyReport). Verify mode materializes
+	// normally-pruned edges (graph.OptKeepPrunedEdges) and retains all
+	// task descriptors, so it is a debugging mode, not a production
+	// default.
+	Verify verify.Mode
 }
 
 // Runtime executes dependent tasks discovered by a single producer.
@@ -75,6 +87,11 @@ type Runtime struct {
 	iter atomic.Int32 // current persistent iteration, for trace records
 
 	detached atomic.Int64 // detached tasks awaiting Fulfill
+
+	// ver records dependence declarations for the TDG verifier; nil
+	// unless Config.Verify != verify.Off.
+	ver       *verify.Recorder
+	lastAudit atomic.Pointer[verify.Report]
 }
 
 // New creates and starts a runtime. Close must be called to join workers.
@@ -86,12 +103,21 @@ func New(cfg Config) *Runtime {
 		panic(fmt.Sprintf("rt: profile has %d slots, need Workers+1 = %d (slot %d is the producer)",
 			cfg.Profile.NumWorkers(), cfg.Workers+1, cfg.Workers))
 	}
+	gopts := cfg.Opts
+	if cfg.Verify != verify.Off {
+		// Materialize edges to already-completed predecessors so the
+		// audit sees temporal orderings as paths (see OptKeepPrunedEdges).
+		gopts |= graph.OptKeepPrunedEdges
+	}
 	rt := &Runtime{
 		cfg:   cfg,
 		s:     sched.New(cfg.Policy, cfg.Workers),
 		start: time.Now(),
 	}
-	rt.g = graph.New(cfg.Opts, func(t *graph.Task) {
+	if cfg.Verify != verify.Off {
+		rt.ver = verify.NewRecorder(cfg.Opts)
+	}
+	rt.g = graph.New(gopts, func(t *graph.Task) {
 		// Producer-side readiness: route through the global FIFO.
 		rt.s.Push(-1, t)
 	})
@@ -194,10 +220,19 @@ func (rt *Runtime) Submit(spec Spec) *Event {
 	}
 	if rt.replay {
 		t = rt.g.Replay(spec.FirstPrivate, body)
-	} else if spec.Detached {
-		t = rt.g.SubmitDetached(spec.Label, spec.deps(), body, spec.FirstPrivate)
+		if rt.ver != nil {
+			rt.ver.ReplayNext(spec.Label, spec.deps())
+		}
 	} else {
-		t = rt.g.Submit(spec.Label, spec.deps(), body, spec.FirstPrivate)
+		deps := spec.deps()
+		if spec.Detached {
+			t = rt.g.SubmitDetached(spec.Label, deps, body, spec.FirstPrivate)
+		} else {
+			t = rt.g.Submit(spec.Label, deps, body, spec.FirstPrivate)
+		}
+		if rt.ver != nil {
+			rt.ver.Record(t, deps)
+		}
 	}
 	if p := rt.cfg.Profile; p != nil {
 		p.TaskCreated(rt.now())
@@ -292,7 +327,30 @@ func (rt *Runtime) Taskwait() {
 			rt.pollAndYield()
 		}
 	}
+	if rt.ver != nil && rt.cfg.Verify == verify.Full {
+		// Paranoid mode: audit the whole discovered graph at every
+		// synchronization point; the latest report is kept for
+		// LastVerifyReport.
+		rt.lastAudit.Store(rt.ver.Audit(rt.g.RedirectNodes()))
+	}
 }
+
+// Verify runs the TDG verifier over everything discovered so far and
+// returns the report (including accumulated replay divergences). For a
+// consistent view call it at a quiescent point (after Taskwait).
+// Returns nil when Config.Verify is verify.Off.
+func (rt *Runtime) Verify() *verify.Report {
+	if rt.ver == nil {
+		return nil
+	}
+	rep := rt.ver.Audit(rt.g.RedirectNodes())
+	rt.lastAudit.Store(rep)
+	return rep
+}
+
+// LastVerifyReport returns the most recent audit (from a Full-mode
+// Taskwait or an explicit Verify call), or nil.
+func (rt *Runtime) LastVerifyReport() *verify.Report { return rt.lastAudit.Load() }
 
 // execute runs one task as worker w (-1 = producer) and completes it.
 func (rt *Runtime) execute(w int, t *graph.Task) {
@@ -394,6 +452,27 @@ func (rt *Runtime) worker(w int) {
 // iterations.
 var ErrReplayShape = errors.New("rt: persistent body changed its task stream between iterations")
 
+// ErrReplayDivergence reports that the TDG verifier (Config.Verify)
+// caught a persistent replay submitting a task stream whose labels or
+// dependence declarations differ from the recording — the replay
+// executed the recorded ordering, not the declared one. Typical cause:
+// a PersistentAdaptive `changed` callback that lied, or a Persistent
+// body with hidden iteration dependence.
+var ErrReplayDivergence = errors.New("rt: persistent replay diverged from the recorded task structure")
+
+// checkReplayDivergence closes the verifier's replay iteration and
+// surfaces any divergence as an error (graph already drained).
+func (rt *Runtime) checkReplayDivergence() error {
+	if rt.ver == nil {
+		return nil
+	}
+	divs := rt.ver.EndReplay(rt.g.Recorded())
+	if len(divs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrReplayDivergence, divs[0].String())
+}
+
 // Persistent runs body(iter) for iters iterations under the persistent
 // TDG extension (optimization p): iteration 0 records the graph; later
 // iterations replay it, with per-task cost reduced to the firstprivate
@@ -407,11 +486,17 @@ func (rt *Runtime) Persistent(iters int, body func(iter int)) error {
 	defer func() { rt.inPersistent = false }()
 
 	rt.g.BeginRecording()
+	if rt.ver != nil {
+		rt.ver.BeginRecording()
+	}
 	rt.iter.Store(0)
 	body(0)
 	rt.g.Flush()
 	rt.g.EndRecording()
 	rt.Taskwait()
+	if rt.ver != nil {
+		rt.ver.EndRecording(rt.g.Recorded())
+	}
 	if p := rt.cfg.Profile; p != nil {
 		p.IterationEnd(rt.now())
 	}
@@ -420,6 +505,9 @@ func (rt *Runtime) Persistent(iters int, body func(iter int)) error {
 	for it := 1; it < iters; it++ {
 		if err := rt.g.BeginReplay(); err != nil {
 			return err
+		}
+		if rt.ver != nil {
+			rt.ver.BeginReplay(it, true)
 		}
 		rt.iter.Store(int32(it))
 		rt.replay = true
@@ -436,6 +524,10 @@ func (rt *Runtime) Persistent(iters int, body func(iter int)) error {
 		rt.Taskwait()
 		if p := rt.cfg.Profile; p != nil {
 			p.IterationEnd(rt.now())
+		}
+		if err := rt.checkReplayDivergence(); err != nil {
+			rt.g.EndPersistent()
+			return err
 		}
 	}
 	rt.g.EndPersistent()
@@ -456,17 +548,28 @@ func (rt *Runtime) PersistentFrozen(iters int, body func()) error {
 	defer func() { rt.inPersistent = false }()
 
 	rt.g.BeginRecording()
+	if rt.ver != nil {
+		rt.ver.BeginRecording()
+	}
 	rt.iter.Store(0)
 	body()
 	rt.g.Flush()
 	rt.g.EndRecording()
 	rt.Taskwait()
+	if rt.ver != nil {
+		rt.ver.EndRecording(rt.g.Recorded())
+	}
 	if p := rt.cfg.Profile; p != nil {
 		p.IterationEnd(rt.now())
 	}
 	for it := 1; it < iters; it++ {
 		if err := rt.g.BeginReplay(); err != nil {
 			return err
+		}
+		if rt.ver != nil {
+			// Frozen replays re-release captured closures without
+			// resubmitting; only the structural signature is checked.
+			rt.ver.BeginReplay(it, false)
 		}
 		rt.iter.Store(int32(it))
 		rt.g.ReplayAll()
@@ -476,6 +579,10 @@ func (rt *Runtime) PersistentFrozen(iters int, body func()) error {
 		rt.Taskwait()
 		if p := rt.cfg.Profile; p != nil {
 			p.IterationEnd(rt.now())
+		}
+		if err := rt.checkReplayDivergence(); err != nil {
+			rt.g.EndPersistent()
+			return err
 		}
 	}
 	rt.g.EndPersistent()
@@ -506,17 +613,26 @@ func (rt *Runtime) PersistentAdaptive(iters int, body func(iter int), changed fu
 	for it < iters {
 		// Record a fresh graph at the segment head.
 		rt.g.BeginRecording()
+		if rt.ver != nil {
+			rt.ver.BeginRecording()
+		}
 		rt.iter.Store(int32(it))
 		body(it)
 		rt.g.Flush()
 		rt.g.EndRecording()
 		endIter()
+		if rt.ver != nil {
+			rt.ver.EndRecording(rt.g.Recorded())
+		}
 		it++
 		// Replay while the shape holds.
 		for it < iters && !changed(it) {
 			if err := rt.g.BeginReplay(); err != nil {
 				rt.g.EndPersistent()
 				return err
+			}
+			if rt.ver != nil {
+				rt.ver.BeginReplay(it, true)
 			}
 			rt.iter.Store(int32(it))
 			rt.replay = true
@@ -529,6 +645,10 @@ func (rt *Runtime) PersistentAdaptive(iters int, body func(iter int), changed fu
 				return fmt.Errorf("%w: %v (use changed() to flag shape changes)", ErrReplayShape, err)
 			}
 			endIter()
+			if err := rt.checkReplayDivergence(); err != nil {
+				rt.g.EndPersistent()
+				return err
+			}
 			it++
 		}
 		rt.g.EndPersistent()

@@ -1,0 +1,251 @@
+package verify
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"taskdep/internal/graph"
+)
+
+// Recorder captures what the graph layer discards: the dependence
+// declaration of every submitted task, and — inside persistent regions
+// — the recorded structure each replay iteration must reproduce. The
+// runtime owns one when Config.Verify != Off and forwards discovery and
+// persistence events to it; Audit then checks the whole history.
+//
+// The discovery-side methods (Record, ReplayNext, Begin*/End*) follow
+// the graph's single-producer contract; Audit may run from any
+// goroutine (it locks out the producer while snapshotting).
+type Recorder struct {
+	mu   sync.Mutex
+	opts graph.Opt
+
+	infos []TaskInfo
+
+	// recording state: the structural reference a replay is checked
+	// against.
+	recording bool
+	entries   []recEntry // non-redirect tasks of the recording, in order
+	recTasks  []*graph.Task
+	recSig    uint64
+
+	// replay state
+	replayIter  int
+	replayIdx   int
+	replayCheck bool // per-submission checks (false for frozen replays)
+	divMark     int
+
+	divergences []Divergence
+}
+
+type recEntry struct {
+	label string
+	deps  []graph.Dep // canonical order (sorted by key, then type)
+}
+
+// NewRecorder creates a recorder for a graph discovered with opts.
+func NewRecorder(opts graph.Opt) *Recorder {
+	return &Recorder{opts: opts}
+}
+
+// canonDeps copies deps into the canonical comparison order.
+func canonDeps(deps []graph.Dep) []graph.Dep {
+	c := append([]graph.Dep(nil), deps...)
+	sort.Slice(c, func(i, j int) bool {
+		if c[i].Key != c[j].Key {
+			return c[i].Key < c[j].Key
+		}
+		return c[i].Type < c[j].Type
+	})
+	return c
+}
+
+func depsString(deps []graph.Dep) string {
+	s := "["
+	for i, d := range deps {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", d.Type, d.Key)
+	}
+	return s + "]"
+}
+
+// Record captures one discovered task and its declared dependences.
+// Producer-only.
+func (r *Recorder) Record(t *graph.Task, deps []graph.Dep) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.infos = append(r.infos, TaskInfo{Task: t, Deps: append([]graph.Dep(nil), deps...)})
+	if r.recording {
+		r.entries = append(r.entries, recEntry{label: t.Label, deps: canonDeps(deps)})
+	}
+}
+
+// BeginRecording mirrors graph.BeginRecording: subsequent Records
+// define the structural reference for later replays.
+func (r *Recorder) BeginRecording() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recording = true
+	r.entries = r.entries[:0]
+}
+
+// EndRecording closes the reference; recorded is the graph's recorded
+// sequence (redirect nodes included) whose structural signature later
+// iterations are compared against.
+func (r *Recorder) EndRecording(recorded []*graph.Task) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recording = false
+	r.recTasks = append(r.recTasks[:0], recorded...)
+	r.recSig = Signature(recorded)
+}
+
+// BeginReplay starts checking one replay iteration. perTask enables the
+// per-submission label/dependence comparison (Persistent and
+// PersistentAdaptive); frozen replays (PersistentFrozen) re-release the
+// captured closures without resubmitting, so only the end-of-iteration
+// signature check applies.
+func (r *Recorder) BeginReplay(iter int, perTask bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.replayIter = iter
+	r.replayIdx = 0
+	r.replayCheck = perTask
+	r.divMark = len(r.divergences)
+}
+
+// ReplayNext checks one replay submission against the recorded entry at
+// the same position. Producer-only.
+func (r *Recorder) ReplayNext(label string, deps []graph.Dep) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.replayCheck {
+		return
+	}
+	i := r.replayIdx
+	r.replayIdx++
+	if i >= len(r.entries) {
+		if i == len(r.entries) {
+			r.divergences = append(r.divergences, Divergence{
+				Iter: r.replayIter, Index: i,
+				Detail: fmt.Sprintf("replay submitted more tasks than the %d recorded", len(r.entries)),
+			})
+		}
+		return
+	}
+	e := r.entries[i]
+	if label != e.label {
+		r.divergences = append(r.divergences, Divergence{
+			Iter: r.replayIter, Index: i,
+			Detail: fmt.Sprintf("label %q, recorded %q", label, e.label),
+		})
+		return
+	}
+	got := canonDeps(deps)
+	if !depsEqual(got, e.deps) {
+		r.divergences = append(r.divergences, Divergence{
+			Iter: r.replayIter, Index: i,
+			Detail: fmt.Sprintf("task %q declared %s, recorded %s — the replay executes the recorded ordering, not the declared one",
+				label, depsString(got), depsString(e.deps)),
+		})
+	}
+}
+
+func depsEqual(a, b []graph.Dep) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EndReplay closes one replay iteration: checks the submission count
+// and the recorded structure's signature, and returns the divergences
+// found during this iteration.
+func (r *Recorder) EndReplay(recorded []*graph.Task) []Divergence {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.replayCheck && r.replayIdx < len(r.entries) {
+		r.divergences = append(r.divergences, Divergence{
+			Iter: r.replayIter, Index: -1,
+			Detail: fmt.Sprintf("replay submitted %d of %d recorded tasks", r.replayIdx, len(r.entries)),
+		})
+	}
+	if sig := Signature(recorded); sig != r.recSig {
+		r.divergences = append(r.divergences, Divergence{
+			Iter: r.replayIter, Index: -1,
+			Detail: fmt.Sprintf("recorded structure mutated between iterations (signature %#x, recorded %#x)", sig, r.recSig),
+		})
+	}
+	r.replayCheck = false
+	return append([]Divergence(nil), r.divergences[r.divMark:]...)
+}
+
+// Divergences returns all divergences accumulated so far.
+func (r *Recorder) Divergences() []Divergence {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Divergence(nil), r.divergences...)
+}
+
+// Audit snapshots the recorded history and runs the full structural
+// check; extra nodes (redirects the graph logged) join the node set.
+func (r *Recorder) Audit(extra []*graph.Task) *Report {
+	r.mu.Lock()
+	infos := append([]TaskInfo(nil), r.infos...)
+	divs := append([]Divergence(nil), r.divergences...)
+	opts := r.opts
+	r.mu.Unlock()
+
+	rep := Audit(infos, opts, extra)
+	rep.Divergences = append(rep.Divergences, divs...)
+	return rep
+}
+
+// Signature hashes the structure of a task sequence: task count,
+// per-task identity (position, label, kind, recorded indegree) and the
+// edge multiset restricted to the set — the PTSG signature replays are
+// compared against. Dependence declarations are checked separately,
+// per submission, by ReplayNext.
+func Signature(tasks []*graph.Task) uint64 {
+	h := fnv.New64a()
+	idx := make(map[*graph.Task]int, len(tasks))
+	for i, t := range tasks {
+		idx[t] = i
+	}
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(len(tasks)))
+	for i, t := range tasks {
+		put(uint64(i))
+		h.Write([]byte(t.Label))
+		flags := uint64(0)
+		if t.Redirect {
+			flags |= 1
+		}
+		if t.Detached {
+			flags |= 2
+		}
+		put(flags)
+		put(uint64(t.Indegree()))
+		for _, s := range t.Successors() {
+			if j, ok := idx[s]; ok {
+				put(uint64(j))
+			}
+		}
+	}
+	return h.Sum64()
+}

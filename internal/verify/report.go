@@ -1,0 +1,192 @@
+package verify
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"taskdep/internal/graph"
+)
+
+// Race is a missing-ordering witness: two tasks access Key with at
+// least one writer and no happens-before path connects them — an
+// under-declared dependence, i.e. a data race the scheduler is free to
+// expose on any run.
+type Race struct {
+	A, B     *graph.Task
+	Key      graph.Key
+	ATy, BTy graph.DepType
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("missing ordering on key %d: task %d (%q, %s) unordered with task %d (%q, %s)",
+		r.Key, r.A.ID, r.A.Label, r.ATy, r.B.ID, r.B.Label, r.BTy)
+}
+
+// Cycle is a dependency loop; executing it deadlocks.
+type Cycle struct {
+	// Path lists the tasks around the loop (last node has an edge back
+	// to the first).
+	Path []*graph.Task
+}
+
+func (c Cycle) String() string {
+	var b strings.Builder
+	b.WriteString("dependency cycle: ")
+	for i, t := range c.Path {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		fmt.Fprintf(&b, "%d (%q)", t.ID, t.Label)
+	}
+	if len(c.Path) > 0 {
+		fmt.Fprintf(&b, " -> %d", c.Path[0].ID)
+	}
+	return b.String()
+}
+
+// DuplicateEdge is a (pred, succ) pair recorded more than once while
+// optimization (b) claimed to eliminate duplicates.
+type DuplicateEdge struct {
+	Pred, Succ *graph.Task
+	Count      int
+}
+
+func (d DuplicateEdge) String() string {
+	return fmt.Sprintf("duplicate edge survived OptDedup: %d (%q) -> %d (%q) recorded %d times",
+		d.Pred.ID, d.Pred.Label, d.Succ.ID, d.Succ.Label, d.Count)
+}
+
+// Divergence is a persistent-replay submission that does not match the
+// recorded structure — the task stream changed shape while the replay
+// machinery (trusting a `changed` callback that lied, or a Persistent
+// body with hidden iteration dependence) kept executing the stale
+// recording.
+type Divergence struct {
+	// Iter is the persistent iteration the mismatch was observed in.
+	Iter int
+	// Index is the replay submission index within the iteration, or -1
+	// for iteration-level findings (count or signature mismatch).
+	Index  int
+	Detail string
+}
+
+func (d Divergence) String() string {
+	if d.Index < 0 {
+		return fmt.Sprintf("replay divergence (iteration %d): %s", d.Iter, d.Detail)
+	}
+	return fmt.Sprintf("replay divergence (iteration %d, task %d): %s", d.Iter, d.Index, d.Detail)
+}
+
+// Report is the result of one verifier audit plus any replay
+// divergences accumulated by the Recorder.
+type Report struct {
+	// Opts is the discovery optimization mask the graph ran with.
+	Opts graph.Opt
+	// Tasks and Edges size the audited graph (redirect nodes included).
+	Tasks, Edges int
+	// Nodes is the audited node set (submission order first, then
+	// successor-reachable extras); WriteDOT renders it.
+	Nodes []*graph.Task
+	// Elapsed is the audit wall-clock — the verification overhead a
+	// tdgbench -verify run reports.
+	Elapsed time.Duration
+
+	Races             []Race
+	Cycles            []Cycle
+	DanglingRedirects []*graph.Task
+	// DuplicateEdges is populated only when OptDedup was enabled (a
+	// duplicate is a violation only if (b) claimed to remove it);
+	// DuplicateEdgeCount counts extra edge copies regardless.
+	DuplicateEdges     []DuplicateEdge
+	DuplicateEdgeCount int
+	Divergences        []Divergence
+
+	// RacesSkipped reports that the missing-ordering pass did not run
+	// because the graph is cyclic.
+	RacesSkipped bool
+	// Truncated reports that the race pass hit its pair/step budget;
+	// absence of findings past that point is not a clean bill.
+	Truncated bool
+}
+
+// OK reports whether the audit found nothing wrong.
+func (r *Report) OK() bool {
+	return len(r.Races) == 0 && len(r.Cycles) == 0 && len(r.DanglingRedirects) == 0 &&
+		len(r.DuplicateEdges) == 0 && len(r.Divergences) == 0
+}
+
+// NumFindings counts individual findings.
+func (r *Report) NumFindings() int {
+	return len(r.Races) + len(r.Cycles) + len(r.DanglingRedirects) +
+		len(r.DuplicateEdges) + len(r.Divergences)
+}
+
+// Summary is the one-line form.
+func (r *Report) Summary() string {
+	if r.OK() {
+		extra := ""
+		if r.RacesSkipped {
+			extra = ", race check skipped"
+		} else if r.Truncated {
+			extra = ", truncated"
+		}
+		return fmt.Sprintf("verify: OK (%d tasks, %d edges, %v%s)", r.Tasks, r.Edges, r.Elapsed.Round(time.Microsecond), extra)
+	}
+	return fmt.Sprintf("verify: %d finding(s) in %d tasks / %d edges: %d race(s), %d cycle(s), %d dangling redirect(s), %d duplicate edge(s), %d divergence(s)",
+		r.NumFindings(), r.Tasks, r.Edges,
+		len(r.Races), len(r.Cycles), len(r.DanglingRedirects), len(r.DuplicateEdges), len(r.Divergences))
+}
+
+// String lists every finding, one per line, after the summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Summary())
+	for _, x := range r.Races {
+		b.WriteString("\n  ")
+		b.WriteString(x.String())
+	}
+	for _, x := range r.Cycles {
+		b.WriteString("\n  ")
+		b.WriteString(x.String())
+	}
+	for _, t := range r.DanglingRedirects {
+		fmt.Fprintf(&b, "\n  dangling redirect node %d: no inoutset member feeds it", t.ID)
+	}
+	for _, x := range r.DuplicateEdges {
+		b.WriteString("\n  ")
+		b.WriteString(x.String())
+	}
+	for _, x := range r.Divergences {
+		b.WriteString("\n  ")
+		b.WriteString(x.String())
+	}
+	if r.RacesSkipped {
+		b.WriteString("\n  (missing-ordering check skipped: graph is cyclic)")
+	}
+	if r.Truncated {
+		b.WriteString("\n  (race check truncated by budget; findings may be incomplete)")
+	}
+	return b.String()
+}
+
+// WriteDOT exports the audited graph with race witnesses highlighted as
+// dashed red edges (and cycle edges in orange), via internal/graph's
+// DOT writer.
+func (r *Report) WriteDOT(w io.Writer, name string) error {
+	var hl []graph.EdgeHighlight
+	for _, race := range r.Races {
+		hl = append(hl, graph.EdgeHighlight{
+			From: race.A, To: race.B, Color: "red",
+			Label: fmt.Sprintf("race key %d", race.Key),
+		})
+	}
+	for _, c := range r.Cycles {
+		for i := range c.Path {
+			next := c.Path[(i+1)%len(c.Path)]
+			hl = append(hl, graph.EdgeHighlight{From: c.Path[i], To: next, Color: "orange", Label: "cycle"})
+		}
+	}
+	return graph.WriteDOTHighlighted(w, r.Nodes, name, hl)
+}

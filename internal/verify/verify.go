@@ -1,0 +1,420 @@
+// Package verify is the TDG verifier: a static-analysis layer that
+// audits a discovered task dependency graph for the failure modes the
+// runtime itself cannot see. The paper's premise is that the runtime
+// trusts user-declared in/out/inout/inoutset sets — an under-declared
+// dependence is a silent data race no discovery optimization can fix,
+// and a cycle or a diverging persistent sub-graph (PTSG) deadlocks or
+// replays stale structure. The verifier checks:
+//
+//   - missing orderings: every pair of tasks with conflicting accesses
+//     on the same key (at least one writer) must be connected by a
+//     happens-before path over recorded precedence edges, including
+//     paths through optimization-(c) redirect nodes;
+//   - cycles: reported before execution hangs on them;
+//   - dangling redirect nodes: optimization-(c) nodes with no group
+//     members feeding them;
+//   - duplicate edges that survived optimization (b);
+//   - PTSG replay divergence: a structural signature (task count, dep
+//     lists, edge multiset) compared across Persistent /
+//     PersistentAdaptive iterations, catching `changed` callbacks that
+//     lie (see Recorder).
+//
+// The real executor hooks it in through rt.Config.Verify; the audit can
+// also run standalone over any task set (tests, offline dumps).
+package verify
+
+import (
+	"time"
+
+	"taskdep/internal/graph"
+)
+
+// Mode selects the verifier's integration level in the runtime.
+type Mode uint8
+
+const (
+	// Off disables the verifier entirely (zero overhead).
+	Off Mode = iota
+	// Observe records dependence declarations at submission and checks
+	// persistent replays for structural divergence; the full graph
+	// audit runs only on demand (Runtime.Verify).
+	Observe
+	// Full is Observe plus a complete graph audit at every taskwait —
+	// the paranoid mode whose discovery-time cost tdgbench -verify
+	// measures.
+	Full
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Observe:
+		return "observe"
+	case Full:
+		return "full"
+	}
+	return "Mode(?)"
+}
+
+// TaskInfo pairs a discovered task with the dependence declarations it
+// was submitted with (the graph itself discards them after discovery).
+type TaskInfo struct {
+	Task *graph.Task
+	Deps []graph.Dep
+}
+
+// Audit limits: past these the report sets Truncated instead of letting
+// verification cost grow without bound.
+const (
+	// maxBitsetNodes bounds the O(V^2/8)-byte reachability bitsets
+	// (16384 nodes = 32 MiB); larger graphs fall back to per-pair DFS.
+	maxBitsetNodes = 16384
+	// maxPairChecks bounds the number of conflicting pairs tested.
+	maxPairChecks = 2_000_000
+	// maxDFSSteps bounds total fallback-DFS edge traversals.
+	maxDFSSteps = 50_000_000
+	// maxCycles bounds how many distinct cycles are reported.
+	maxCycles = 8
+)
+
+// Audit runs the full structural check over the given tasks. infos must
+// be in submission order (it defines the per-key access sequence that
+// delimits inoutset groups); opts is the optimization mask the graph
+// was discovered with (duplicate edges are violations only under
+// OptDedup); extra lists nodes without dependence declarations to
+// include in the structural checks (redirect nodes).
+//
+// The race check is sound only if temporal orderings were materialized
+// as edges — run discovery with graph.OptKeepPrunedEdges (the runtime
+// does this automatically when Config.Verify is on); otherwise an edge
+// pruned because its predecessor had already completed looks like a
+// missing ordering.
+func Audit(infos []TaskInfo, opts graph.Opt, extra []*graph.Task) *Report {
+	t0 := time.Now()
+	rep := &Report{Opts: opts}
+
+	// --- node set: infos first (submission order), then every node
+	// reachable through successor edges (redirect nodes etc).
+	idx := make(map[*graph.Task]int)
+	var nodes []*graph.Task
+	add := func(t *graph.Task) int {
+		if i, ok := idx[t]; ok {
+			return i
+		}
+		i := len(nodes)
+		idx[t] = i
+		nodes = append(nodes, t)
+		return i
+	}
+	for _, in := range infos {
+		add(in.Task)
+	}
+	for _, t := range extra {
+		add(t)
+	}
+	for scan := 0; scan < len(nodes); scan++ {
+		for _, s := range nodes[scan].Successors() {
+			add(s)
+		}
+	}
+	n := len(nodes)
+	rep.Tasks = n
+
+	// --- adjacency (deduplicated) + duplicate-edge detection + indegree.
+	adj := make([][]int, n)
+	indeg := make([]int, n)
+	dupSeen := make(map[[2]int]int)
+	for v, t := range nodes {
+		succs := t.Successors()
+		rep.Edges += len(succs)
+		seen := make(map[int]bool, len(succs))
+		for _, s := range succs {
+			u := idx[s]
+			if seen[u] {
+				dupSeen[[2]int{v, u}]++
+				rep.DuplicateEdgeCount++
+				continue
+			}
+			seen[u] = true
+			adj[v] = append(adj[v], u)
+			indeg[u]++
+		}
+	}
+	if opts&graph.OptDedup != 0 {
+		for p, c := range dupSeen {
+			rep.DuplicateEdges = append(rep.DuplicateEdges, DuplicateEdge{
+				Pred: nodes[p[0]], Succ: nodes[p[1]], Count: c + 1,
+			})
+		}
+	}
+
+	// --- dangling redirect nodes: an optimization-(c) node exists to
+	// stand for an inoutset group; with no incoming member edge it
+	// redirects nothing and any consumer hanging off it waits forever
+	// on the producer sentinel alone.
+	for v, t := range nodes {
+		if t.Redirect && indeg[v] == 0 {
+			rep.DanglingRedirects = append(rep.DanglingRedirects, t)
+		}
+	}
+
+	// --- cycle detection + topological order (DFS postorder).
+	rep.Cycles = findCycles(adj, nodes)
+
+	rep.Nodes = nodes
+
+	// --- missing-ordering races.
+	if len(rep.Cycles) > 0 {
+		// Reachability is ill-defined on a cyclic graph, and the cycle
+		// is already fatal; skip the race pass rather than report noise.
+		rep.RacesSkipped = true
+	} else {
+		auditRaces(rep, infos, idx, adj, nodes)
+	}
+	rep.Elapsed = time.Since(t0)
+	return rep
+}
+
+// findCycles runs an iterative 3-color DFS; it returns up to maxCycles
+// distinct cycles (each as the node path around the loop).
+func findCycles(adj [][]int, nodes []*graph.Task) []Cycle {
+	n := len(adj)
+	color := make([]int8, n) // 0 white, 1 gray, 2 black
+	var cycles []Cycle
+	type frame struct{ v, child int }
+	var stack []frame
+	var path []int
+
+	for root := 0; root < n && len(cycles) < maxCycles; root++ {
+		if color[root] != 0 {
+			continue
+		}
+		stack = append(stack[:0], frame{root, 0})
+		color[root] = 1
+		path = append(path[:0], root)
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.child < len(adj[f.v]) {
+				u := adj[f.v][f.child]
+				f.child++
+				switch color[u] {
+				case 0:
+					color[u] = 1
+					stack = append(stack, frame{u, 0})
+					path = append(path, u)
+				case 1:
+					if len(cycles) < maxCycles {
+						// u is on the current path: slice the loop out.
+						start := len(path) - 1
+						for start >= 0 && path[start] != u {
+							start--
+						}
+						c := Cycle{}
+						for _, v := range path[start:] {
+							c.Path = append(c.Path, nodes[v])
+						}
+						cycles = append(cycles, c)
+					}
+				}
+				continue
+			}
+			color[f.v] = 2
+			stack = stack[:len(stack)-1]
+			path = path[:len(path)-1]
+		}
+	}
+	return cycles
+}
+
+// auditRaces checks every conflicting same-key pair for a
+// happens-before path. Requires an acyclic graph.
+func auditRaces(rep *Report, infos []TaskInfo, idx map[*graph.Task]int, adj [][]int, nodes []*graph.Task) {
+	// Per-key access sequences in submission order, with inoutset run
+	// (group) identification: consecutive InOutSet accesses on a key
+	// form one group and are mutually independent by declaration; any
+	// other access type closes the group.
+	type access struct {
+		node int
+		ty   graph.DepType
+		run  int // inoutset group id, 0 if not InOutSet
+	}
+	byKey := make(map[graph.Key][]access)
+	run := 0
+	for _, in := range infos {
+		v := idx[in.Task]
+		for _, d := range in.Deps {
+			seq := byKey[d.Key]
+			a := access{node: v, ty: d.Type}
+			if d.Type == graph.InOutSet {
+				if len(seq) == 0 || seq[len(seq)-1].ty != graph.InOutSet {
+					run++
+				} else {
+					run = seq[len(seq)-1].run
+				}
+				a.run = run
+			}
+			byKey[d.Key] = append(byKey[d.Key], a)
+		}
+	}
+
+	reach := newReachability(adj)
+	checks := 0
+	reported := make(map[[3]uint64]bool)
+	for key, seq := range byKey {
+		for i := 0; i < len(seq); i++ {
+			for j := i + 1; j < len(seq); j++ {
+				a, b := seq[i], seq[j]
+				if a.node == b.node {
+					continue
+				}
+				if a.ty == graph.In && b.ty == graph.In {
+					continue // two readers never conflict
+				}
+				if a.ty == graph.InOutSet && b.ty == graph.InOutSet && a.run == b.run {
+					continue // same inoutset group: independent by contract
+				}
+				sig := [3]uint64{uint64(a.node), uint64(b.node), uint64(key)}
+				if reported[sig] {
+					continue
+				}
+				if checks >= maxPairChecks {
+					rep.Truncated = true
+					return
+				}
+				checks++
+				ok, withinBudget := reach.query(a.node, b.node)
+				if !withinBudget {
+					rep.Truncated = true
+					return
+				}
+				if !ok {
+					reported[sig] = true
+					rep.Races = append(rep.Races, Race{
+						A: nodes[a.node], B: nodes[b.node],
+						Key: key, ATy: a.ty, BTy: b.ty,
+					})
+				}
+			}
+		}
+	}
+}
+
+// reachability answers "is a connected to b by a directed path (either
+// direction)" — the happens-before question. Small graphs use full
+// descendant bitsets computed in one pass; large graphs fall back to
+// per-query DFS under a global step budget.
+type reachability struct {
+	adj   [][]int
+	desc  [][]uint64 // descendant bitsets, nil in fallback mode
+	words int
+
+	visited []int32 // DFS epoch marks (fallback)
+	epoch   int32
+	steps   int
+}
+
+func newReachability(adj [][]int) *reachability {
+	n := len(adj)
+	re := &reachability{adj: adj}
+	if n > maxBitsetNodes {
+		re.visited = make([]int32, n)
+		return re
+	}
+	re.words = (n + 63) / 64
+	re.desc = make([][]uint64, n)
+	// Process in reverse topological order so every successor's bitset
+	// is final before it is merged into its predecessors'.
+	order := topoOrder(adj)
+	backing := make([]uint64, n*re.words)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		bs := backing[v*re.words : (v+1)*re.words]
+		for _, u := range adj[v] {
+			bs[u/64] |= 1 << (uint(u) % 64)
+			for w, x := range re.desc[u] {
+				bs[w] |= x
+			}
+		}
+		re.desc[v] = bs
+	}
+	return re
+}
+
+// topoOrder returns a topological order of an acyclic adj (DFS reverse
+// postorder).
+func topoOrder(adj [][]int) []int {
+	n := len(adj)
+	mark := make([]bool, n)
+	order := make([]int, 0, n)
+	type frame struct{ v, child int }
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if mark[root] {
+			continue
+		}
+		mark[root] = true
+		stack = append(stack[:0], frame{root, 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.child < len(adj[f.v]) {
+				u := adj[f.v][f.child]
+				f.child++
+				if !mark[u] {
+					mark[u] = true
+					stack = append(stack, frame{u, 0})
+				}
+				continue
+			}
+			order = append(order, f.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Reverse postorder.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// query reports whether a path a~>b or b~>a exists; the second result
+// is false once the step budget is exhausted.
+func (re *reachability) query(a, b int) (connected, withinBudget bool) {
+	if re.desc != nil {
+		if re.desc[a][b/64]&(1<<(uint(b)%64)) != 0 {
+			return true, true
+		}
+		return re.desc[b][a/64]&(1<<(uint(a)%64)) != 0, true
+	}
+	if re.dfs(a, b) {
+		return true, re.steps < maxDFSSteps
+	}
+	if re.steps >= maxDFSSteps {
+		return false, false
+	}
+	return re.dfs(b, a), re.steps < maxDFSSteps
+}
+
+func (re *reachability) dfs(from, to int) bool {
+	re.epoch++
+	stack := []int{from}
+	re.visited[from] = re.epoch
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range re.adj[v] {
+			re.steps++
+			if re.steps >= maxDFSSteps {
+				return false
+			}
+			if u == to {
+				return true
+			}
+			if re.visited[u] != re.epoch {
+				re.visited[u] = re.epoch
+				stack = append(stack, u)
+			}
+		}
+	}
+	return false
+}

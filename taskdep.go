@@ -53,6 +53,7 @@ import (
 	"taskdep/internal/rt"
 	"taskdep/internal/sched"
 	"taskdep/internal/trace"
+	"taskdep/internal/verify"
 )
 
 // Key identifies a datum that dependences are declared on — the moral
@@ -117,6 +118,43 @@ type Task = graph.Task
 func WriteDOT(w io.Writer, tasks []*Task, name string) error {
 	return graph.WriteDOT(w, tasks, name)
 }
+
+// VerifyMode selects the TDG verifier's integration level; set it in
+// Config.Verify. The verifier audits the discovered graph for
+// under-declared dependences (conflicting accesses with no
+// happens-before path), cycles, dangling inoutset redirect nodes,
+// duplicate edges that survived OptDedup, and persistent-replay
+// divergence (a Persistent/PersistentAdaptive body whose task stream
+// silently changed shape).
+type VerifyMode = verify.Mode
+
+// Verifier integration levels.
+const (
+	// VerifyOff disables the verifier (zero overhead, the default).
+	VerifyOff = verify.Off
+	// VerifyObserve records dependence declarations and checks
+	// persistent replays for divergence; the full audit runs on demand
+	// via Runtime.Verify.
+	VerifyObserve = verify.Observe
+	// VerifyFull additionally audits at every Taskwait.
+	VerifyFull = verify.Full
+)
+
+// VerifyReport is a TDG audit result; see Runtime.Verify. Its WriteDOT
+// method exports the graph with race witnesses highlighted.
+type VerifyReport = verify.Report
+
+// VerifyRace is one missing-ordering witness (an under-declared
+// dependence) in a VerifyReport.
+type VerifyRace = verify.Race
+
+// VerifyDivergence is one persistent-replay structure mismatch in a
+// VerifyReport.
+type VerifyDivergence = verify.Divergence
+
+// ErrReplayDivergence is returned by Persistent/PersistentAdaptive when
+// the verifier catches a replay diverging from the recorded structure.
+var ErrReplayDivergence = rt.ErrReplayDivergence
 
 // Profile accumulates the paper's execution metrics. Create with
 // NewProfile(workers+1, detail) and pass in Config.Profile.

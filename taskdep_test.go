@@ -1,6 +1,7 @@
 package taskdep_test
 
 import (
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -109,5 +110,39 @@ func TestPublicAPIWriteDOT(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "digraph") || !strings.Contains(sb.String(), "->") {
 		t.Fatalf("dot output: %s", sb.String())
+	}
+}
+
+// TestPublicAPIVerify exercises the documented verification flow:
+// Config.Verify, Runtime.Verify, and the report's DOT export of race
+// witnesses, all through the public aliases.
+func TestPublicAPIVerify(t *testing.T) {
+	rt := taskdep.New(taskdep.Config{Workers: 2, Opts: taskdep.OptAll, Verify: taskdep.VerifyObserve})
+	defer rt.Close()
+	rt.Submit(taskdep.Spec{Label: "w", Out: []taskdep.Key{1}, Body: func(any) {}})
+	rt.Submit(taskdep.Spec{Label: "r", In: []taskdep.Key{1}, Body: func(any) {}})
+	rt.Taskwait()
+	rep := rt.Verify()
+	if rep == nil || !rep.OK() {
+		t.Fatalf("clean graph flagged: %s", rep)
+	}
+	var sb strings.Builder
+	if err := rep.WriteDOT(&sb, "verified"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Fatalf("dot export: %s", sb.String())
+	}
+}
+
+// TestPublicAPIVerifyCatchesDivergence pins the exported error value.
+func TestPublicAPIVerifyCatchesDivergence(t *testing.T) {
+	rt := taskdep.New(taskdep.Config{Workers: 2, Opts: taskdep.OptAll, Verify: taskdep.VerifyObserve})
+	defer rt.Close()
+	err := rt.Persistent(2, func(iter int) {
+		rt.Submit(taskdep.Spec{Label: "t", InOut: []taskdep.Key{taskdep.Key(1 + iter)}, Body: func(any) {}})
+	})
+	if !errors.Is(err, taskdep.ErrReplayDivergence) {
+		t.Fatalf("want ErrReplayDivergence, got %v", err)
 	}
 }
