@@ -1,7 +1,8 @@
 // Command tdgbench reproduces the paper's discovery-optimization
-// crossing (Table 2) plus Table 1 and the METG report:
+// crossing (Table 2) plus Table 1, the METG report and the
+// discovery-throughput benchmark:
 //
-//	tdgbench -exp table1|table2|metg [-tpl N] [-verify]
+//	tdgbench -exp table1|table2|metg|discovery [-tpl N] [-verify]
 //
 // -verify appends a TDG-verifier overhead report (discovery with and
 // without verifier recording, plus the audit wall time) in the spirit
@@ -9,6 +10,14 @@
 //
 // Table 2's discovery times are genuinely measured wall-clock on the
 // real graph layer; total execution comes from the machine simulator.
+//
+// -exp discovery measures the graph layer alone on a dedup-heavy
+// synthetic workload, baseline engine (one stripe, no pooling,
+// per-task Submit) vs optimized (striped, pooled, batched), single-
+// and multi-producer. -json writes the machine-readable result (the
+// format committed as BENCH_discovery.json); -check FILE compares the
+// fresh run against a committed baseline and exits nonzero on schema
+// mismatch or a throughput regression beyond -maxregress.
 package main
 
 import (
@@ -19,17 +28,78 @@ import (
 	"taskdep/internal/experiments"
 )
 
+// runDiscovery executes the discovery-throughput mode; returns the
+// process exit code.
+func runDiscovery(smoke bool, tasks, keys, producers int, jsonPath, checkPath string, maxRegress float64) int {
+	p := experiments.DefaultDiscoveryParams()
+	if smoke {
+		p = experiments.SmokeDiscoveryParams()
+	}
+	if tasks > 0 {
+		p.Tasks = tasks
+	}
+	if keys > 0 {
+		p.Keys = keys
+	}
+	if producers > 0 {
+		p.Producers = producers
+	}
+	res := experiments.RunDiscovery(p)
+	experiments.PrintDiscovery(os.Stdout, &res)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		committed, err := experiments.ReadDiscoveryJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", checkPath, err)
+			return 1
+		}
+		if err := experiments.CheckDiscovery(&res, committed, maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "discovery regression check FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("discovery regression check OK (within %.1fx of %s)\n", maxRegress, checkPath)
+	}
+	return 0
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery")
 		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
 		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
 		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
+
+		// discovery mode
+		smoke      = flag.Bool("smoke", false, "discovery: small CI-sized workload")
+		tasks      = flag.Int("tasks", 0, "discovery: tasks per producer (0 = preset)")
+		keys       = flag.Int("keys", 0, "discovery: working-set keys (0 = preset)")
+		producers  = flag.Int("producers", 0, "discovery: concurrent producers (0 = preset)")
+		jsonOut    = flag.String("json", "", "discovery: write machine-readable result to this file")
+		check      = flag.String("check", "", "discovery: compare against a committed baseline JSON")
+		maxRegress = flag.Float64("maxregress", 2.0, "discovery: max tolerated throughput regression factor for -check")
 	)
 	flag.Parse()
 	c := experiments.DefaultIntranode()
 
 	switch *exp {
+	case "discovery":
+		os.Exit(runDiscovery(*smoke, *tasks, *keys, *producers, *jsonOut, *check, *maxRegress))
 	case "table1":
 		res := experiments.RunTable1(c, *tpl, *fine)
 		res.Print(os.Stdout)

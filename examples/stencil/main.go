@@ -80,7 +80,10 @@ func main() {
 				})
 			}
 			// Diffusion: chunk c reads neighbor chunks (and ghosts at
-			// the domain frontier), writes its "new" chunk.
+			// the domain frontier), writes its "new" chunk. The whole
+			// sweep is staged into one slice and submitted with a single
+			// SubmitBatch call — one pass over the discovery engine.
+			specs := make([]taskdep.Spec, 0, 2*chunks)
 			for c := 0; c < chunks; c++ {
 				c := c
 				lo, hi := c*nLocal/chunks, (c+1)*nLocal/chunks
@@ -95,7 +98,7 @@ func main() {
 				} else if rank < ranks-1 {
 					in = append(in, ghostHiKey)
 				}
-				rt.Submit(taskdep.Spec{
+				specs = append(specs, taskdep.Spec{
 					Label: "diffuse", In: in, Out: []taskdep.Key{newKey(c)},
 					Body: func(any) {
 						for i := lo; i < hi; i++ {
@@ -120,12 +123,13 @@ func main() {
 			for c := 0; c < chunks; c++ {
 				c := c
 				lo, hi := c*nLocal/chunks, (c+1)*nLocal/chunks
-				rt.Submit(taskdep.Spec{
+				specs = append(specs, taskdep.Spec{
 					Label: "commit", In: []taskdep.Key{newKey(c)},
 					InOut: []taskdep.Key{cellKey(c)},
 					Body:  func(any) { copy(u[lo:hi], un[lo:hi]) },
 				})
 			}
+			rt.SubmitBatch(specs)
 		})
 		if err != nil {
 			panic(err)

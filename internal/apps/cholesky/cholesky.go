@@ -237,12 +237,16 @@ func TaskFactorRepeated(a0 *Matrix, r *rt.Runtime, cfg RepeatedConfig) (*Matrix,
 	return work, pe.err
 }
 
-// taskFactorInto submits the factorization tasks without waiting.
+// taskFactorInto submits the factorization tasks without waiting. Each
+// elimination panel k (potrf + its trsm/syrk/gemm updates) is staged
+// into a slice and discovered with one SubmitBatch call.
 func taskFactorInto(m *Matrix, r *rt.Runtime, pe *potrfErr) {
 	t, b := m.T, m.B
+	specs := make([]rt.Spec, 0, t*t/2+t)
 	for k := 0; k < t; k++ {
 		k := k
-		r.Submit(rt.Spec{
+		specs = specs[:0]
+		specs = append(specs, rt.Spec{
 			Label: "potrf",
 			InOut: []graph.Key{tileKey(k, k)},
 			Body: func(any) {
@@ -253,7 +257,7 @@ func taskFactorInto(m *Matrix, r *rt.Runtime, pe *potrfErr) {
 		})
 		for i := k + 1; i < t; i++ {
 			i := i
-			r.Submit(rt.Spec{
+			specs = append(specs, rt.Spec{
 				Label: "trsm",
 				In:    []graph.Key{tileKey(k, k)},
 				InOut: []graph.Key{tileKey(i, k)},
@@ -262,7 +266,7 @@ func taskFactorInto(m *Matrix, r *rt.Runtime, pe *potrfErr) {
 		}
 		for i := k + 1; i < t; i++ {
 			i := i
-			r.Submit(rt.Spec{
+			specs = append(specs, rt.Spec{
 				Label: "syrk",
 				In:    []graph.Key{tileKey(i, k)},
 				InOut: []graph.Key{tileKey(i, i)},
@@ -270,7 +274,7 @@ func taskFactorInto(m *Matrix, r *rt.Runtime, pe *potrfErr) {
 			})
 			for j := k + 1; j < i; j++ {
 				j := j
-				r.Submit(rt.Spec{
+				specs = append(specs, rt.Spec{
 					Label: "gemm",
 					In:    []graph.Key{tileKey(i, k), tileKey(j, k)},
 					InOut: []graph.Key{tileKey(i, j)},
@@ -278,6 +282,7 @@ func taskFactorInto(m *Matrix, r *rt.Runtime, pe *potrfErr) {
 				})
 			}
 		}
+		r.SubmitBatch(specs)
 	}
 }
 

@@ -63,6 +63,10 @@ type Problem struct {
 
 	// Residual history for verification.
 	Rnorm []float64
+
+	// iterSpecs is the reused staging slice for submitIteration's
+	// batched submission.
+	iterSpecs []rt.Spec
 }
 
 // New builds the local problem with the HPCG-style RHS (b = 27ish row
@@ -273,20 +277,23 @@ func (pr *Problem) RunParallelFor(r *rt.Runtime, comm *mpi.Comm) {
 	nw := r.Scheduler().NumWorkers()
 	parts := make([]float64, nw)
 
+	specs := make([]rt.Spec, 0, nw)
 	parfor := func(body func(lo, hi int)) {
+		specs = specs[:0]
 		for c := 0; c < nw; c++ {
-			lo, hi := c*n/nw, (c+1)*n/nw
-			lo2, hi2 := lo, hi
-			r.Submit(rt.Spec{Label: "parfor", Body: func(any) { body(lo2, hi2) }})
+			lo2, hi2 := c*n/nw, (c+1)*n/nw
+			specs = append(specs, rt.Spec{Label: "parfor", Body: func(any) { body(lo2, hi2) }})
 		}
+		r.SubmitBatch(specs)
 		r.Taskwait()
 	}
 	dot := func(x, y []float64) float64 {
+		specs = specs[:0]
 		for c := 0; c < nw; c++ {
-			lo, hi := c*n/nw, (c+1)*n/nw
-			c, lo2, hi2 := c, lo, hi
-			r.Submit(rt.Spec{Label: "dot", Body: func(any) { parts[c] = Dot(x, y, lo2, hi2) }})
+			c, lo2, hi2 := c, c*n/nw, (c+1)*n/nw
+			specs = append(specs, rt.Spec{Label: "dot", Body: func(any) { parts[c] = Dot(x, y, lo2, hi2) }})
 		}
+		r.SubmitBatch(specs)
 		r.Taskwait()
 		return allreduceSum(comm, mergeParts(parts))
 	}
@@ -410,6 +417,10 @@ func keysRange(f, c0, c1 int) []graph.Key {
 func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig) {
 	n := pr.Rows
 	tpl := cfg.TPL
+	// The whole iteration is staged into one slice and discovered through
+	// a single SubmitBatch call: one pass over the graph's submission
+	// path, one ready-queue publication per chunk.
+	specs := pr.iterSpecs[:0]
 	nx, ny := pr.P.NX, pr.P.NY
 	nxy := nx * ny
 
@@ -420,13 +431,13 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 		c0t, c1t := pr.blockChunks(tpl, n-nxy, n)
 		if pr.P.Rank > 0 {
 			down := pr.P.Rank - 1
-			r.Submit(rt.Spec{
+			specs = append(specs, rt.Spec{
 				Label: "irecv-lo", Out: []graph.Key{key(hGhostLo, 0)}, Detached: true,
 				DetachedBody: func(_ any, ev *rt.Event) {
 					comm.Irecv(pr.GhostLo, down, tagUp).OnComplete(ev.Fulfill)
 				},
 			})
-			r.Submit(rt.Spec{
+			specs = append(specs, rt.Spec{
 				Label: "isend-lo", In: keysRange(hP, c0b, c1b), Detached: true,
 				DetachedBody: func(_ any, ev *rt.Event) {
 					comm.Isend(pr.Pv[:nxy], down, tagDown).OnComplete(ev.Fulfill)
@@ -435,13 +446,13 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 		}
 		if pr.P.Rank < pr.P.Ranks-1 {
 			up := pr.P.Rank + 1
-			r.Submit(rt.Spec{
+			specs = append(specs, rt.Spec{
 				Label: "irecv-hi", Out: []graph.Key{key(hGhostHi, 0)}, Detached: true,
 				DetachedBody: func(_ any, ev *rt.Event) {
 					comm.Irecv(pr.GhostHi, up, tagDown).OnComplete(ev.Fulfill)
 				},
 			})
-			r.Submit(rt.Spec{
+			specs = append(specs, rt.Spec{
 				Label: "isend-hi", In: keysRange(hP, c0t, c1t), Detached: true,
 				DetachedBody: func(_ any, ev *rt.Event) {
 					comm.Isend(pr.Pv[pr.Rows-nxy:], up, tagUp).OnComplete(ev.Fulfill)
@@ -485,14 +496,14 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 			} else {
 				deps.Out = []graph.Key{key(hAp, c)}
 			}
-			r.Submit(deps)
+			specs = append(specs, deps)
 		}
 	}
 	// Per-block pAp partials.
 	for c := 0; c < tpl; c++ {
 		lo, hi := c*n/tpl, (c+1)*n/tpl
 		c2, lo2, hi2 := c, lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "dot-pAp",
 			In:    []graph.Key{key(hAp, c), key(hP, c)},
 			Out:   []graph.Key{key(hPartAp, c)},
@@ -500,7 +511,7 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 		})
 	}
 	// Scalar stage: merge + allreduce + alpha (a communication task).
-	r.Submit(rt.Spec{
+	specs = append(specs, rt.Spec{
 		Label: "alpha",
 		In:    keysRange(hPartAp, 0, tpl-1),
 		Out:   []graph.Key{key(hScalarAlpha, 0)},
@@ -513,7 +524,7 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 	for c := 0; c < tpl; c++ {
 		lo, hi := c*n/tpl, (c+1)*n/tpl
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "waxpby-x",
 			In:    []graph.Key{key(hScalarAlpha, 0), key(hP, c)},
 			InOut: []graph.Key{key(hX, c)},
@@ -524,13 +535,13 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 	for c := 0; c < tpl; c++ {
 		lo, hi := c*n/tpl, (c+1)*n/tpl
 		c2, lo2, hi2 := c, lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "waxpby-r",
 			In:    []graph.Key{key(hScalarAlpha, 0), key(hAp, c)},
 			InOut: []graph.Key{key(hR, c)},
 			Body:  func(any) { Waxpby(pr.R, pr.R, pr.Ap, 1, -pr.Alpha, lo2, hi2) },
 		})
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "dot-rz",
 			In:    []graph.Key{key(hR, c)},
 			Out:   []graph.Key{key(hPartRz, c)},
@@ -538,7 +549,7 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 		})
 	}
 	// Scalar stage: rtz, beta (collective).
-	r.Submit(rt.Spec{
+	specs = append(specs, rt.Spec{
 		Label: "beta",
 		In:    keysRange(hPartRz, 0, tpl-1),
 		InOut: []graph.Key{key(hScalarAlpha, 0)},
@@ -553,11 +564,14 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 	for c := 0; c < tpl; c++ {
 		lo, hi := c*n/tpl, (c+1)*n/tpl
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "waxpby-p",
 			In:    []graph.Key{key(hScalarAlpha, 0), key(hR, c)},
 			InOut: []graph.Key{key(hP, c)},
 			Body:  func(any) { Waxpby(pr.Pv, pr.R, pr.Pv, 1, pr.Beta, lo2, hi2) },
 		})
 	}
+
+	r.SubmitBatch(specs)
+	pr.iterSpecs = specs[:0]
 }

@@ -390,9 +390,14 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 	nn, ne := d.NumNodes(), d.NumElems()
 	g := groupsFor(cfg)
 
+	// All chunked loops of the iteration are staged into specs and
+	// discovered in batches (one SubmitBatch per phase group), keeping
+	// the per-task submission cost amortized.
+	specs := make([]rt.Spec, 0, 8*tpl+1)
+
 	// dt task: closes the inoutset group of the previous iteration's
 	// constraints, reduces globally, publishes the new dt.
-	r.Submit(rt.Spec{
+	specs = append(specs, rt.Spec{
 		Label: "dt",
 		In:    []graph.Key{key(fDtCand, 0)},
 		Out:   []graph.Key{key(fDt, 0)},
@@ -420,13 +425,16 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 		in := append(elemChunkKeys(g.elemEOS, elo, ehi), elemChunkKeys(g.elemQ, elo, ehi)...)
 		in = append(in, nodeChunkKeys(g.nodeState, nlo, nhi)...)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "force",
 			In:    in,
 			Out:   keysForChunks(g.nodeForce, c, c),
 			Body:  func(any) { d.CalcForceForNodes(lo2, hi2) },
 		})
 	}
+
+	r.SubmitBatch(specs)
+	specs = specs[:0]
 
 	// Frontier force exchange: pack -> isend (detached) and irecv
 	// (detached) -> unpack-add, per neighbor.
@@ -436,7 +444,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 	for c := 0; c < tpl; c++ {
 		lo, hi := chunkBounds(nn, tpl, c)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "accel",
 			InOut: keysForChunks(g.nodeForce, c, c),
 			Body:  func(any) { d.CalcAccelAndBC(lo2, hi2) },
@@ -446,7 +454,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 	for c := 0; c < tpl; c++ {
 		lo, hi := chunkBounds(nn, tpl, c)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "vel",
 			In:    append([]graph.Key{key(fDt, 0)}, keysForChunks(g.nodeForce, c, c)...),
 			InOut: keysForChunks(g.nodeState, c, c),
@@ -457,7 +465,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 	for c := 0; c < tpl; c++ {
 		lo, hi := chunkBounds(nn, tpl, c)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "pos",
 			In:    []graph.Key{key(fDt, 0)},
 			InOut: keysForChunks(g.nodeState, c, c),
@@ -469,7 +477,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 		lo, hi := chunkBounds(ne, tpl, c)
 		nlo, nhi := d.nodeRangeForElems(lo, hi)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "kin",
 			In:    append([]graph.Key{key(fDt, 0)}, nodeChunkKeys(g.nodeState, nlo, nhi)...),
 			InOut: keysForChunks(g.elemKin, c, c),
@@ -480,7 +488,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 	for c := 0; c < tpl; c++ {
 		lo, hi := chunkBounds(ne, tpl, c)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "q",
 			In:    append(keysForChunks(g.elemKin, c, c), keysForChunks(g.elemEOS, c, c)...),
 			Out:   []graph.Key{key(fElemQ, c)},
@@ -491,7 +499,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 	for c := 0; c < tpl; c++ {
 		lo, hi := chunkBounds(ne, tpl, c)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "eos",
 			In:    append([]graph.Key{key(fElemQ, c)}, keysForChunks(g.elemKin, c, c)...),
 			InOut: keysForChunks(g.elemEOS, c, c),
@@ -502,7 +510,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 	for c := 0; c < tpl; c++ {
 		lo, hi := chunkBounds(ne, tpl, c)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label: "vol",
 			InOut: keysForChunks(g.elemKin, c, c),
 			Body:  func(any) { d.UpdateVolumesForElems(lo2, hi2) },
@@ -512,7 +520,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 	for c := 0; c < tpl; c++ {
 		lo, hi := chunkBounds(ne, tpl, c)
 		lo2, hi2 := lo, hi
-		r.Submit(rt.Spec{
+		specs = append(specs, rt.Spec{
 			Label:    "dtc",
 			In:       append(keysForChunks(g.elemKin, c, c), keysForChunks(g.elemEOS, c, c)...),
 			InOutSet: []graph.Key{key(fDtCand, 0)},
@@ -526,6 +534,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 			},
 		})
 	}
+	r.SubmitBatch(specs)
 }
 
 // submitForceExchange adds the frontier communication tasks.

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestDiscoveryRoundTrip runs a tiny workload and checks the result
+// validates, serializes and survives the regression check against
+// itself.
+func TestDiscoveryRoundTrip(t *testing.T) {
+	p := DiscoveryParams{Tasks: 2000, Keys: 32, Producers: 2, BatchLen: 64, SetEvery: 8, Repeats: 1}
+	res := RunDiscovery(p)
+	if err := res.Validate(); err != nil {
+		t.Fatalf("fresh result invalid: %v", err)
+	}
+	if res.SpeedupSingle <= 0 || res.SpeedupMulti <= 0 {
+		t.Fatalf("speedups not computed: %+v", res)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDiscoveryJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped result invalid: %v", err)
+	}
+	if err := CheckDiscovery(&res, back, 2.0); err != nil {
+		t.Fatalf("self-check failed: %v", err)
+	}
+
+	// Schema mismatch must fail loudly.
+	back.Schema = DiscoverySchemaVersion + 1
+	if err := CheckDiscovery(&res, back, 2.0); err == nil {
+		t.Fatal("stale schema accepted")
+	}
+	back.Schema = DiscoverySchemaVersion
+
+	// A fabricated 10x-faster baseline must trip the regression gate.
+	for i := range back.Rows {
+		back.Rows[i].TasksPerSec *= 10
+	}
+	if err := CheckDiscovery(&res, back, 2.0); err == nil {
+		t.Fatal(">2x regression accepted")
+	}
+}
+
+// TestCommittedDiscoveryBaseline validates the committed
+// BENCH_discovery.json if present (it lives at the repo root; the CI
+// smoke step depends on it parsing).
+func TestCommittedDiscoveryBaseline(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_discovery.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	res, err := ReadDiscoveryJSON(data)
+	if err != nil {
+		t.Fatalf("committed BENCH_discovery.json unparsable: %v", err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("committed BENCH_discovery.json invalid: %v", err)
+	}
+}

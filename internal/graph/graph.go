@@ -1,158 +1,9 @@
-// Package graph implements the task dependency graph (TDG) at the heart of
-// the reproduction: OpenMP-style dependence discovery over data keys,
-// precedence-edge management with the paper's edge-reduction optimizations,
-// and the persistent task sub-graph (PTSG) extension.
-//
-// The package is executor-agnostic: a Graph turns a sequential stream of
-// task submissions into ready-task notifications. Two executors drive it in
-// this repository — the real goroutine runtime (internal/rt) and the
-// discrete-event machine simulator (internal/sim).
-//
-// Concurrency contract: discovery (Submit and friends) is performed by a
-// single producer goroutine; Complete may be called concurrently from any
-// number of worker goroutines. All shared state is protected per task.
 package graph
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 )
-
-// Key identifies a datum a dependence may be declared on, the moral
-// equivalent of the address in an OpenMP depend clause. Applications
-// typically derive keys from array-block indices.
-type Key uint64
-
-// DepType enumerates OpenMP 5.1 dependence types relevant to the paper.
-type DepType uint8
-
-const (
-	// In declares a read of the datum: the task depends on the last
-	// out-set for the key.
-	In DepType = iota
-	// Out declares a write: the task depends on the last out-set and on
-	// every reader registered since.
-	Out
-	// InOut behaves exactly like Out (kept distinct for tracing).
-	InOut
-	// InOutSet declares a concurrent write: consecutive InOutSet tasks on
-	// the same key are mutually independent, but any later access depends
-	// on the whole set.
-	InOutSet
-)
-
-func (d DepType) String() string {
-	switch d {
-	case In:
-		return "in"
-	case Out:
-		return "out"
-	case InOut:
-		return "inout"
-	case InOutSet:
-		return "inoutset"
-	}
-	return fmt.Sprintf("DepType(%d)", uint8(d))
-}
-
-// Dep is one dependence declaration of a task.
-type Dep struct {
-	Key  Key
-	Type DepType
-}
-
-// State is the lifecycle state of a task.
-type State int32
-
-const (
-	// Created: discovered, predecessors outstanding.
-	Created State = iota
-	// Ready: all predecessors completed; handed to the executor.
-	Ready
-	// Running: the executor has started the task body.
-	Running
-	// Completed: the body finished and successors were released.
-	Completed
-)
-
-func (s State) String() string {
-	switch s {
-	case Created:
-		return "created"
-	case Ready:
-		return "ready"
-	case Running:
-		return "running"
-	case Completed:
-		return "completed"
-	}
-	return fmt.Sprintf("State(%d)", int32(s))
-}
-
-// Task is a node of the dependency graph. Executors attach their payload
-// (closure, cost model, ...) through the exported fields; the graph itself
-// only manipulates the precedence machinery.
-type Task struct {
-	// ID is the submission sequence number, unique within a Graph.
-	ID int64
-	// Label names the task for traces and Gantt charts.
-	Label string
-	// Body is the work closure run by the real executor (nil for
-	// redirect nodes and for DES-only tasks).
-	Body func(fp any)
-	// FirstPrivate is the per-instance private datum, copied on
-	// persistent replay (the paper's single-memcpy replay cost).
-	FirstPrivate any
-	// Data carries executor-specific payload (e.g. a DES cost spec).
-	Data any
-	// Detached marks a task whose completion is signalled externally
-	// (MPI request completion) rather than at body return.
-	Detached bool
-	// Redirect marks an empty node inserted by optimization (c).
-	Redirect bool
-	// Persistent marks tasks recorded in a persistent region.
-	Persistent bool
-
-	// preds counts outstanding predecessors plus one producer sentinel.
-	preds atomic.Int32
-	// recordedIndegree counts incoming edges from tasks of the same
-	// recording, used to reset preds on persistent replay. Written only
-	// by the producer.
-	recordedIndegree int32
-	// recordEpoch identifies which recording the task belongs to, so
-	// edges from earlier recordings (or from outside any recording)
-	// never count toward replay indegrees.
-	recordEpoch int
-	state       atomic.Int32
-
-	mu       sync.Mutex
-	succs    []*Task
-	lastSucc *Task // duplicate-edge detection for optimization (b)
-}
-
-// State returns the task's lifecycle state.
-func (t *Task) State() State { return State(t.state.Load()) }
-
-// NumSuccessors returns the current successor count (racy during
-// discovery; stable once discovery is complete).
-func (t *Task) NumSuccessors() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.succs)
-}
-
-// Successors returns a snapshot of the successor list.
-func (t *Task) Successors() []*Task {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]*Task, len(t.succs))
-	copy(out, t.succs)
-	return out
-}
-
-// Indegree returns the number of recorded incoming edges.
-func (t *Task) Indegree() int { return int(t.recordedIndegree) }
 
 // Opt is a bitmask of the paper's TDG discovery optimizations.
 type Opt uint32
@@ -182,6 +33,16 @@ const (
 
 // Stats aggregates discovery-side counters. All counts are cumulative
 // since graph creation.
+//
+// Consistency model: every counter is individually monotonic and
+// updated either atomically (Tasks, RedirectNodes, ReplayedTasks) or
+// under the key shard lock that created the edge (EdgesAttempted,
+// EdgesCreated, EdgesPruned, EdgesDuplicate). A Stats snapshot taken
+// while producers are running can therefore exhibit bounded cross-field
+// skew — e.g. a task counted whose edges are not yet — but never
+// invented or lost events. At a quiescent point (no in-flight Submit /
+// SubmitBatch / Complete, e.g. after a taskwait) the snapshot is exact
+// and EdgesAttempted == EdgesCreated + EdgesPruned + EdgesDuplicate.
 type Stats struct {
 	Tasks          int64 // tasks discovered (including redirect nodes)
 	RedirectNodes  int64 // empty nodes inserted by optimization (c)
@@ -205,7 +66,8 @@ type keyState struct {
 	redirect *Task
 	// baseOut/baseReaders are the dependences every member of the open
 	// inoutset group must succeed (the out-set and readers that preceded
-	// the group).
+	// the group). Their backing arrays are swapped with outSet/readers
+	// at group open, so opening a group allocates nothing.
 	baseOut     []*Task
 	baseReaders []*Task
 	// redirectReleased records that the producer sentinel of the group's
@@ -213,40 +75,107 @@ type keyState struct {
 	redirectReleased bool
 }
 
+// shard is one stripe of the dependence key table. All frontier state
+// for a key — and the edge counters for edges discovered through it —
+// is owned by exactly one shard and touched only under its lock, so
+// producers working on keys in different shards never serialize.
+type shard struct {
+	mu   sync.Mutex
+	keys map[Key]*keyState
+	// open tracks keys of this shard whose inoutset group holds an
+	// unreleased redirect node, for Flush.
+	open []*keyState
+	// free is the keyState recycling list (see alloc.go).
+	free []*keyState
+	// Edge counters, guarded by mu (see Stats).
+	attempted, created, pruned, duplicate int64
+
+	_ [24]byte // pad to limit false sharing between neighbouring shards
+}
+
 // ReadyFunc receives tasks that become ready on the producer side — at
 // submission, group close, flush, or replay. Tasks released by a
 // completion are NOT passed to it: Complete returns them to its caller,
 // which must schedule them (this is how depth-first executors attribute
 // successors to the completing worker).
+//
+// ReadyFunc may be invoked while graph-internal locks are held (e.g.
+// when a group close readies its redirect node); it must not call back
+// into Submit, SubmitBatch or Flush.
 type ReadyFunc func(*Task)
 
-// Graph is a task dependency graph under single-producer discovery.
+// DefaultShards is the default stripe count of the dependence key
+// table. Power of two; plenty for the producer counts a single process
+// runs (contention halves with every doubling, and 64 shards keep the
+// per-graph footprint under 8 KiB).
+const DefaultShards = 64
+
+// Config parametrizes a Graph beyond the optimization mask. The zero
+// value of every field selects the production default; the knobs exist
+// so benchmarks (cmd/tdgbench -exp discovery) can A/B the discovery
+// engine against its pre-optimization configuration.
+type Config struct {
+	// Opts is the optimization bitmask.
+	Opts Opt
+	// OnReady receives producer-side ready tasks; required.
+	OnReady ReadyFunc
+	// OnReadyBatch, if non-nil, receives producer-side ready tasks in
+	// batches (SubmitBatch, Flush): one call replaces len(batch)
+	// OnReady calls, letting executors amortize queue locking. Tasks
+	// readied one at a time still go through OnReady.
+	OnReadyBatch func([]*Task)
+	// Shards is the key-table stripe count, rounded up to a power of
+	// two; 0 means DefaultShards. 1 degenerates to a single global
+	// lock (the baseline configuration).
+	Shards int
+	// NoPool disables task-chunk and keyState pooling: every
+	// allocation goes to the heap individually, as the engine did
+	// before pooling. Baseline configuration for benchmarks.
+	NoPool bool
+}
+
+// Graph is a task dependency graph under concurrent discovery.
+//
+// Concurrency contract: Submit and SubmitBatch may be called from any
+// number of producer goroutines provided the producers' concurrent key
+// footprints are disjoint (each key is submitted against by one
+// producer at a time) or every task declares at most one dependence.
+// Within that contract the per-key discovery order is the order in
+// which producers win the key's shard lock — a valid linearization of
+// the submissions. Concurrent producers whose tasks span two or more
+// shared keys are NOT supported: submissions are serialized per key,
+// not whole-task, so two in-flight multi-key submissions could be
+// ordered oppositely on two keys and discover a cycle (the single-lock
+// pre-striping engine serialized whole submissions and could not).
+// Complete may be called concurrently from any number of workers.
+// Persistence (BeginRecording through FinishReplay) and Flush retain
+// the single-producer contract: they must not run concurrently with
+// other producers.
 type Graph struct {
-	opts    Opt
-	onReady ReadyFunc
+	opts         Opt
+	onReady      ReadyFunc
+	onReadyBatch func([]*Task)
 
-	nextID int64
-	keys   map[Key]*keyState
+	nextID atomic.Int64
 
-	stats struct {
-		tasks, redirects                     int64
-		attempted, created, pruned, duplicer int64
-		replayed                             int64
-	}
+	shards    []shard
+	shardMask uint64
+	noPool    bool
+	chunkPool sync.Pool // *taskChunk, see alloc.go
+
+	// Atomic counters (see Stats for the consistency model).
+	tasks, redirects, replayed atomic.Int64
 
 	live  atomic.Int64 // created but not completed
 	ready atomic.Int64 // ready or running but not completed
 
-	// openGroups tracks keys whose inoutset group holds an unreleased
-	// redirect node, for Flush.
-	openGroups []*keyState
-
 	// redirectLog retains every optimization-(c) node for the TDG
 	// verifier; populated only under OptKeepPrunedEdges (verify mode),
 	// since it pins completed nodes for the graph's lifetime.
+	redirectMu  sync.Mutex
 	redirectLog []*Task
 
-	// persistence
+	// persistence (single-producer)
 	persistent  bool
 	recording   bool
 	epoch       int
@@ -254,45 +183,90 @@ type Graph struct {
 	replayIndex int
 }
 
-// New creates an empty graph with the given optimization set. onReady must
-// be non-nil; it is called exactly once per task when it becomes ready.
+// New creates an empty graph with the given optimization set and
+// default engine configuration. onReady must be non-nil; it is called
+// exactly once per task when it becomes ready on the producer side.
 func New(opts Opt, onReady ReadyFunc) *Graph {
-	if onReady == nil {
+	return NewWithConfig(Config{Opts: opts, OnReady: onReady})
+}
+
+// NewWithConfig creates an empty graph from an explicit engine
+// configuration.
+func NewWithConfig(cfg Config) *Graph {
+	if cfg.OnReady == nil {
 		panic("graph: nil ReadyFunc")
 	}
-	return &Graph{
-		opts:    opts,
-		onReady: onReady,
-		keys:    make(map[Key]*keyState),
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
 	}
+	// Round up to a power of two so shardOf can mask.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	g := &Graph{
+		opts:         cfg.Opts,
+		onReady:      cfg.OnReady,
+		onReadyBatch: cfg.OnReadyBatch,
+		shards:       make([]shard, p),
+		shardMask:    uint64(p - 1),
+		noPool:       cfg.NoPool,
+	}
+	for i := range g.shards {
+		g.shards[i].keys = make(map[Key]*keyState)
+	}
+	return g
 }
+
+// shardOf maps a key to its stripe. Fibonacci hashing spreads the
+// sequential block indices applications use as keys across shards.
+func (g *Graph) shardOf(k Key) *shard {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return &g.shards[(h>>32)&g.shardMask]
+}
+
+// NumShards returns the stripe count of the key table.
+func (g *Graph) NumShards() int { return len(g.shards) }
 
 // Opts returns the optimization mask the graph was created with.
 func (g *Graph) Opts() Opt { return g.opts }
 
 // Live returns the number of discovered-but-uncompleted tasks, the
 // quantity bounded by MPC-OMP's total-tasks throttling threshold.
+// Under striped submission it is exact up to in-flight transitions: a
+// task is counted from before it becomes visible to any other
+// goroutine until its Complete returns.
 func (g *Graph) Live() int64 { return g.live.Load() }
 
 // ReadyCount returns the number of ready-or-running tasks, the quantity
-// bounded by classic ready-task throttling.
+// bounded by classic ready-task throttling. Same consistency model as
+// Live.
 func (g *Graph) ReadyCount() int64 { return g.ready.Load() }
 
-// Stats returns a snapshot of the discovery counters.
+// Stats returns a snapshot of the discovery counters; see the Stats
+// type for the consistency model under concurrent producers.
 func (g *Graph) Stats() Stats {
-	return Stats{
-		Tasks:          g.stats.tasks,
-		RedirectNodes:  g.stats.redirects,
-		EdgesAttempted: g.stats.attempted,
-		EdgesCreated:   g.stats.created,
-		EdgesPruned:    g.stats.pruned,
-		EdgesDuplicate: g.stats.duplicer,
-		ReplayedTasks:  g.stats.replayed,
+	s := Stats{
+		Tasks:         g.tasks.Load(),
+		RedirectNodes: g.redirects.Load(),
+		ReplayedTasks: g.replayed.Load(),
 	}
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		s.EdgesAttempted += sh.attempted
+		s.EdgesCreated += sh.created
+		s.EdgesPruned += sh.pruned
+		s.EdgesDuplicate += sh.duplicate
+		sh.mu.Unlock()
+	}
+	return s
 }
 
 // Submit discovers one task with the given dependences. It returns the
-// task descriptor. Producer-only.
+// task descriptor. Safe for concurrent producers (outside recording
+// mode).
 func (g *Graph) Submit(label string, deps []Dep, body func(fp any), fp any) *Task {
 	return g.submit(label, deps, body, fp, false)
 }
@@ -305,15 +279,13 @@ func (g *Graph) SubmitDetached(label string, deps []Dep, body func(fp any), fp a
 }
 
 func (g *Graph) submit(label string, deps []Dep, body func(fp any), fp any, detached bool) *Task {
-	t := &Task{
-		ID:           g.nextID,
-		Label:        label,
-		Body:         body,
-		FirstPrivate: fp,
-		Detached:     detached,
-	}
-	g.nextID++
-	g.stats.tasks++
+	t := g.allocTask()
+	t.ID = g.nextID.Add(1) - 1
+	t.Label = label
+	t.Body = body
+	t.FirstPrivate = fp
+	t.Detached = detached
+	g.tasks.Add(1)
 	g.live.Add(1)
 	t.preds.Store(1) // producer sentinel
 	t.Persistent = g.recording
@@ -323,27 +295,36 @@ func (g *Graph) submit(label string, deps []Dep, body func(fp any), fp any, deta
 	}
 
 	for _, d := range deps {
-		g.processDep(t, d)
+		g.processDep(t, d, nil)
 	}
-	g.releaseSentinel(t)
+	g.releaseSentinel(t, nil)
 	return t
 }
 
-// processDep applies one dependence declaration during discovery.
-func (g *Graph) processDep(t *Task, d Dep) {
-	ks := g.keys[d.Key]
+// processDep applies one dependence declaration during discovery, under
+// the key's shard lock. readyBuf, when non-nil, collects tasks readied
+// as a side effect (redirect nodes of closing groups) for batched
+// delivery outside the lock.
+func (g *Graph) processDep(t *Task, d Dep, readyBuf *[]*Task) {
+	sh := g.shardOf(d.Key)
+	sh.mu.Lock()
+	ks := sh.keys[d.Key]
 	if ks == nil {
-		ks = &keyState{}
-		g.keys[d.Key] = ks
+		if g.noPool {
+			ks = &keyState{}
+		} else {
+			ks = sh.allocKeyState()
+		}
+		sh.keys[d.Key] = ks
 	}
 	switch d.Type {
 	case In:
-		g.dependOnOutSet(t, ks)
+		g.dependOnOutSet(sh, t, ks, readyBuf)
 		ks.readers = append(ks.readers, t)
 	case Out, InOut:
-		g.dependOnOutSet(t, ks)
+		g.dependOnOutSet(sh, t, ks, readyBuf)
 		for _, r := range ks.readers {
-			g.addEdge(r, t)
+			g.addEdge(sh, r, t)
 		}
 		ks.readers = ks.readers[:0]
 		ks.outSet = append(ks.outSet[:0], t)
@@ -351,104 +332,103 @@ func (g *Graph) processDep(t *Task, d Dep) {
 		ks.redirect = nil
 	case InOutSet:
 		if !ks.setOpen {
-			// Starting a new group: remember what the group as a
-			// whole must succeed, then make the group the out-set.
-			prevOut := append([]*Task(nil), ks.outSet...)
-			prevReaders := append([]*Task(nil), ks.readers...)
-			ks.readers = ks.readers[:0]
-			ks.outSet = ks.outSet[:0]
+			// Starting a new group: the previous frontier becomes the
+			// base every member must succeed, and the group itself
+			// becomes the out-set. Swapping the backing arrays makes
+			// this allocation-free.
+			ks.baseOut, ks.outSet = ks.outSet, ks.baseOut[:0]
+			ks.baseReaders, ks.readers = ks.readers, ks.baseReaders[:0]
 			ks.setOpen = true
 			ks.redirect = nil
 			ks.redirectReleased = false
 			if g.opts&OptInOutSetNode != 0 {
 				ks.redirect = g.newRedirect()
-				g.openGroups = append(g.openGroups, ks)
+				sh.open = append(sh.open, ks)
 			}
-			// Base dependences of the first member.
-			for _, p := range prevOut {
-				g.addEdge(p, t)
-			}
-			for _, r := range prevReaders {
-				g.addEdge(r, t)
-			}
-			// Stash base so later members depend on the same base.
-			ks.baseOut = prevOut
-			ks.baseReaders = prevReaders
-		} else {
-			for _, p := range ks.baseOut {
-				g.addEdge(p, t)
-			}
-			for _, r := range ks.baseReaders {
-				g.addEdge(r, t)
-			}
+		}
+		for _, p := range ks.baseOut {
+			g.addEdge(sh, p, t)
+		}
+		for _, r := range ks.baseReaders {
+			g.addEdge(sh, r, t)
 		}
 		ks.outSet = append(ks.outSet, t)
 		if ks.redirect != nil {
-			g.addEdge(t, ks.redirect)
+			g.addEdge(sh, t, ks.redirect)
 		}
 	}
+	sh.mu.Unlock()
 }
 
 // dependOnOutSet makes t succeed the current out-set of ks, collapsing an
 // open inoutset group through its redirect node when optimization (c) is
-// enabled. A non-inoutset access closes any open group.
-func (g *Graph) dependOnOutSet(t *Task, ks *keyState) {
+// enabled. A non-inoutset access closes any open group. Caller holds
+// sh.mu.
+func (g *Graph) dependOnOutSet(sh *shard, t *Task, ks *keyState, readyBuf *[]*Task) {
 	if ks.setOpen {
 		if ks.redirect != nil {
-			g.addEdge(ks.redirect, t)
+			g.addEdge(sh, ks.redirect, t)
 			// With a redirect node, the node now stands for the
 			// whole group.
 			ks.outSet = append(ks.outSet[:0], ks.redirect)
 		} else {
 			for _, p := range ks.outSet {
-				g.addEdge(p, t)
+				g.addEdge(sh, p, t)
 			}
 		}
 		// Group closes on first non-inoutset access.
-		g.closeGroup(ks)
+		g.closeGroup(ks, readyBuf)
 		return
 	}
 	for _, p := range ks.outSet {
-		g.addEdge(p, t)
+		g.addEdge(sh, p, t)
 	}
 }
 
 // closeGroup ends an open inoutset group, dropping the producer sentinel
 // of its redirect node so the node can complete once all members finish.
-func (g *Graph) closeGroup(ks *keyState) {
+// Caller holds the shard lock of the group's key.
+func (g *Graph) closeGroup(ks *keyState, readyBuf *[]*Task) {
 	if ks.redirect != nil && !ks.redirectReleased {
 		ks.redirectReleased = true
-		g.releaseSentinel(ks.redirect)
+		g.releaseSentinel(ks.redirect, readyBuf)
 	}
 	ks.setOpen = false
-	ks.baseOut, ks.baseReaders = nil, nil
+	ks.baseOut = ks.baseOut[:0]
+	ks.baseReaders = ks.baseReaders[:0]
 	ks.redirect = nil
 }
 
 // Flush closes every still-open inoutset group. Executors call it at
 // synchronization points (taskwait, barrier, end of recording) so that
 // redirect nodes pending on a producer sentinel can drain.
+// Single-producer: must not run concurrently with Submit/SubmitBatch.
 func (g *Graph) Flush() {
-	for _, ks := range g.openGroups {
-		if ks.setOpen {
-			g.closeGroup(ks)
+	var ready []*Task
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for _, ks := range sh.open {
+			if ks.setOpen {
+				g.closeGroup(ks, &ready)
+			}
 		}
+		sh.open = sh.open[:0]
+		sh.mu.Unlock()
 	}
-	g.openGroups = g.openGroups[:0]
+	g.notifyReady(ready)
 }
 
 // newRedirect allocates and releases an optimization-(c) empty node. It
 // participates in the graph like any task; executors complete it with
 // zero-cost bodies.
 func (g *Graph) newRedirect() *Task {
-	r := &Task{
-		ID:       g.nextID,
-		Label:    "redirect",
-		Redirect: true,
-	}
-	g.nextID++
-	g.stats.tasks++
-	g.stats.redirects++
+	r := g.allocTask()
+	r.ID = g.nextID.Add(1) - 1
+	r.Label = "redirect"
+	r.Redirect = true
+	g.tasks.Add(1)
+	g.redirects.Add(1)
 	g.live.Add(1)
 	r.preds.Store(1)
 	r.Persistent = g.recording
@@ -457,7 +437,9 @@ func (g *Graph) newRedirect() *Task {
 		g.recorded = append(g.recorded, r)
 	}
 	if g.opts&OptKeepPrunedEdges != 0 {
+		g.redirectMu.Lock()
 		g.redirectLog = append(g.redirectLog, r)
+		g.redirectMu.Unlock()
 	}
 	// The producer sentinel is held until the group closes (or Flush),
 	// so the node cannot complete while member edges are still being
@@ -467,21 +449,26 @@ func (g *Graph) newRedirect() *Task {
 
 // RedirectNodes returns every optimization-(c) node created so far.
 // Only tracked under OptKeepPrunedEdges (verify mode); nil otherwise.
-func (g *Graph) RedirectNodes() []*Task { return g.redirectLog }
+func (g *Graph) RedirectNodes() []*Task {
+	g.redirectMu.Lock()
+	defer g.redirectMu.Unlock()
+	return g.redirectLog
+}
 
 // addEdge records the precedence constraint pred -> succ, applying
 // duplicate elimination (b) and completed-predecessor pruning. succ must
-// be the task currently under discovery (producer-owned).
-func (g *Graph) addEdge(pred, succ *Task) {
+// be the task currently under discovery (owned by the calling producer);
+// the caller holds the shard lock its dependence is processed under.
+func (g *Graph) addEdge(sh *shard, pred, succ *Task) {
 	if pred == succ {
 		return
 	}
-	g.stats.attempted++
+	sh.attempted++
 
 	pred.mu.Lock()
 	if g.opts&OptDedup != 0 && pred.lastSucc == succ {
 		pred.mu.Unlock()
-		g.stats.duplicer++
+		sh.duplicate++
 		return
 	}
 	done := State(pred.state.Load()) == Completed
@@ -494,7 +481,7 @@ func (g *Graph) addEdge(pred, succ *Task) {
 	sameRecording := g.recording && pred.Persistent && pred.recordEpoch == g.epoch
 	if done && !sameRecording && g.opts&OptKeepPrunedEdges == 0 {
 		pred.mu.Unlock()
-		g.stats.pruned++
+		sh.pruned++
 		return
 	}
 	pred.succs = append(pred.succs, succ)
@@ -513,17 +500,23 @@ func (g *Graph) addEdge(pred, succ *Task) {
 	}
 	pred.mu.Unlock()
 
-	g.stats.created++
+	sh.created++
 	// In recording mode with a completed same-recording pred the edge
 	// exists for future iterations but contributes nothing to the live
 	// counter now.
 }
 
 // releaseSentinel drops the producer's hold on t; if no predecessors
-// remain the task becomes ready.
-func (g *Graph) releaseSentinel(t *Task) {
+// remain the task becomes ready — appended to *readyBuf when non-nil
+// (batch submission), else delivered to onReady immediately.
+func (g *Graph) releaseSentinel(t *Task, readyBuf *[]*Task) {
 	if t.preds.Add(-1) == 0 {
-		g.markReady(t)
+		g.markReadyQuiet(t)
+		if readyBuf != nil {
+			*readyBuf = append(*readyBuf, t)
+		} else {
+			g.onReady(t)
+		}
 	}
 }
 
@@ -534,9 +527,19 @@ func (g *Graph) markReadyQuiet(t *Task) {
 	g.ready.Add(1)
 }
 
-func (g *Graph) markReady(t *Task) {
-	g.markReadyQuiet(t)
-	g.onReady(t)
+// notifyReady delivers a producer-side ready batch through OnReadyBatch
+// when configured, else task by task.
+func (g *Graph) notifyReady(ts []*Task) {
+	if len(ts) == 0 {
+		return
+	}
+	if g.onReadyBatch != nil {
+		g.onReadyBatch(ts)
+		return
+	}
+	for _, t := range ts {
+		g.onReady(t)
+	}
 }
 
 // Start transitions a ready task to running. Executors call it when they
@@ -550,7 +553,14 @@ func (g *Graph) Start(t *Task) {
 // Ready and are returned; the CALLER must schedule them (depth-first
 // executors push them onto the completing worker's deque). onReady is
 // deliberately not invoked for them.
-func (g *Graph) Complete(t *Task) []*Task {
+func (g *Graph) Complete(t *Task) []*Task { return g.CompleteInto(t, nil) }
+
+// CompleteInto is Complete appending the released successors into
+// buf[:0], so completion-heavy executors can reuse one buffer per
+// worker instead of allocating per completion. The returned slice
+// aliases buf (possibly regrown); its contents are only valid until the
+// caller's next CompleteInto with the same buffer.
+func (g *Graph) CompleteInto(t *Task, buf []*Task) []*Task {
 	t.mu.Lock()
 	t.state.Store(int32(Completed))
 	succs := t.succs
@@ -559,7 +569,7 @@ func (g *Graph) Complete(t *Task) []*Task {
 	g.ready.Add(-1)
 	g.live.Add(-1)
 
-	var released []*Task
+	released := buf[:0]
 	for _, s := range succs {
 		if s.preds.Add(-1) == 0 {
 			g.markReadyQuiet(s)
@@ -569,149 +579,21 @@ func (g *Graph) Complete(t *Task) []*Task {
 	return released
 }
 
-// --- Persistence (optimization p) ---
-
-// BeginRecording enters persistent discovery: tasks submitted until
-// EndRecording are recorded, never pruned (every edge is materialized so
-// replays need no dependence processing), and kept after completion.
-func (g *Graph) BeginRecording() {
-	if g.persistent {
-		panic("graph: nested persistent regions")
-	}
-	g.persistent = true
-	g.recording = true
-	g.epoch++
-	g.recorded = g.recorded[:0]
-}
-
-// EndRecording leaves recording mode. The recorded task sequence is now
-// replayable.
-func (g *Graph) EndRecording() {
-	g.recording = false
-}
-
-// RecordedLen returns the number of tasks captured by the last recording.
-func (g *Graph) RecordedLen() int { return len(g.recorded) }
-
-// BeginReplay prepares a new persistent iteration. Every recorded task
-// must be Completed (the implicit end-of-iteration barrier guarantees
-// this). Counters are reset for all tasks up front so that completions of
-// early replayed tasks can safely decrement later tasks not yet
-// re-released.
-func (g *Graph) BeginReplay() error {
-	if !g.persistent {
-		return fmt.Errorf("graph: BeginReplay outside a persistent region")
-	}
-	for _, t := range g.recorded {
-		if t.State() != Completed {
-			return fmt.Errorf("graph: replay with task %d (%s) in state %v", t.ID, t.Label, t.State())
-		}
-	}
-	for _, t := range g.recorded {
-		t.preds.Store(t.recordedIndegree + 1) // +1 producer sentinel
-		t.state.Store(int32(Created))
-	}
-	g.live.Add(int64(len(g.recorded)))
-	g.replayIndex = 0
-	return nil
-}
-
-// Replay re-instantiates the next recorded task: the only per-task work
-// is the firstprivate copy (and optionally a body-closure update),
-// mirroring the paper's single-memcpy replay cost and its dynamic
-// firstprivate-update extension. Redirect nodes interleaved in the
-// recording are released implicitly. Returns the task instance.
-func (g *Graph) Replay(fp any, body func(fp any)) *Task {
-	for g.replayIndex < len(g.recorded) && g.recorded[g.replayIndex].Redirect {
-		r := g.recorded[g.replayIndex]
-		g.replayIndex++
-		g.stats.replayed++
-		g.releaseSentinel(r)
-	}
-	if g.replayIndex >= len(g.recorded) {
-		panic("graph: replay past end of recorded task sequence")
-	}
-	t := g.recorded[g.replayIndex]
-	g.replayIndex++
-	t.FirstPrivate = fp
-	if body != nil {
-		t.Body = body
-	}
-	g.stats.replayed++
-	g.releaseSentinel(t)
-	return t
-}
-
-// FinishReplay releases any trailing redirect nodes and verifies the
-// whole recording was replayed.
-func (g *Graph) FinishReplay() error {
-	for g.replayIndex < len(g.recorded) && g.recorded[g.replayIndex].Redirect {
-		r := g.recorded[g.replayIndex]
-		g.replayIndex++
-		g.stats.replayed++
-		g.releaseSentinel(r)
-	}
-	if g.replayIndex != len(g.recorded) {
-		return fmt.Errorf("graph: replay submitted %d of %d recorded tasks", g.replayIndex, len(g.recorded))
-	}
-	return nil
-}
-
-// ReplayAll re-instantiates the entire recording without touching any
-// task's firstprivate or body — the captured-closure replay semantics of
-// the OpenMP `taskgraph` proposal discussed in the paper's related work
-// ("all the closures are captured during first execution"). Even cheaper
-// than Replay, at the cost of forbidding per-iteration updates. Call
-// between BeginReplay and FinishReplay, instead of per-task Replay.
-func (g *Graph) ReplayAll() {
-	for g.replayIndex < len(g.recorded) {
-		t := g.recorded[g.replayIndex]
-		g.replayIndex++
-		g.stats.replayed++
-		g.releaseSentinel(t)
-	}
-}
-
-// AbortReplay releases every not-yet-replayed recorded task (keeping its
-// previously recorded firstprivate) so the graph can drain after a replay
-// that failed mid-iteration (e.g. a shape mismatch).
-func (g *Graph) AbortReplay() {
-	for g.replayIndex < len(g.recorded) {
-		t := g.recorded[g.replayIndex]
-		g.replayIndex++
-		g.stats.replayed++
-		g.releaseSentinel(t)
-	}
-}
-
-// EndPersistent closes the persistent region. The recorded task sequence
-// stays readable (Recorded, e.g. for DOT export) until the next
-// BeginRecording reuses it.
-func (g *Graph) EndPersistent() {
-	g.persistent = false
-	g.recording = false
-	g.replayIndex = len(g.recorded)
-}
-
-// Recorded exposes the recorded sequence (read-only use: tests, DES).
-func (g *Graph) Recorded() []*Task { return g.recorded }
-
 // ResetDiscoveryFrontier clears the per-key discovery state (last
 // writers/readers) without touching counters, used between independent
-// phases in benchmarks.
+// phases in benchmarks. The shard maps and keyStates are recycled, not
+// reallocated. Single-producer.
 func (g *Graph) ResetDiscoveryFrontier() {
-	g.keys = make(map[Key]*keyState)
-}
-
-// ForceEdge records a raw precedence edge pred -> succ with no
-// dependence processing, no pruning, no deduplication, and no
-// predecessor-count update. It exists so tests and the TDG verifier
-// (internal/verify) can seed structurally broken graphs — cycles,
-// duplicate edges, severed orderings — that correct discovery can never
-// produce. It must not be used on a graph that will execute: succ's
-// counter is untouched, so the edge does not order execution.
-func ForceEdge(pred, succ *Task) {
-	pred.mu.Lock()
-	pred.succs = append(pred.succs, succ)
-	pred.mu.Unlock()
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for k, ks := range sh.keys {
+			delete(sh.keys, k)
+			if !g.noPool {
+				sh.recycle(ks)
+			}
+		}
+		sh.open = sh.open[:0]
+		sh.mu.Unlock()
+	}
 }

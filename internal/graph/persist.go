@@ -1,0 +1,138 @@
+package graph
+
+import "fmt"
+
+// Persistence (optimization p): record a task sub-graph once, replay it
+// with per-task cost reduced to a firstprivate copy. The whole
+// record/replay machinery is single-producer — it must not run
+// concurrently with other producers on the same graph.
+//
+// Replay is allocation-free by construction: BeginReplay resets
+// counters in place, Replay reuses the recorded Task objects (same
+// chunks, same successor slices), and the recorded sequence buffer
+// keeps its capacity across re-recordings.
+
+// BeginRecording enters persistent discovery: tasks submitted until
+// EndRecording are recorded, never pruned (every edge is materialized so
+// replays need no dependence processing), and kept after completion.
+func (g *Graph) BeginRecording() {
+	if g.persistent {
+		panic("graph: nested persistent regions")
+	}
+	g.persistent = true
+	g.recording = true
+	g.epoch++
+	g.recorded = g.recorded[:0]
+}
+
+// EndRecording leaves recording mode. The recorded task sequence is now
+// replayable.
+func (g *Graph) EndRecording() {
+	g.recording = false
+}
+
+// RecordedLen returns the number of tasks captured by the last recording.
+func (g *Graph) RecordedLen() int { return len(g.recorded) }
+
+// BeginReplay prepares a new persistent iteration. Every recorded task
+// must be Completed (the implicit end-of-iteration barrier guarantees
+// this). Counters are reset for all tasks up front so that completions of
+// early replayed tasks can safely decrement later tasks not yet
+// re-released.
+func (g *Graph) BeginReplay() error {
+	if !g.persistent {
+		return fmt.Errorf("graph: BeginReplay outside a persistent region")
+	}
+	for _, t := range g.recorded {
+		if t.State() != Completed {
+			return fmt.Errorf("graph: replay with task %d (%s) in state %v", t.ID, t.Label, t.State())
+		}
+	}
+	for _, t := range g.recorded {
+		t.preds.Store(t.recordedIndegree + 1) // +1 producer sentinel
+		t.state.Store(int32(Created))
+	}
+	g.live.Add(int64(len(g.recorded)))
+	g.replayIndex = 0
+	return nil
+}
+
+// Replay re-instantiates the next recorded task: the only per-task work
+// is the firstprivate copy (and optionally a body-closure update),
+// mirroring the paper's single-memcpy replay cost and its dynamic
+// firstprivate-update extension. Redirect nodes interleaved in the
+// recording are released implicitly. Returns the task instance.
+func (g *Graph) Replay(fp any, body func(fp any)) *Task {
+	for g.replayIndex < len(g.recorded) && g.recorded[g.replayIndex].Redirect {
+		r := g.recorded[g.replayIndex]
+		g.replayIndex++
+		g.replayed.Add(1)
+		g.releaseSentinel(r, nil)
+	}
+	if g.replayIndex >= len(g.recorded) {
+		panic("graph: replay past end of recorded task sequence")
+	}
+	t := g.recorded[g.replayIndex]
+	g.replayIndex++
+	t.FirstPrivate = fp
+	if body != nil {
+		t.Body = body
+	}
+	g.replayed.Add(1)
+	g.releaseSentinel(t, nil)
+	return t
+}
+
+// FinishReplay releases any trailing redirect nodes and verifies the
+// whole recording was replayed.
+func (g *Graph) FinishReplay() error {
+	for g.replayIndex < len(g.recorded) && g.recorded[g.replayIndex].Redirect {
+		r := g.recorded[g.replayIndex]
+		g.replayIndex++
+		g.replayed.Add(1)
+		g.releaseSentinel(r, nil)
+	}
+	if g.replayIndex != len(g.recorded) {
+		return fmt.Errorf("graph: replay submitted %d of %d recorded tasks", g.replayIndex, len(g.recorded))
+	}
+	return nil
+}
+
+// ReplayAll re-instantiates the entire recording without touching any
+// task's firstprivate or body — the captured-closure replay semantics of
+// the OpenMP `taskgraph` proposal discussed in the paper's related work
+// ("all the closures are captured during first execution"). Even cheaper
+// than Replay, at the cost of forbidding per-iteration updates. Call
+// between BeginReplay and FinishReplay, instead of per-task Replay.
+func (g *Graph) ReplayAll() {
+	for g.replayIndex < len(g.recorded) {
+		t := g.recorded[g.replayIndex]
+		g.replayIndex++
+		g.replayed.Add(1)
+		g.releaseSentinel(t, nil)
+	}
+}
+
+// AbortReplay releases every not-yet-replayed recorded task (keeping its
+// previously recorded firstprivate) so the graph can drain after a replay
+// that failed mid-iteration (e.g. a shape mismatch).
+func (g *Graph) AbortReplay() {
+	for g.replayIndex < len(g.recorded) {
+		t := g.recorded[g.replayIndex]
+		g.replayIndex++
+		g.replayed.Add(1)
+		g.releaseSentinel(t, nil)
+	}
+}
+
+// EndPersistent closes the persistent region. The recorded task sequence
+// stays readable (Recorded, e.g. for DOT export) until the next
+// BeginRecording reuses it.
+func (g *Graph) EndPersistent() {
+	g.persistent = false
+	g.recording = false
+	g.replayIndex = len(g.recorded)
+}
+
+// Recorded exposes the recorded sequence (read-only use: tests, DES).
+func (g *Graph) Recorded() []*Task { return g.recorded }

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies a datum a dependence may be declared on, the moral
+// equivalent of the address in an OpenMP depend clause. Applications
+// typically derive keys from array-block indices.
+type Key uint64
+
+// DepType enumerates OpenMP 5.1 dependence types relevant to the paper.
+type DepType uint8
+
+const (
+	// In declares a read of the datum: the task depends on the last
+	// out-set for the key.
+	In DepType = iota
+	// Out declares a write: the task depends on the last out-set and on
+	// every reader registered since.
+	Out
+	// InOut behaves exactly like Out (kept distinct for tracing).
+	InOut
+	// InOutSet declares a concurrent write: consecutive InOutSet tasks on
+	// the same key are mutually independent, but any later access depends
+	// on the whole set.
+	InOutSet
+)
+
+func (d DepType) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	case InOutSet:
+		return "inoutset"
+	}
+	return fmt.Sprintf("DepType(%d)", uint8(d))
+}
+
+// Dep is one dependence declaration of a task.
+type Dep struct {
+	Key  Key
+	Type DepType
+}
+
+// State is the lifecycle state of a task.
+type State int32
+
+const (
+	// Created: discovered, predecessors outstanding.
+	Created State = iota
+	// Ready: all predecessors completed; handed to the executor.
+	Ready
+	// Running: the executor has started the task body.
+	Running
+	// Completed: the body finished and successors were released.
+	Completed
+)
+
+func (s State) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	}
+	return fmt.Sprintf("State(%d)", int32(s))
+}
+
+// inlineSuccs is the successor capacity embedded in every Task. Most
+// tasks in block-structured workloads (stencils, factorizations) have
+// out-degree <= 8, so their successor list never touches the heap.
+const inlineSuccs = 4
+
+// Task is a node of the dependency graph. Executors attach their payload
+// (closure, cost model, ...) through the exported fields; the graph itself
+// only manipulates the precedence machinery.
+//
+// Tasks are allocated by the graph (normally from pooled chunks, see
+// alloc.go) and must never be copied: succs may alias the embedded
+// succs0 array.
+type Task struct {
+	// ID is the submission sequence number, unique within a Graph. With
+	// concurrent producers IDs are allocated atomically: they remain
+	// unique and per-producer monotonic, but are not globally dense in
+	// per-key discovery order.
+	ID int64
+	// Label names the task for traces and Gantt charts.
+	Label string
+	// Body is the work closure run by the real executor (nil for
+	// redirect nodes and for DES-only tasks).
+	Body func(fp any)
+	// FirstPrivate is the per-instance private datum, copied on
+	// persistent replay (the paper's single-memcpy replay cost).
+	FirstPrivate any
+	// Data carries executor-specific payload (e.g. a DES cost spec).
+	Data any
+	// Detached marks a task whose completion is signalled externally
+	// (MPI request completion) rather than at body return.
+	Detached bool
+	// Redirect marks an empty node inserted by optimization (c).
+	Redirect bool
+	// Persistent marks tasks recorded in a persistent region.
+	Persistent bool
+
+	// preds counts outstanding predecessors plus one producer sentinel.
+	preds atomic.Int32
+	// recordedIndegree counts incoming edges from tasks of the same
+	// recording, used to reset preds on persistent replay. Written only
+	// by the goroutine that discovered this task.
+	recordedIndegree int32
+	// recordEpoch identifies which recording the task belongs to, so
+	// edges from earlier recordings (or from outside any recording)
+	// never count toward replay indegrees.
+	recordEpoch int
+	state       atomic.Int32
+
+	mu       sync.Mutex
+	succs    []*Task
+	lastSucc *Task // duplicate-edge detection for optimization (b)
+	// succs0 is the inline successor storage succs initially aliases
+	// (edge-slice pooling: no heap allocation below inlineSuccs edges).
+	succs0 [inlineSuccs]*Task
+}
+
+// State returns the task's lifecycle state.
+func (t *Task) State() State { return State(t.state.Load()) }
+
+// NumSuccessors returns the current successor count (racy during
+// discovery; stable once discovery is complete).
+func (t *Task) NumSuccessors() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.succs)
+}
+
+// Successors returns a snapshot of the successor list.
+func (t *Task) Successors() []*Task {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Task, len(t.succs))
+	copy(out, t.succs)
+	return out
+}
+
+// Indegree returns the number of recorded incoming edges.
+func (t *Task) Indegree() int { return int(t.recordedIndegree) }
+
+// ForceEdge records a raw precedence edge pred -> succ with no
+// dependence processing, no pruning, no deduplication, and no
+// predecessor-count update. It exists so tests and the TDG verifier
+// (internal/verify) can seed structurally broken graphs — cycles,
+// duplicate edges, severed orderings — that correct discovery can never
+// produce. It must not be used on a graph that will execute: succ's
+// counter is untouched, so the edge does not order execution.
+func ForceEdge(pred, succ *Task) {
+	pred.mu.Lock()
+	pred.succs = append(pred.succs, succ)
+	pred.mu.Unlock()
+}

@@ -1,0 +1,9 @@
+// Package metg computes the Minimum Effective Task Granularity metric of
+// Slaughter et al. (Task Bench, SC'20), as used by the paper's §3.3
+// report: for a sweep of (grain, wall-time) samples at fixed total work,
+// METG(x%) is the smallest average task grain whose configuration
+// achieves at least x% of the best observed efficiency.
+//
+// The runtime-facing sweep driver lives in internal/experiments
+// (RunMETG); this package is the pure metric: Samples in, METG out.
+package metg

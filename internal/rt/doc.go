@@ -1,0 +1,40 @@
+// Package rt is the real (goroutine-based) executor of the task runtime —
+// the reproduction's equivalent of MPC-OMP's tasking layer. A producer
+// goroutine discovers the task dependency graph concurrently with its
+// execution by a pool of workers, mirroring the paper's model: the
+// discovery runs "on a single producer thread concurrently of its
+// execution by any threads (including the producer)".
+//
+// Features reproduced from the paper:
+//   - dependent tasks over data keys (internal/graph) with optimizations
+//     (b), (c) and persistence (p);
+//   - per-worker LIFO deques and depth-first successor wake-up
+//     (internal/sched);
+//   - ready-task and total-task throttling: past the thresholds the
+//     producer stops producing and starts consuming (§5);
+//   - detached tasks completed by an external event (MPI requests);
+//   - progress polling hooks invoked at scheduling points, the mechanism
+//     MPC-OMP uses to advance MPI requests;
+//   - profiling of the work/overhead/idle breakdown and discovery window.
+//
+// # Submission paths
+//
+// Runtime.Submit discovers one task per call; Runtime.SubmitBatch hands
+// a slice of Specs to the graph in one call, amortizing throttling,
+// dependence staging, allocator traffic and ready-queue publication
+// (graph.SubmitBatch + sched.Scheduler.PushBatch) across the batch.
+// Runtime.TaskLoop — the equivalent of `taskloop num_tasks(t)` with a
+// depend clause — submits its chunks through the batch path. Both paths
+// degenerate to recorded-task replays inside persistent regions.
+//
+// Completion is symmetric: workers return released successors through a
+// per-worker reused buffer (graph.CompleteInto) and publish them with
+// one queue operation, keeping the completion path allocation-free.
+//
+// # Hot-path layering
+//
+// Submit/SubmitBatch -> graph discovery (sharded key table) -> ready
+// tasks -> sched deques -> worker execute -> graph.CompleteInto ->
+// released successors pushed depth-first. docs/architecture.md maps
+// this pipeline to the paper's optimizations in detail.
+package rt

@@ -1,21 +1,3 @@
-// Package rt is the real (goroutine-based) executor of the task runtime —
-// the reproduction's equivalent of MPC-OMP's tasking layer. A single
-// producer goroutine discovers the task dependency graph concurrently with
-// its execution by a pool of workers, mirroring the paper's model: the
-// discovery runs "on a single producer thread concurrently of its
-// execution by any threads (including the producer)".
-//
-// Features reproduced from the paper:
-//   - dependent tasks over data keys (internal/graph) with optimizations
-//     (b), (c) and persistence (p);
-//   - per-worker LIFO deques and depth-first successor wake-up
-//     (internal/sched);
-//   - ready-task and total-task throttling: past the thresholds the
-//     producer stops producing and starts consuming (§5);
-//   - detached tasks completed by an external event (MPI requests);
-//   - progress polling hooks invoked at scheduling points, the mechanism
-//     MPC-OMP uses to advance MPI requests;
-//   - profiling of the work/overhead/idle breakdown and discovery window.
 package rt
 
 import (
@@ -92,6 +74,18 @@ type Runtime struct {
 	// unless Config.Verify != verify.Off.
 	ver       *verify.Recorder
 	lastAudit atomic.Pointer[verify.Report]
+
+	// Producer-only staging buffers, reused across Submit/SubmitBatch
+	// calls so steady-state submission does not allocate.
+	depBuf     []graph.Dep
+	batchDescs []graph.TaskDesc
+	batchDeps  []graph.Dep
+	batchTasks []*graph.Task
+	loopSpecs  []Spec
+
+	// relBufs[w] is worker w's reused buffer for successors released by
+	// graph.CompleteInto (completions from non-worker contexts allocate).
+	relBufs [][]*graph.Task
 }
 
 // New creates and starts a runtime. Close must be called to join workers.
@@ -117,10 +111,18 @@ func New(cfg Config) *Runtime {
 	if cfg.Verify != verify.Off {
 		rt.ver = verify.NewRecorder(cfg.Opts)
 	}
-	rt.g = graph.New(gopts, func(t *graph.Task) {
-		// Producer-side readiness: route through the global FIFO.
-		rt.s.Push(-1, t)
+	rt.g = graph.NewWithConfig(graph.Config{
+		Opts: gopts,
+		OnReady: func(t *graph.Task) {
+			// Producer-side readiness: route through the global FIFO.
+			rt.s.Push(-1, t)
+		},
+		OnReadyBatch: func(ts []*graph.Task) {
+			// Batch submission: one queue lock + one wake-up.
+			rt.s.PushBatch(-1, ts)
+		},
 	})
+	rt.relBufs = make([][]*graph.Task, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		rt.wg.Add(1)
 		go rt.worker(w)
@@ -158,21 +160,27 @@ type Spec struct {
 	Detached bool
 }
 
-func (s *Spec) deps() []graph.Dep {
-	deps := make([]graph.Dep, 0, len(s.In)+len(s.Out)+len(s.InOut)+len(s.InOutSet))
+// depsInto appends the Spec's dependence declarations to buf and
+// returns it. Callers reuse producer-owned buffers: neither the graph
+// nor the verifier retains the slice past the submission call.
+func (s *Spec) depsInto(buf []graph.Dep) []graph.Dep {
 	for _, k := range s.In {
-		deps = append(deps, graph.Dep{Key: k, Type: graph.In})
+		buf = append(buf, graph.Dep{Key: k, Type: graph.In})
 	}
 	for _, k := range s.Out {
-		deps = append(deps, graph.Dep{Key: k, Type: graph.Out})
+		buf = append(buf, graph.Dep{Key: k, Type: graph.Out})
 	}
 	for _, k := range s.InOut {
-		deps = append(deps, graph.Dep{Key: k, Type: graph.InOut})
+		buf = append(buf, graph.Dep{Key: k, Type: graph.InOut})
 	}
 	for _, k := range s.InOutSet {
-		deps = append(deps, graph.Dep{Key: k, Type: graph.InOutSet})
+		buf = append(buf, graph.Dep{Key: k, Type: graph.InOutSet})
 	}
-	return deps
+	return buf
+}
+
+func (s *Spec) deps() []graph.Dep {
+	return s.depsInto(make([]graph.Dep, 0, len(s.In)+len(s.Out)+len(s.InOut)+len(s.InOutSet)))
 }
 
 // Event completes a detached task from outside the worker pool (e.g. an
@@ -201,39 +209,24 @@ func (e *Event) Fulfill() {
 	e.rt.detached.Add(-1)
 }
 
-// Submit discovers one task. Producer-only. In a persistent replay it
-// degenerates to the recorded task's firstprivate update. It returns the
-// detach event for Detached tasks, else nil.
-func (rt *Runtime) Submit(spec Spec) *Event {
-	rt.throttle()
-	var t *graph.Task
-	var ev *Event
-	body := spec.Body
-	if spec.Detached {
-		ev = &Event{rt: rt}
-		db := spec.DetachedBody
-		body = func(fp any) {
-			if db != nil {
-				db(fp, ev)
-			}
-		}
+// wrapBody prepares the execution closure for a spec, binding a detach
+// event for detached tasks.
+func (rt *Runtime) wrapBody(spec *Spec) (func(fp any), *Event) {
+	if !spec.Detached {
+		return spec.Body, nil
 	}
-	if rt.replay {
-		t = rt.g.Replay(spec.FirstPrivate, body)
-		if rt.ver != nil {
-			rt.ver.ReplayNext(spec.Label, spec.deps())
+	ev := &Event{rt: rt}
+	db := spec.DetachedBody
+	return func(fp any) {
+		if db != nil {
+			db(fp, ev)
 		}
-	} else {
-		deps := spec.deps()
-		if spec.Detached {
-			t = rt.g.SubmitDetached(spec.Label, deps, body, spec.FirstPrivate)
-		} else {
-			t = rt.g.Submit(spec.Label, deps, body, spec.FirstPrivate)
-		}
-		if rt.ver != nil {
-			rt.ver.Record(t, deps)
-		}
-	}
+	}, ev
+}
+
+// finishSubmit handles the post-discovery bookkeeping shared by Submit
+// and SubmitBatch; returns the detach event for detached tasks.
+func (rt *Runtime) finishSubmit(t *graph.Task, ev *Event) *Event {
 	if p := rt.cfg.Profile; p != nil {
 		p.TaskCreated(rt.now())
 	}
@@ -251,10 +244,126 @@ func (rt *Runtime) Submit(spec Spec) *Event {
 	return nil
 }
 
+// Submit discovers one task. Producer-only. In a persistent replay it
+// degenerates to the recorded task's firstprivate update. It returns the
+// detach event for Detached tasks, else nil.
+func (rt *Runtime) Submit(spec Spec) *Event {
+	rt.throttle()
+	body, ev := rt.wrapBody(&spec)
+	rt.depBuf = spec.depsInto(rt.depBuf[:0])
+	deps := rt.depBuf
+	var t *graph.Task
+	if rt.replay {
+		t = rt.g.Replay(spec.FirstPrivate, body)
+		if rt.ver != nil {
+			rt.ver.ReplayNext(spec.Label, deps)
+		}
+	} else {
+		if spec.Detached {
+			t = rt.g.SubmitDetached(spec.Label, deps, body, spec.FirstPrivate)
+		} else {
+			t = rt.g.Submit(spec.Label, deps, body, spec.FirstPrivate)
+		}
+		if rt.ver != nil {
+			rt.ver.Record(t, deps)
+		}
+	}
+	return rt.finishSubmit(t, ev)
+}
+
+// batchChunk bounds how many tasks one graph.SubmitBatch call covers,
+// so throttling keeps engaging at a useful granularity inside large
+// batches (the producer may overshoot the thresholds by at most one
+// chunk).
+const batchChunk = 256
+
+// SubmitBatch discovers every task in specs through the graph's batch
+// path, amortizing throttling checks, dependence staging, allocator
+// traffic and ready-queue publication across the batch. Producer-only,
+// semantically equivalent to calling Submit for each spec in order
+// (inside a persistent replay it degenerates to exactly that).
+//
+// The returned slice is nil unless at least one spec is Detached, in
+// which case it has len(specs) entries and the detach events sit at
+// their spec's index.
+func (rt *Runtime) SubmitBatch(specs []Spec) []*Event {
+	if len(specs) == 0 {
+		return nil
+	}
+	if rt.replay {
+		var evs []*Event
+		for i := range specs {
+			if ev := rt.Submit(specs[i]); ev != nil {
+				if evs == nil {
+					evs = make([]*Event, len(specs))
+				}
+				evs[i] = ev
+			}
+		}
+		return evs
+	}
+	var evs []*Event
+	for lo := 0; lo < len(specs); lo += batchChunk {
+		hi := lo + batchChunk
+		if hi > len(specs) {
+			hi = len(specs)
+		}
+		evs = rt.submitBatchChunk(specs, lo, hi, evs)
+	}
+	return evs
+}
+
+// submitBatchChunk stages and submits specs[lo:hi] as one graph batch.
+func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*Event {
+	rt.throttle()
+	descs := rt.batchDescs[:0]
+	flat := rt.batchDeps[:0]
+	for i := lo; i < hi; i++ {
+		s := &specs[i]
+		body, ev := rt.wrapBody(s)
+		if ev != nil {
+			if evs == nil {
+				evs = make([]*Event, len(specs))
+			}
+			evs[i] = ev
+		}
+		start := len(flat)
+		flat = s.depsInto(flat)
+		descs = append(descs, graph.TaskDesc{
+			Label:        s.Label,
+			Deps:         flat[start:len(flat):len(flat)],
+			Body:         body,
+			FirstPrivate: s.FirstPrivate,
+			Detached:     s.Detached,
+		})
+	}
+	tasks := rt.g.SubmitBatch(descs, rt.batchTasks[:0])
+	p := rt.cfg.Profile
+	for i, t := range tasks {
+		if rt.ver != nil {
+			rt.ver.Record(t, descs[i].Deps)
+		}
+		if p != nil {
+			p.TaskCreated(rt.now())
+		}
+		if t.Detached {
+			ev := evs[i+lo]
+			rt.detached.Add(1)
+			ev.t.Store(t)
+		}
+	}
+	// Drop closure/task references before pooling the buffers.
+	clear(descs)
+	clear(tasks)
+	rt.batchDescs, rt.batchDeps, rt.batchTasks = descs[:0], flat[:0], tasks[:0]
+	return evs
+}
+
 // TaskLoop partitions [0,n) into numTasks contiguous chunks and submits
 // one task per chunk, the runtime's equivalent of `taskloop num_tasks(t)`
 // with a depend clause. depsFor returns the Spec (without Body) for chunk
-// c covering [lo,hi); body receives the chunk bounds.
+// c covering [lo,hi); body receives the chunk bounds. Chunks are
+// submitted through the batch path.
 func (rt *Runtime) TaskLoop(n, numTasks int, depsFor func(c, lo, hi int) Spec, body func(lo, hi int)) {
 	if numTasks <= 0 {
 		numTasks = 1
@@ -262,14 +371,18 @@ func (rt *Runtime) TaskLoop(n, numTasks int, depsFor func(c, lo, hi int) Spec, b
 	if numTasks > n {
 		numTasks = n
 	}
+	specs := rt.loopSpecs[:0]
 	for c := 0; c < numTasks; c++ {
 		lo := c * n / numTasks
 		hi := (c + 1) * n / numTasks
 		spec := depsFor(c, lo, hi)
 		l, h := lo, hi
 		spec.Body = func(any) { body(l, h) }
-		rt.Submit(spec)
+		specs = append(specs, spec)
 	}
+	rt.SubmitBatch(specs)
+	clear(specs)
+	rt.loopSpecs = specs[:0]
 }
 
 // throttle blocks the producer while the graph exceeds the configured
@@ -386,12 +499,19 @@ func (rt *Runtime) execute(w int, t *graph.Task) {
 }
 
 // complete finishes t and schedules released successors on worker w's
-// deque (depth-first locality) or the global queue for w == -1.
+// deque (depth-first locality) or the global queue for w == -1. Worker
+// completions reuse a per-worker release buffer and publish the whole
+// release set with one queue operation; non-worker contexts (producer,
+// detach events, which may run concurrently) allocate per call.
 func (rt *Runtime) complete(w int, t *graph.Task) {
-	released := rt.g.Complete(t)
-	for _, s := range released {
-		rt.s.Push(w, s)
+	var released []*graph.Task
+	if w >= 0 && w < len(rt.relBufs) {
+		released = rt.g.CompleteInto(t, rt.relBufs[w])
+		rt.relBufs[w] = released
+	} else {
+		released = rt.g.Complete(t)
 	}
+	rt.s.PushBatch(w, released)
 	if len(released) == 0 || rt.g.Live() == 0 {
 		// Waiters (taskwait, throttled producer, idle workers racing on
 		// Live) may need the transition even without new queue entries.

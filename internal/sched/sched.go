@@ -71,6 +71,23 @@ func (d *Deque) PushTop(t *graph.Task) {
 	d.mu.Unlock()
 }
 
+// PushTopAll adds every task in ts at the LIFO end under one lock
+// acquisition (batch submission path).
+func (d *Deque) PushTopAll(ts []*graph.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	d.mu.Lock()
+	for _, t := range ts {
+		if d.n == len(d.buf) {
+			d.grow()
+		}
+		d.buf[(d.head+d.n)%len(d.buf)] = t
+		d.n++
+	}
+	d.mu.Unlock()
+}
+
 // PushBottom adds t at the FIFO end, ahead of everything already queued.
 func (d *Deque) PushBottom(t *graph.Task) {
 	d.mu.Lock()
@@ -162,6 +179,25 @@ func (s *Scheduler) Push(worker int, t *graph.Task) {
 		s.workers[worker].PushTop(t)
 	} else {
 		s.global.PushTop(t)
+	}
+	s.wakeMu.Lock()
+	s.seq++
+	s.wakeMu.Unlock()
+	s.wake.Broadcast()
+}
+
+// PushBatch makes every task in ts runnable, attributed to worker (or
+// -1), with one queue lock acquisition and one wake-up broadcast for
+// the whole batch — the scheduler half of the graph's SubmitBatch /
+// CompleteInto amortization.
+func (s *Scheduler) PushBatch(worker int, ts []*graph.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	if s.policy == DepthFirst && worker >= 0 && worker < len(s.workers) {
+		s.workers[worker].PushTopAll(ts)
+	} else {
+		s.global.PushTopAll(ts)
 	}
 	s.wakeMu.Lock()
 	s.seq++

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"taskdep/internal/graph"
 )
@@ -15,21 +16,34 @@ import (
 // runtime owns one when Config.Verify != Off and forwards discovery and
 // persistence events to it; Audit then checks the whole history.
 //
-// The discovery-side methods (Record, ReplayNext, Begin*/End*) follow
-// the graph's single-producer contract; Audit may run from any
-// goroutine (it locks out the producer while snapshotting).
+// Record observes the graph's striped submission path without
+// re-serializing it: the submission log is itself striped by task ID
+// (recStripes buckets, each with its own lock), so concurrent producers
+// that do not collide on a bucket record in parallel. Audit merges the
+// stripes back into submission order by task ID — exact for a single
+// producer (IDs are dense in submission order, batched or not), and for
+// concurrent producers a valid linearization whenever producers work on
+// disjoint keys (each key's access sequence comes from one producer,
+// whose IDs are monotonic). The persistence-side methods (ReplayNext,
+// Begin*/End*) follow the graph's single-producer persistence contract;
+// Audit may run from any goroutine (it locks out producers while
+// snapshotting).
 type Recorder struct {
 	mu   sync.Mutex
 	opts graph.Opt
 
-	infos []TaskInfo
+	// stripes hold the submission log, sharded by task ID.
+	stripes [recStripes]recStripe
+	// recording is set between BeginRecording and EndRecording so the
+	// striped Record path knows to also append to entries (atomically
+	// readable without taking mu).
+	recordingFlag atomic.Bool
 
-	// recording state: the structural reference a replay is checked
-	// against.
-	recording bool
-	entries   []recEntry // non-redirect tasks of the recording, in order
-	recTasks  []*graph.Task
-	recSig    uint64
+	// recording state under mu: the structural reference a replay is
+	// checked against.
+	entries  []recEntry // non-redirect tasks of the recording, in order
+	recTasks []*graph.Task
+	recSig   uint64
 
 	// replay state
 	replayIter  int
@@ -38,6 +52,15 @@ type Recorder struct {
 	divMark     int
 
 	divergences []Divergence
+}
+
+// recStripes is the stripe count of the submission log; power of two.
+const recStripes = 16
+
+type recStripe struct {
+	mu    sync.Mutex
+	infos []TaskInfo
+	_     [32]byte // pad to limit false sharing between stripes
 }
 
 type recEntry struct {
@@ -73,33 +96,53 @@ func depsString(deps []graph.Dep) string {
 	return s + "]"
 }
 
-// Record captures one discovered task and its declared dependences.
-// Producer-only.
+// Record captures one discovered task and its declared dependences
+// (deps is copied; callers may reuse the buffer). Safe for concurrent
+// producers: the log append lands in the task's ID stripe.
 func (r *Recorder) Record(t *graph.Task, deps []graph.Dep) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.infos = append(r.infos, TaskInfo{Task: t, Deps: append([]graph.Dep(nil), deps...)})
-	if r.recording {
+	s := &r.stripes[uint64(t.ID)&(recStripes-1)]
+	s.mu.Lock()
+	s.infos = append(s.infos, TaskInfo{Task: t, Deps: append([]graph.Dep(nil), deps...)})
+	s.mu.Unlock()
+	if r.recordingFlag.Load() {
+		// Persistence recording is single-producer (graph contract), so
+		// this append does not contend with other Records.
+		r.mu.Lock()
 		r.entries = append(r.entries, recEntry{label: t.Label, deps: canonDeps(deps)})
+		r.mu.Unlock()
 	}
+}
+
+// snapshotInfos merges the striped submission log back into submission
+// order (by task ID).
+func (r *Recorder) snapshotInfos() []TaskInfo {
+	var infos []TaskInfo
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		infos = append(infos, s.infos...)
+		s.mu.Unlock()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Task.ID < infos[j].Task.ID })
+	return infos
 }
 
 // BeginRecording mirrors graph.BeginRecording: subsequent Records
 // define the structural reference for later replays.
 func (r *Recorder) BeginRecording() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.recording = true
 	r.entries = r.entries[:0]
+	r.mu.Unlock()
+	r.recordingFlag.Store(true)
 }
 
 // EndRecording closes the reference; recorded is the graph's recorded
 // sequence (redirect nodes included) whose structural signature later
 // iterations are compared against.
 func (r *Recorder) EndRecording(recorded []*graph.Task) {
+	r.recordingFlag.Store(false)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.recording = false
 	r.recTasks = append(r.recTasks[:0], recorded...)
 	r.recSig = Signature(recorded)
 }
@@ -199,8 +242,8 @@ func (r *Recorder) Divergences() []Divergence {
 // Audit snapshots the recorded history and runs the full structural
 // check; extra nodes (redirects the graph logged) join the node set.
 func (r *Recorder) Audit(extra []*graph.Task) *Report {
+	infos := r.snapshotInfos()
 	r.mu.Lock()
-	infos := append([]TaskInfo(nil), r.infos...)
 	divs := append([]Divergence(nil), r.divergences...)
 	opts := r.opts
 	r.mu.Unlock()
