@@ -9,9 +9,12 @@ package taskdep_test
 
 import (
 	"os"
+	"sync"
 	"testing"
 
 	"taskdep/internal/experiments"
+	"taskdep/internal/graph"
+	"taskdep/internal/sched"
 	"taskdep/internal/trace"
 )
 
@@ -269,6 +272,88 @@ func BenchmarkPolicyAblation(b *testing.B) {
 			experiments.PrintPolicyAblation(os.Stdout, rows)
 		}
 	}
+}
+
+// Executor hot-path microbenchmarks (run with -benchmem): the raw cost
+// of the Chase–Lev deque operations and the park/wake round-trip that
+// the `tdgbench -exp executor` drain measurement is built from.
+
+// BenchmarkExecutorPushPop: owner-side LIFO push+pop on the lock-free
+// deque — the per-task queue cost of a depth-first chain.
+func BenchmarkExecutorPushPop(b *testing.B) {
+	var d sched.WSDeque
+	tk := &graph.Task{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushTop(tk)
+		d.PopTop()
+	}
+}
+
+// BenchmarkExecutorSteal: uncontended steal (push on the owner end,
+// claim on the thief end) — the cost of migrating one task.
+func BenchmarkExecutorSteal(b *testing.B) {
+	var d sched.WSDeque
+	tk := &graph.Task{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushTop(tk)
+		d.Steal()
+	}
+}
+
+// BenchmarkExecutorBatchRelease: batch publication of an 8-task release
+// set followed by owner pops — the completion path's amortized shape.
+func BenchmarkExecutorBatchRelease(b *testing.B) {
+	var d sched.WSDeque
+	ts := make([]*graph.Task, 8)
+	for i := range ts {
+		ts[i] = &graph.Task{}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.PushTopAll(ts)
+		for k := 0; k < len(ts); k++ {
+			d.PopTop()
+		}
+	}
+}
+
+// BenchmarkExecutorParkWake: full park/wake round-trip between a waker
+// and a parked worker slot (announce, re-check, block, token delivery).
+func BenchmarkExecutorParkWake(b *testing.B) {
+	s := sched.New(sched.DepthFirst, 1)
+	ready := make(chan struct{}, 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			snap := s.PrePark(0)
+			ready <- struct{}{}
+			if s.Seq() == snap {
+				s.Park(0)
+			} else {
+				s.CancelPark(0)
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		<-ready
+		s.Kick()
+	}
+	b.StopTimer()
+	close(stop)
+	s.Kick() // release the parker if it re-parked before seeing stop
+	wg.Wait()
 }
 
 // BenchmarkEagerAblation: the eager/rendezvous protocol switch on the

@@ -18,6 +18,13 @@
 // format committed as BENCH_discovery.json); -check FILE compares the
 // fresh run against a committed baseline and exits nonzero on schema
 // mismatch or a throughput regression beyond -maxregress.
+//
+// -exp executor measures the execution hot path alone: a pre-submitted
+// gate graph is drained by the worker pool, mutex/broadcast baseline
+// engine vs the lock-free Chase–Lev + parking rebuild, sweeping worker
+// count and task grain and reporting the METG@50% shift. -json/-check/
+// -maxregress/-smoke work as in discovery mode (committed baseline:
+// BENCH_executor.json).
 package main
 
 import (
@@ -78,21 +85,62 @@ func runDiscovery(smoke bool, tasks, keys, producers int, jsonPath, checkPath st
 	return 0
 }
 
+// runExecutor executes the executor-throughput mode; returns the
+// process exit code.
+func runExecutor(smoke bool, jsonPath, checkPath string, maxRegress float64) int {
+	p := experiments.DefaultExecutorParams()
+	if smoke {
+		p = experiments.SmokeExecutorParams()
+	}
+	res := experiments.RunExecutor(p)
+	experiments.PrintExecutor(os.Stdout, &res)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		committed, err := experiments.ReadExecutorJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", checkPath, err)
+			return 1
+		}
+		if err := experiments.CheckExecutor(&res, committed, maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "executor regression check FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("executor regression check OK (within %.1fx of %s)\n", maxRegress, checkPath)
+	}
+	return 0
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor")
 		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
 		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
 		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
 
-		// discovery mode
-		smoke      = flag.Bool("smoke", false, "discovery: small CI-sized workload")
+		// discovery/executor modes
+		smoke      = flag.Bool("smoke", false, "discovery/executor: small CI-sized workload")
 		tasks      = flag.Int("tasks", 0, "discovery: tasks per producer (0 = preset)")
 		keys       = flag.Int("keys", 0, "discovery: working-set keys (0 = preset)")
 		producers  = flag.Int("producers", 0, "discovery: concurrent producers (0 = preset)")
-		jsonOut    = flag.String("json", "", "discovery: write machine-readable result to this file")
-		check      = flag.String("check", "", "discovery: compare against a committed baseline JSON")
-		maxRegress = flag.Float64("maxregress", 2.0, "discovery: max tolerated throughput regression factor for -check")
+		jsonOut    = flag.String("json", "", "discovery/executor: write machine-readable result to this file")
+		check      = flag.String("check", "", "discovery/executor: compare against a committed baseline JSON")
+		maxRegress = flag.Float64("maxregress", 2.0, "discovery/executor: max tolerated throughput regression factor for -check")
 	)
 	flag.Parse()
 	c := experiments.DefaultIntranode()
@@ -100,6 +148,8 @@ func main() {
 	switch *exp {
 	case "discovery":
 		os.Exit(runDiscovery(*smoke, *tasks, *keys, *producers, *jsonOut, *check, *maxRegress))
+	case "executor":
+		os.Exit(runExecutor(*smoke, *jsonOut, *check, *maxRegress))
 	case "table1":
 		res := experiments.RunTable1(c, *tpl, *fine)
 		res.Print(os.Stdout)

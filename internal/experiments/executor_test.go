@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/rt"
+	"taskdep/internal/sched"
+	"taskdep/internal/verify"
+)
+
+func tinyExecutorParams() ExecutorParams {
+	return ExecutorParams{Roots: 4, Lanes: 2, Depth: 5, Workers: []int{1, 2}, Grains: []int{0, 32}, Repeats: 1}
+}
+
+func TestRunExecutorShape(t *testing.T) {
+	p := tinyExecutorParams()
+	res := RunExecutor(p)
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 engines x 2 worker counts x 2 grains.
+	if len(res.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(res.Rows))
+	}
+	if res.SpeedupMulti <= 0 || res.SpeedupSingle <= 0 {
+		t.Fatalf("speedups not computed: %v / %v", res.SpeedupMulti, res.SpeedupSingle)
+	}
+	var out bytes.Buffer
+	PrintExecutor(&out, &res)
+	if !strings.Contains(out.String(), "optimized") || !strings.Contains(out.String(), "baseline") {
+		t.Fatalf("print output missing engines:\n%s", out.String())
+	}
+}
+
+func TestExecutorJSONRoundTrip(t *testing.T) {
+	res := RunExecutor(tinyExecutorParams())
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadExecutorJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(res.Rows) || back.SpeedupMulti != res.SpeedupMulti {
+		t.Fatalf("round trip changed the result")
+	}
+}
+
+func TestCheckExecutor(t *testing.T) {
+	res := RunExecutor(tinyExecutorParams())
+	if err := CheckExecutor(&res, &res, 2.0); err != nil {
+		t.Fatalf("self-check failed: %v", err)
+	}
+	inflated := res
+	inflated.Rows = append([]ExecutorRow(nil), res.Rows...)
+	for i := range inflated.Rows {
+		r := inflated.Rows[i]
+		r.TasksPerSec *= 100
+		inflated.Rows[i] = r
+	}
+	if err := CheckExecutor(&res, &inflated, 2.0); err == nil {
+		t.Fatalf("100x regression passed the check")
+	}
+	bad := res
+	bad.Schema = ExecutorSchemaVersion + 1
+	if err := CheckExecutor(&bad, &res, 2.0); err == nil {
+		t.Fatalf("schema mismatch passed the check")
+	}
+}
+
+func TestExecutorValidateCatchesBadRows(t *testing.T) {
+	res := RunExecutor(tinyExecutorParams())
+	res.Rows[0].Engine = "turbo"
+	if err := res.Validate(); err == nil {
+		t.Fatalf("unknown engine validated")
+	}
+}
+
+// TestExecutorGateGraphVerifies re-runs the benchmark's gate graph under
+// the TDG verifier on both engines: the batched-release drain must
+// preserve every declared happens-before edge (satellite check for the
+// executor rewiring).
+func TestExecutorGateGraphVerifies(t *testing.T) {
+	for _, eng := range []sched.Engine{sched.EngineLockFree, sched.EngineMutex} {
+		t.Run(eng.String(), func(t *testing.T) {
+			r := rt.New(rt.Config{Workers: 2, Engine: eng, Opts: graph.OptAll, Verify: verify.Observe})
+			gate := r.Submit(rt.Spec{
+				Label:        "gate",
+				Out:          []graph.Key{execGateKey},
+				Detached:     true,
+				DetachedBody: func(any, *rt.Event) {},
+			})
+			p := tinyExecutorParams()
+			specs := make([]rt.Spec, 0, 1+p.Lanes*p.Depth)
+			for g := 0; g < p.Roots; g++ {
+				specs = specs[:0]
+				specs = append(specs, rt.Spec{
+					Label: "root",
+					In:    []graph.Key{execGateKey},
+					Out:   []graph.Key{execRootKey + graph.Key(g)},
+					Body:  func(any) {},
+				})
+				for f := 0; f < p.Lanes; f++ {
+					lane := execLaneKey + graph.Key(g*p.Lanes+f)
+					for i := 0; i < p.Depth; i++ {
+						s := rt.Spec{Label: "lane", InOut: []graph.Key{lane}, Body: func(any) {}}
+						if i == 0 {
+							s.In = []graph.Key{execRootKey + graph.Key(g)}
+						}
+						specs = append(specs, s)
+					}
+				}
+				r.SubmitBatch(specs)
+			}
+			gate.Fulfill()
+			r.Taskwait()
+			r.Close()
+			rep := r.Verify()
+			if !rep.OK() {
+				t.Fatalf("verifier flagged the gate graph on %v: %v", eng, rep)
+			}
+		})
+	}
+}

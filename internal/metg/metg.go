@@ -39,3 +39,36 @@ func METG(samples []Sample, efficiency float64) (float64, error) {
 	}
 	return 0, fmt.Errorf("metg: no sample within %.0f%% of best", efficiency*100)
 }
+
+// EffSample is one sweep point expressed as parallel efficiency rather
+// than wall time: the average task grain (seconds of work per task) and
+// the efficiency achieved at that grain, eff = tasks*grain / (P*wall) —
+// the fraction of the worker-seconds spent on task bodies.
+type EffSample struct {
+	Grain float64
+	Eff   float64
+}
+
+// METGFromEfficiency returns the minimum effective task granularity at
+// the given efficiency threshold (e.g. 0.5, the 50%-efficiency METG the
+// task-runtime literature reports): the smallest grain whose measured
+// parallel efficiency still reaches the threshold. This is the
+// direct-efficiency formulation; METG above derives efficiency from a
+// wall-time sweep of a fixed problem instead. It returns an error when
+// no sampled grain reaches the threshold.
+func METGFromEfficiency(samples []EffSample, threshold float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("metg: no samples")
+	}
+	if threshold <= 0 || threshold > 1 {
+		return 0, fmt.Errorf("metg: threshold %v out of (0,1]", threshold)
+	}
+	sorted := append([]EffSample(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Grain < sorted[j].Grain })
+	for _, s := range sorted {
+		if s.Eff >= threshold {
+			return s.Grain, nil
+		}
+	}
+	return 0, fmt.Errorf("metg: no sampled grain reaches %.0f%% efficiency", threshold*100)
+}

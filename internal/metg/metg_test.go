@@ -32,6 +32,39 @@ func TestMETGErrors(t *testing.T) {
 	}
 }
 
+func TestMETGFromEfficiencyPicksSmallestQualifyingGrain(t *testing.T) {
+	samples := []EffSample{
+		{Grain: 1e-7, Eff: 0.08}, // overhead-dominated
+		{Grain: 1e-6, Eff: 0.41},
+		{Grain: 5e-6, Eff: 0.63}, // first grain over 50%
+		{Grain: 50e-6, Eff: 0.94},
+	}
+	m, err := METGFromEfficiency(samples, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 5e-6 {
+		t.Fatalf("METGFromEfficiency = %v, want 5us", m)
+	}
+	// Order independence: the sweep need not be sorted.
+	rev := []EffSample{samples[3], samples[1], samples[2], samples[0]}
+	if m2, _ := METGFromEfficiency(rev, 0.5); m2 != m {
+		t.Fatalf("unsorted sweep gave %v, want %v", m2, m)
+	}
+}
+
+func TestMETGFromEfficiencyErrors(t *testing.T) {
+	if _, err := METGFromEfficiency(nil, 0.5); err == nil {
+		t.Fatalf("empty samples accepted")
+	}
+	if _, err := METGFromEfficiency([]EffSample{{1, 1}}, 0); err == nil {
+		t.Fatalf("bad threshold accepted")
+	}
+	if _, err := METGFromEfficiency([]EffSample{{1, 0.2}}, 0.5); err == nil {
+		t.Fatalf("unreachable threshold accepted")
+	}
+}
+
 func TestMETGBestAlwaysQualifies(t *testing.T) {
 	f := func(walls []float64) bool {
 		if len(walls) == 0 {

@@ -28,13 +28,36 @@
 // degenerate to recorded-task replays inside persistent regions.
 //
 // Completion is symmetric: workers return released successors through a
-// per-worker reused buffer (graph.CompleteInto) and publish them with
-// one queue operation, keeping the completion path allocation-free.
+// per-worker reused buffer (graph.CompleteInto) and publish the whole
+// release set with one lock-free deque publication and at most one
+// remote wake, keeping the completion path allocation-free.
+//
+// # Idleness
+//
+// Nothing in the executor sleeps on a timer to wait for work. Idle
+// workers, a producer blocked in Taskwait, and a throttled producer all
+// follow the scheduler's parking protocol (see sched.Scheduler):
+// announce via PrePark, re-check the wake condition — queued work, the
+// waited-on counter transition, the wake counter — then park on a
+// per-slot channel. Completions wake exactly what the transition needs:
+// PushBatch wakes at most one worker for a published release set, and
+// complete calls sched.Scheduler.WakeProducer only on transitions the
+// producer actually waits on (a release-less completion, the graph
+// draining, or any completion while a throttle is configured). With an
+// external engine attached (Config.Poll), parking takes a deadline
+// (ParkTimeout) so the engine keeps being polled; that is the one place
+// a timer remains, and it is a parked wait, not a sleep loop — wakes
+// still arrive immediately.
+//
+// Config.Engine selects between the lock-free scheduler and the
+// pre-rebuild mutex/broadcast baseline (sched.EngineMutex), which
+// tdgbench -exp executor compares head to head.
 //
 // # Hot-path layering
 //
 // Submit/SubmitBatch -> graph discovery (sharded key table) -> ready
-// tasks -> sched deques -> worker execute -> graph.CompleteInto ->
-// released successors pushed depth-first. docs/architecture.md maps
-// this pipeline to the paper's optimizations in detail.
+// tasks -> sched deques (Chase–Lev work stealing) -> worker execute ->
+// graph.CompleteInto -> released successors pushed depth-first.
+// docs/architecture.md maps this pipeline to the paper's optimizations
+// in detail.
 package rt

@@ -23,6 +23,11 @@ type Config struct {
 	// Policy selects depth-first (default, MPC-OMP-like) or
 	// breadth-first scheduling.
 	Policy sched.Policy
+	// Engine selects the scheduler implementation: EngineLockFree
+	// (default — Chase–Lev deques, wake-one parking) or EngineMutex
+	// (the pre-rebuild mutex/broadcast baseline, kept for comparison
+	// runs; see tdgbench -exp executor).
+	Engine sched.Engine
 	// Opts enables TDG discovery optimizations (b) and (c).
 	Opts graph.Opt
 	// ThrottleReady bounds ready tasks (GCC/LLVM-style); 0 = unbounded.
@@ -70,23 +75,39 @@ type Runtime struct {
 
 	detached atomic.Int64 // detached tasks awaiting Fulfill
 
+	// throttleOn caches whether any throttle threshold is configured, so
+	// completions know the producer may be parked on a counter
+	// transition rather than a queue publication.
+	throttleOn bool
+
 	// ver records dependence declarations for the TDG verifier; nil
 	// unless Config.Verify != verify.Off.
 	ver       *verify.Recorder
 	lastAudit atomic.Pointer[verify.Report]
 
-	// Producer-only staging buffers, reused across Submit/SubmitBatch
+	// Producer-only staging buffers, reused across Submit/TaskLoop
 	// calls so steady-state submission does not allocate.
-	depBuf     []graph.Dep
-	batchDescs []graph.TaskDesc
-	batchDeps  []graph.Dep
-	batchTasks []*graph.Task
-	loopSpecs  []Spec
+	depBuf    []graph.Dep
+	loopSpecs []Spec
+
+	// stagePool hands out SubmitBatch staging buffer sets. Pooled rather
+	// than Runtime-owned because the batch path supports concurrent
+	// producers on disjoint keys (see the graph's concurrency contract):
+	// a single producer keeps hitting the same warm set, concurrent
+	// producers get distinct ones.
+	stagePool sync.Pool
 
 	// relBufs[w] is worker w's reused buffer for successors released by
-	// graph.CompleteInto (completions from non-worker contexts allocate).
+	// graph.CompleteInto; slot Workers is the producer-as-consumer's
+	// (completions from other non-worker contexts — detach events —
+	// allocate).
 	relBufs [][]*graph.Task
 }
+
+// producerID is the scheduler slot the producer consumes under
+// (taskwait, throttle): its own deque in the lock-free engine, so
+// producer-executed chains keep depth-first locality.
+func (rt *Runtime) producerID() int { return rt.cfg.Workers }
 
 // New creates and starts a runtime. Close must be called to join workers.
 func New(cfg Config) *Runtime {
@@ -104,9 +125,10 @@ func New(cfg Config) *Runtime {
 		gopts |= graph.OptKeepPrunedEdges
 	}
 	rt := &Runtime{
-		cfg:   cfg,
-		s:     sched.New(cfg.Policy, cfg.Workers),
-		start: time.Now(),
+		cfg:        cfg,
+		s:          sched.NewEngine(cfg.Policy, cfg.Workers, cfg.Engine),
+		start:      time.Now(),
+		throttleOn: cfg.ThrottleTotal > 0 || cfg.ThrottleReady > 0,
 	}
 	if cfg.Verify != verify.Off {
 		rt.ver = verify.NewRecorder(cfg.Opts)
@@ -122,7 +144,7 @@ func New(cfg Config) *Runtime {
 			rt.s.PushBatch(-1, ts)
 		},
 	})
-	rt.relBufs = make([][]*graph.Task, cfg.Workers)
+	rt.relBufs = make([][]*graph.Task, cfg.Workers+1)
 	for w := 0; w < cfg.Workers; w++ {
 		rt.wg.Add(1)
 		go rt.worker(w)
@@ -313,11 +335,22 @@ func (rt *Runtime) SubmitBatch(specs []Spec) []*Event {
 	return evs
 }
 
+// batchStage is one SubmitBatch staging buffer set (see stagePool).
+type batchStage struct {
+	descs []graph.TaskDesc
+	deps  []graph.Dep
+	tasks []*graph.Task
+}
+
 // submitBatchChunk stages and submits specs[lo:hi] as one graph batch.
 func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*Event {
 	rt.throttle()
-	descs := rt.batchDescs[:0]
-	flat := rt.batchDeps[:0]
+	st, _ := rt.stagePool.Get().(*batchStage)
+	if st == nil {
+		st = &batchStage{}
+	}
+	descs := st.descs[:0]
+	flat := st.deps[:0]
 	for i := lo; i < hi; i++ {
 		s := &specs[i]
 		body, ev := rt.wrapBody(s)
@@ -337,7 +370,7 @@ func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*E
 			Detached:     s.Detached,
 		})
 	}
-	tasks := rt.g.SubmitBatch(descs, rt.batchTasks[:0])
+	tasks := rt.g.SubmitBatch(descs, st.tasks[:0])
 	p := rt.cfg.Profile
 	for i, t := range tasks {
 		if rt.ver != nil {
@@ -355,7 +388,8 @@ func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*E
 	// Drop closure/task references before pooling the buffers.
 	clear(descs)
 	clear(tasks)
-	rt.batchDescs, rt.batchDeps, rt.batchTasks = descs[:0], flat[:0], tasks[:0]
+	st.descs, st.deps, st.tasks = descs[:0], flat[:0], tasks[:0]
+	rt.stagePool.Put(st)
 	return evs
 }
 
@@ -389,45 +423,61 @@ func (rt *Runtime) TaskLoop(n, numTasks int, depsFor func(c, lo, hi int) Spec, b
 // thresholds, executing tasks meanwhile ("producer threads stop producing
 // and start consuming").
 func (rt *Runtime) throttle() {
+	if !rt.throttleOn {
+		return
+	}
 	for {
-		tot, rdy := rt.cfg.ThrottleTotal, rt.cfg.ThrottleReady
-		over := (tot > 0 && rt.g.Live() >= tot) || (rdy > 0 && rt.g.ReadyCount() >= rdy)
-		if !over {
+		if !rt.overThrottle() {
 			return
 		}
 		if !rt.produceConsumeOne() {
-			rt.pollAndYield()
+			rt.producerIdle(func() bool { return !rt.overThrottle() })
 		}
 	}
+}
+
+func (rt *Runtime) overThrottle() bool {
+	tot, rdy := rt.cfg.ThrottleTotal, rt.cfg.ThrottleReady
+	return (tot > 0 && rt.g.Live() >= tot) || (rdy > 0 && rt.g.ReadyCount() >= rdy)
 }
 
 // produceConsumeOne lets the producer execute one ready task; reports
 // whether it ran something.
 func (rt *Runtime) produceConsumeOne() bool {
-	t := rt.s.Pop(-1)
+	t := rt.s.Pop(rt.producerID())
 	if t == nil {
 		return false
 	}
-	rt.execute(-1, t)
+	rt.execute(rt.producerID(), t)
 	return true
 }
 
-func (rt *Runtime) pollAndYield() {
-	seq := rt.s.Seq()
+// pollInterval is the park deadline when an external engine must keep
+// being polled (Config.Poll): completions may only arrive via Poll, so
+// the producer and workers park with a timeout instead of indefinitely.
+const pollInterval = 5 * time.Microsecond
+
+// producerIdle blocks the producer when it has nothing to execute,
+// following the scheduler's parking protocol: announce (PrePark),
+// re-check every wake condition — queued work, the caller's wait
+// predicate done(), the wake counter — and only then park. Completions
+// wake the producer slot via WakeProducer on the transitions done()
+// watches (counter drops, graph drain); publications reach it through
+// the normal wake path.
+func (rt *Runtime) producerIdle(done func() bool) {
 	if rt.cfg.Poll != nil && rt.cfg.Poll() {
 		return
 	}
-	// Re-check queues after reading seq to avoid lost wake-ups.
-	if rt.s.Pending() > 0 || rt.g.Live() == 0 {
+	snap := rt.s.PrePark(-1)
+	if rt.s.Pending() > 0 || done() || rt.s.Seq() != snap {
+		rt.s.CancelPark(-1)
 		return
 	}
 	if rt.cfg.Poll != nil {
-		// With an external engine we must keep polling rather than
-		// block indefinitely: completions may only arrive via Poll.
-		time.Sleep(5 * time.Microsecond)
+		rt.s.ParkTimeout(-1, pollInterval)
 		return
 	}
-	rt.s.WaitChange(seq)
+	rt.s.Park(-1)
 }
 
 // Taskwait blocks the producer until every discovered task has completed,
@@ -437,7 +487,7 @@ func (rt *Runtime) Taskwait() {
 	rt.g.Flush()
 	for rt.g.Live() > 0 {
 		if !rt.produceConsumeOne() {
-			rt.pollAndYield()
+			rt.producerIdle(func() bool { return rt.g.Live() == 0 })
 		}
 	}
 	if rt.ver != nil && rt.cfg.Verify == verify.Full {
@@ -512,10 +562,14 @@ func (rt *Runtime) complete(w int, t *graph.Task) {
 		released = rt.g.Complete(t)
 	}
 	rt.s.PushBatch(w, released)
-	if len(released) == 0 || rt.g.Live() == 0 {
-		// Waiters (taskwait, throttled producer, idle workers racing on
-		// Live) may need the transition even without new queue entries.
-		rt.s.Kick()
+	// PushBatch already wakes (at most) one worker for the published
+	// batch. The producer additionally waits on counter transitions that
+	// carry no queue entries: a completion releasing nothing (taskwait
+	// counts Live down), the graph draining to empty, or — with a
+	// throttle configured — any completion dropping Live/ReadyCount back
+	// under a threshold.
+	if len(released) == 0 || rt.throttleOn || rt.g.Live() == 0 {
+		rt.s.WakeProducer()
 	}
 }
 
@@ -543,18 +597,23 @@ func (rt *Runtime) worker(w int) {
 				// next loop iteration corrects the state.)
 				p.SetState(w, trace.Idle, rt.now())
 			}
-			seq := rt.s.Seq()
-			if rt.cfg.Poll != nil {
-				if rt.cfg.Poll() {
-					continue
-				}
-				if rt.s.Pending() == 0 && !rt.shutdown.Load() {
-					time.Sleep(5 * time.Microsecond)
-				}
+			if rt.cfg.Poll != nil && rt.cfg.Poll() {
 				continue
 			}
-			if rt.s.Pending() == 0 && !rt.shutdown.Load() {
-				rt.s.WaitChange(seq)
+			// Park until a publication or Kick. Announce first, then
+			// re-check work and shutdown: Close() stores the shutdown
+			// flag before Kick bumps the wake counter, so a worker that
+			// misses the token here observes the flag (or the counter)
+			// in this re-check — no lost-wakeup window.
+			snap := rt.s.PrePark(w)
+			if rt.s.Pending() > 0 || rt.shutdown.Load() || rt.s.Seq() != snap {
+				rt.s.CancelPark(w)
+				continue
+			}
+			if rt.cfg.Poll != nil {
+				rt.s.ParkTimeout(w, pollInterval)
+			} else {
+				rt.s.Park(w)
 			}
 			continue
 		}

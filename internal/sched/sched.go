@@ -1,18 +1,9 @@
-// Package sched provides the ready-task scheduling structures used by both
-// executors: per-worker double-ended queues with LIFO pop (depth-first
-// descent into the task graph) and FIFO stealing, plus a breadth-first
-// global-queue policy for comparison runs.
-//
-// The paper's key scheduling observation is that a depth-first (LIFO)
-// policy executes a task's freshly released successors immediately on the
-// completing core, so the data the predecessor produced is still cached.
-// When discovery is too slow, successors are unknown at completion time
-// and workers fall back to stealing old (breadth-first) work — destroying
-// reuse. The structures here let the executors express both behaviours.
 package sched
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"taskdep/internal/graph"
 )
@@ -36,10 +27,35 @@ func (p Policy) String() string {
 	return "breadth-first"
 }
 
-// Deque is an unbounded double-ended queue of tasks backed by a growable
-// ring buffer; every operation is O(1) amortized. The top is the LIFO end
-// owned by the worker; the bottom is the FIFO end used by thieves. It is
-// safe for concurrent use.
+// Engine selects the scheduler's synchronization implementation.
+type Engine int
+
+const (
+	// EngineLockFree is the production engine: Chase–Lev work-stealing
+	// deques (WSDeque) per worker, a seqlock-style wake counter with
+	// per-worker parking, targeted wake-one on publication and
+	// randomized-start victim sweeps.
+	EngineLockFree Engine = iota
+	// EngineMutex is the pre-rebuild engine, kept in-tree as the
+	// comparison baseline (tdgbench -exp executor): mutex ring deques,
+	// a condition-variable wake counter, and a broadcast to every
+	// parked worker on each publication.
+	EngineMutex
+)
+
+func (e Engine) String() string {
+	if e == EngineLockFree {
+		return "lock-free"
+	}
+	return "mutex"
+}
+
+// Deque is an unbounded mutex-guarded double-ended queue of tasks backed
+// by a growable ring buffer; every operation is O(1) amortized. The top
+// is the LIFO end; the bottom is the FIFO end. It is safe for concurrent
+// use from any goroutine. It serves as the breadth-first global queue in
+// both engines (cross-thread pushes need no ownership discipline there)
+// and as the per-worker deque of the EngineMutex baseline.
 type Deque struct {
 	mu   sync.Mutex
 	buf  []*graph.Task
@@ -47,14 +63,20 @@ type Deque struct {
 	n    int
 }
 
-func (d *Deque) grow() {
+func (d *Deque) grow(need int) {
 	c := len(d.buf) * 2
 	if c == 0 {
 		c = 8
 	}
+	for c < need {
+		c *= 2
+	}
 	buf := make([]*graph.Task, c)
-	for i := 0; i < d.n; i++ {
-		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	// The live elements occupy [head, head+n) mod len: at most two
+	// contiguous runs, moved with two copy calls.
+	k := copy(buf, d.buf[d.head:])
+	if k < d.n {
+		copy(buf[k:], d.buf[:d.n-k])
 	}
 	d.buf = buf
 	d.head = 0
@@ -64,7 +86,7 @@ func (d *Deque) grow() {
 func (d *Deque) PushTop(t *graph.Task) {
 	d.mu.Lock()
 	if d.n == len(d.buf) {
-		d.grow()
+		d.grow(d.n + 1)
 	}
 	d.buf[(d.head+d.n)%len(d.buf)] = t
 	d.n++
@@ -72,16 +94,16 @@ func (d *Deque) PushTop(t *graph.Task) {
 }
 
 // PushTopAll adds every task in ts at the LIFO end under one lock
-// acquisition (batch submission path).
+// acquisition (batch publication path).
 func (d *Deque) PushTopAll(ts []*graph.Task) {
 	if len(ts) == 0 {
 		return
 	}
 	d.mu.Lock()
+	if d.n+len(ts) > len(d.buf) {
+		d.grow(d.n + len(ts))
+	}
 	for _, t := range ts {
-		if d.n == len(d.buf) {
-			d.grow()
-		}
 		d.buf[(d.head+d.n)%len(d.buf)] = t
 		d.n++
 	}
@@ -92,7 +114,7 @@ func (d *Deque) PushTopAll(ts []*graph.Task) {
 func (d *Deque) PushBottom(t *graph.Task) {
 	d.mu.Lock()
 	if d.n == len(d.buf) {
-		d.grow()
+		d.grow(d.n + 1)
 	}
 	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
 	d.buf[d.head] = t
@@ -136,91 +158,343 @@ func (d *Deque) Len() int {
 	return d.n
 }
 
-// Scheduler distributes ready tasks over nWorkers according to a policy.
-// Worker IDs are 0..nWorkers-1; ID -1 designates the producer (or any
-// non-worker context, e.g. an MPI progress callback).
-type Scheduler struct {
-	policy  Policy
-	workers []*Deque
-	// global receives producer-submitted tasks and, under BreadthFirst,
-	// all work. PushTop/PopBottom make it a FIFO.
-	global *Deque
+// Parked-slot states; see the parking protocol on Scheduler.
+const (
+	slotActive int32 = iota
+	slotParked
+)
 
-	wakeMu sync.Mutex
-	wake   *sync.Cond
-	seq    uint64 // bumped on every push/kick; guards lost wake-ups
+// wsWorker is the per-worker state of the lock-free engine, padded so
+// neighbouring workers' hot fields never share a cache line.
+type wsWorker struct {
+	deque WSDeque
+	rng   uint64 // xorshift victim-selection state, owner-only
+	_     [64]byte
 }
 
-// New creates a scheduler for nWorkers workers.
+// slotStatus is one worker's (or the producer's) park flag, padded
+// against false sharing with its neighbours.
+type slotStatus struct {
+	v atomic.Int32
+	_ [60]byte
+}
+
+// Scheduler distributes ready tasks over nWorkers according to a policy.
+// Worker IDs are 0..nWorkers-1; ID nWorkers designates the producer
+// acting as a consumer (taskwait, throttle) — in the lock-free engine it
+// owns a deque of its own, so producer-executed chains keep depth-first
+// locality instead of cycling through the global FIFO. ID -1 designates
+// any other non-worker context (e.g. an MPI completion callback).
+//
+// Ownership contract (lock-free engine): Push/PushBatch with worker >= 0
+// and Pop(worker) for worker >= 0 must be called from that worker's own
+// goroutine — they touch the slot's Chase–Lev deque at its owner end.
+// The producer slot nWorkers is owned by the producer goroutine.
+// Cross-thread contexts (detach-event callbacks) use worker = -1, which
+// routes through the thread-safe global FIFO and CAS-only steals.
+// Single-goroutine drivers (the DES simulator) may use any IDs, since
+// ownership is about concurrency, not identity.
+//
+// # Parking protocol
+//
+// Idle workers and the waiting producer park on per-slot channels
+// instead of spinning: a parker (1) publishes its intent by flipping its
+// slot's status flag and (2) re-checks its wake condition — including
+// the seqlock-style wake counter Seq, bumped by every publication and
+// Kick — before (3) blocking on its token channel. A publisher makes
+// work visible first and reads status flags after, so in the total order
+// of the (sequentially consistent) atomics either the publisher observes
+// the parker's flag and delivers a token, or the parker's re-check
+// observes the publication — a lost wakeup would require both reads to
+// miss both writes, which seq-cst forbids. Tokens travel through
+// capacity-1 channels, so a wake issued while the parker is still in its
+// re-check window is buffered, never dropped. Spurious tokens (a waker
+// that claimed a slot whose parker simultaneously cancelled) at worst
+// cause one extra loop through the caller's re-check.
+//
+// The lock-free engine wakes at most one parked slot per publication
+// (WakeOne) and relies on wake cascading — a worker that pops from the
+// global queue or steals while more work remains wakes the next slot —
+// to ramp the pool up; the mutex baseline broadcasts to every parked
+// slot on every publication instead.
+type Scheduler struct {
+	policy Policy
+	engine Engine
+
+	// Lock-free engine state. ws has nWorkers+1 entries: the last is
+	// the producer-as-consumer's own deque.
+	ws    []*wsWorker
+	prng  uint64 // victim RNG for worker = -1 contexts (rare; racy is fine)
+	seq   atomic.Uint64
+	nIdle atomic.Int32
+	stat  []slotStatus    // nWorkers+1 slots; the last is the producer
+	parks []chan struct{} // capacity-1 token channels, same indexing
+	// timers are the per-slot reusable park timeouts (ParkTimeout);
+	// created lazily, touched only by the slot's own goroutine.
+	timers []*time.Timer
+	// wakeHint rotates WakeOne's scan start for fairness.
+	wakeHint atomic.Uint32
+
+	// Mutex-baseline engine state (also used by EngineMutex parking).
+	mworkers []*Deque
+	wakeMu   sync.Mutex
+	wake     *sync.Cond
+	mseq     uint64
+	snaps    []uint64 // per-slot PrePark sequence snapshots (slot-owned)
+
+	// global receives producer-submitted tasks and, under BreadthFirst,
+	// all work. PushTop/PopBottom make it a FIFO. Mutex-based in both
+	// engines: it is the cross-thread entry point, touched only when a
+	// worker's own deque is empty.
+	global *Deque
+}
+
+// New creates a lock-free scheduler for nWorkers workers.
 func New(policy Policy, nWorkers int) *Scheduler {
+	return NewEngine(policy, nWorkers, EngineLockFree)
+}
+
+// NewEngine creates a scheduler with an explicit engine selection.
+func NewEngine(policy Policy, nWorkers int, engine Engine) *Scheduler {
 	s := &Scheduler{
-		policy:  policy,
-		workers: make([]*Deque, nWorkers),
-		global:  &Deque{},
+		policy: policy,
+		engine: engine,
+		global: &Deque{},
+		prng:   0x9E3779B97F4A7C15,
+		stat:   make([]slotStatus, nWorkers+1),
+		parks:  make([]chan struct{}, nWorkers+1),
+		timers: make([]*time.Timer, nWorkers+1),
+		snaps:  make([]uint64, nWorkers+1),
 	}
-	for i := range s.workers {
-		s.workers[i] = &Deque{}
+	for i := range s.parks {
+		s.parks[i] = make(chan struct{}, 1)
 	}
-	s.wake = sync.NewCond(&s.wakeMu)
+	if engine == EngineMutex {
+		s.mworkers = make([]*Deque, nWorkers)
+		for i := range s.mworkers {
+			s.mworkers[i] = &Deque{}
+		}
+		s.wake = sync.NewCond(&s.wakeMu)
+		return s
+	}
+	s.ws = make([]*wsWorker, nWorkers+1)
+	for i := range s.ws {
+		s.ws[i] = &wsWorker{rng: uint64(i)*0x9E3779B97F4A7C15 + 1}
+	}
 	return s
 }
 
 // Policy returns the scheduling policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
 
-// NumWorkers returns the worker count.
-func (s *Scheduler) NumWorkers() int { return len(s.workers) }
+// Engine returns the synchronization engine.
+func (s *Scheduler) Engine() Engine { return s.engine }
 
-// Push makes t runnable, attributed to worker (or -1). Depth-first pushes
-// from a worker go to that worker's LIFO top; everything else enters the
-// global FIFO.
+// NumWorkers returns the worker count.
+func (s *Scheduler) NumWorkers() int { return len(s.stat) - 1 }
+
+// slot maps a worker ID to its parking slot; every non-worker ID (-1)
+// shares the producer slot.
+func (s *Scheduler) slot(worker int) int {
+	if worker >= 0 && worker < s.NumWorkers() {
+		return worker
+	}
+	return s.NumWorkers()
+}
+
+// bump advances the wake counter after a publication (or Kick) so any
+// parker between its PrePark snapshot and its block observes the change.
+func (s *Scheduler) bump() {
+	if s.engine == EngineMutex {
+		s.wakeMu.Lock()
+		s.mseq++
+		s.wakeMu.Unlock()
+		return
+	}
+	s.seq.Add(1)
+}
+
+// Seq returns the wake counter. Read it via PrePark before a final
+// emptiness check; a changed value means a publication (or Kick)
+// happened since and parking must be retried.
+func (s *Scheduler) Seq() uint64 {
+	if s.engine == EngineMutex {
+		s.wakeMu.Lock()
+		defer s.wakeMu.Unlock()
+		return s.mseq
+	}
+	return s.seq.Load()
+}
+
+// ownDeque reports whether a push attributed to worker lands on that
+// worker's own deque (depth-first locality) rather than the global FIFO.
+// In the lock-free engine the producer slot (worker == NumWorkers) has
+// its own deque too; the mutex baseline routes it through the global
+// FIFO, as the pre-rebuild engine did.
+func (s *Scheduler) ownDeque(worker int) bool {
+	if s.policy != DepthFirst || worker < 0 {
+		return false
+	}
+	if s.engine == EngineMutex {
+		return worker < len(s.mworkers)
+	}
+	return worker < len(s.ws)
+}
+
+// Push makes t runnable, attributed to worker (or -1). Depth-first
+// pushes from a worker go to that worker's LIFO top — and wake nobody:
+// the owner is live and pops it next, which is the depth-first locality
+// story. Everything else enters the global FIFO and wakes at most one
+// parked slot.
 func (s *Scheduler) Push(worker int, t *graph.Task) {
-	if s.policy == DepthFirst && worker >= 0 && worker < len(s.workers) {
-		s.workers[worker].PushTop(t)
+	if s.engine == EngineMutex {
+		if s.ownDeque(worker) {
+			s.mworkers[worker].PushTop(t)
+		} else {
+			s.global.PushTop(t)
+		}
+		s.bump()
+		s.wake.Broadcast()
+		return
+	}
+	own := s.ownDeque(worker)
+	if own {
+		s.ws[worker].deque.PushTop(t)
 	} else {
 		s.global.PushTop(t)
 	}
-	s.wakeMu.Lock()
-	s.seq++
-	s.wakeMu.Unlock()
-	s.wake.Broadcast()
+	s.bump()
+	if !own {
+		s.WakeOne()
+	}
 }
 
 // PushBatch makes every task in ts runnable, attributed to worker (or
-// -1), with one queue lock acquisition and one wake-up broadcast for
-// the whole batch — the scheduler half of the graph's SubmitBatch /
-// CompleteInto amortization.
+// -1), with one queue publication and at most one remote wake for the
+// whole batch — the scheduler half of the graph's SubmitBatch /
+// CompleteInto amortization. Further ramp-up is cascaded: each woken
+// worker that finds surplus work wakes the next.
 func (s *Scheduler) PushBatch(worker int, ts []*graph.Task) {
 	if len(ts) == 0 {
 		return
 	}
-	if s.policy == DepthFirst && worker >= 0 && worker < len(s.workers) {
-		s.workers[worker].PushTopAll(ts)
+	if s.engine == EngineMutex {
+		if s.ownDeque(worker) {
+			s.mworkers[worker].PushTopAll(ts)
+		} else {
+			s.global.PushTopAll(ts)
+		}
+		s.bump()
+		s.wake.Broadcast()
+		return
+	}
+	own := s.ownDeque(worker)
+	if own {
+		s.ws[worker].deque.PushTopAll(ts)
 	} else {
 		s.global.PushTopAll(ts)
 	}
-	s.wakeMu.Lock()
-	s.seq++
-	s.wakeMu.Unlock()
-	s.wake.Broadcast()
+	s.bump()
+	// An owner batch of one needs no help — the owner pops it next.
+	// Anything beyond that is stealable surplus worth one wake.
+	if !own || len(ts) > 1 {
+		s.WakeOne()
+	}
+}
+
+// xorshift64 advances a victim-selection RNG state.
+func xorshift64(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
 }
 
 // Pop returns the next task for the worker, or nil if none is available
 // anywhere. Depth-first order: own deque top, then the global FIFO, then
-// steal the oldest task from siblings (round-robin from worker+1).
+// steal the oldest task from a sibling — randomized sweep start so
+// thieves spread over victims, sequential sweep order from there. A
+// non-own pop that leaves surplus work behind cascades one wake.
 func (s *Scheduler) Pop(worker int) *graph.Task {
 	if s.policy == BreadthFirst {
 		return s.global.PopBottom()
 	}
-	if worker >= 0 && worker < len(s.workers) {
-		if t := s.workers[worker].PopTop(); t != nil {
+	if s.engine == EngineMutex {
+		return s.popMutex(worker)
+	}
+	if worker >= 0 && worker < len(s.ws) {
+		if t := s.ws[worker].deque.PopTop(); t != nil {
+			return t
+		}
+	}
+	if t := s.global.PopBottom(); t != nil {
+		s.cascade()
+		return t
+	}
+	if t := s.steal(worker); t != nil {
+		s.cascade()
+		return t
+	}
+	return nil
+}
+
+// steal sweeps sibling deques from a randomized start index.
+func (s *Scheduler) steal(worker int) *graph.Task {
+	nw := len(s.ws)
+	if nw == 0 {
+		return nil
+	}
+	var r uint64
+	if worker >= 0 && worker < nw {
+		s.ws[worker].rng = xorshift64(s.ws[worker].rng)
+		r = s.ws[worker].rng
+	} else {
+		// Producer-only path (single goroutine by contract).
+		s.prng = xorshift64(s.prng)
+		r = s.prng
+	}
+	start := int(r % uint64(nw))
+	for i := 0; i < nw; i++ {
+		v := start + i
+		if v >= nw {
+			v -= nw
+		}
+		if v == worker {
+			continue
+		}
+		for {
+			t, retry := s.ws[v].deque.Steal()
+			if t != nil {
+				return t
+			}
+			if !retry {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// cascade wakes one more slot when surplus work remains and someone is
+// parked — the ramp-up half of the wake-one policy.
+func (s *Scheduler) cascade() {
+	if s.nIdle.Load() > 0 && s.Pending() > 0 {
+		s.WakeOne()
+	}
+}
+
+// popMutex is the baseline engine's pop: own top, global FIFO, then a
+// round-robin sweep from worker+1 (the pre-rebuild victim order).
+func (s *Scheduler) popMutex(worker int) *graph.Task {
+	if worker >= 0 && worker < len(s.mworkers) {
+		if t := s.mworkers[worker].PopTop(); t != nil {
 			return t
 		}
 	}
 	if t := s.global.PopBottom(); t != nil {
 		return t
 	}
-	n := len(s.workers)
+	n := len(s.mworkers)
 	if n == 0 {
 		return nil
 	}
@@ -228,44 +502,185 @@ func (s *Scheduler) Pop(worker int) *graph.Task {
 		worker = 0
 	}
 	for i := 1; i <= n; i++ {
-		if t := s.workers[(worker+i)%n].PopBottom(); t != nil {
+		if t := s.mworkers[(worker+i)%n].PopBottom(); t != nil {
 			return t
 		}
 	}
 	return nil
 }
 
-// Seq returns the wake sequence number. Read it before a final Pop
-// attempt, then pass it to WaitChange to sleep without missing pushes.
-func (s *Scheduler) Seq() uint64 {
-	s.wakeMu.Lock()
-	defer s.wakeMu.Unlock()
-	return s.seq
-}
-
-// WaitChange blocks until the wake sequence differs from prev. Spurious
-// returns are possible (Kick); callers re-poll.
-func (s *Scheduler) WaitChange(prev uint64) {
-	s.wakeMu.Lock()
-	for s.seq == prev {
-		s.wake.Wait()
+// PrePark announces that the caller (worker, or -1 for the producer) is
+// about to park and returns the wake-counter snapshot to re-check
+// against. The caller must then re-examine its wake condition (queues,
+// shutdown flag, Seq) and either CancelPark or Park/ParkTimeout.
+func (s *Scheduler) PrePark(worker int) uint64 {
+	sl := s.slot(worker)
+	if s.engine == EngineMutex {
+		s.snaps[sl] = s.Seq()
+		return s.snaps[sl]
 	}
-	s.wakeMu.Unlock()
+	s.nIdle.Add(1)
+	s.stat[sl].v.Store(slotParked)
+	s.snaps[sl] = s.seq.Load()
+	return s.snaps[sl]
 }
 
-// Kick wakes all blocked workers without adding work (shutdown, detach
-// events, MPI completions).
+// CancelPark retracts a PrePark announcement without blocking.
+func (s *Scheduler) CancelPark(worker int) {
+	if s.engine == EngineMutex {
+		return
+	}
+	sl := s.slot(worker)
+	if s.stat[sl].v.CompareAndSwap(slotParked, slotActive) {
+		s.nIdle.Add(-1)
+		return
+	}
+	// A waker claimed the slot concurrently; its token is in flight (or
+	// already buffered). Absorb it if it has landed — if not, the
+	// capacity-1 buffer holds it and the next Park returns immediately,
+	// which the caller's re-check loop absorbs.
+	select {
+	case <-s.parks[sl]:
+	default:
+	}
+}
+
+// unparkSelf restores a slot to active after Park/ParkTimeout returns,
+// covering wakes that arrived without a claiming waker (stale tokens,
+// timeouts).
+func (s *Scheduler) unparkSelf(sl int) {
+	if s.stat[sl].v.CompareAndSwap(slotParked, slotActive) {
+		s.nIdle.Add(-1)
+	}
+}
+
+// Park blocks the announced caller until a waker delivers a token (or a
+// stale token from a cancelled episode is pending — a spurious return
+// the caller's loop re-checks). Must follow PrePark.
+func (s *Scheduler) Park(worker int) {
+	sl := s.slot(worker)
+	if s.engine == EngineMutex {
+		// The baseline's condition-variable wait: broadcast on every
+		// publication, re-checked against the PrePark snapshot.
+		snap := s.snaps[sl]
+		s.wakeMu.Lock()
+		for s.mseq == snap {
+			s.wake.Wait()
+		}
+		s.wakeMu.Unlock()
+		return
+	}
+	<-s.parks[sl]
+	s.unparkSelf(sl)
+}
+
+// ParkTimeout is Park with a deadline, for callers that must keep
+// polling an external engine (Config.Poll): it returns true if woken by
+// a token, false on timeout. The per-slot timer is reused across calls.
+func (s *Scheduler) ParkTimeout(worker int, d time.Duration) bool {
+	sl := s.slot(worker)
+	tm := s.timers[sl]
+	if tm == nil {
+		tm = time.NewTimer(d)
+		s.timers[sl] = tm
+	} else {
+		if !tm.Stop() {
+			select {
+			case <-tm.C:
+			default:
+			}
+		}
+		tm.Reset(d)
+	}
+	if s.engine == EngineMutex {
+		// The baseline engine slept blindly here (time.Sleep in the old
+		// poll loops); a bare timer wait reproduces that cadence.
+		<-tm.C
+		return false
+	}
+	woken := false
+	select {
+	case <-s.parks[sl]:
+		woken = true
+	case <-tm.C:
+	}
+	s.unparkSelf(sl)
+	return woken
+}
+
+// wakeSlot claims one parked slot and delivers its token; reports
+// whether it woke anybody.
+func (s *Scheduler) wakeSlot(sl int) bool {
+	if s.stat[sl].v.CompareAndSwap(slotParked, slotActive) {
+		s.nIdle.Add(-1)
+		select {
+		case s.parks[sl] <- struct{}{}:
+		default:
+		}
+		return true
+	}
+	return false
+}
+
+// WakeOne wakes at most one parked slot (workers and producer alike),
+// scanning from a rotating start for fairness. A no-op when nobody is
+// parked — one atomic load on the publication fast path.
+func (s *Scheduler) WakeOne() {
+	if s.engine == EngineMutex {
+		s.wake.Broadcast()
+		return
+	}
+	if s.nIdle.Load() == 0 {
+		return
+	}
+	n := len(s.stat)
+	start := int(s.wakeHint.Add(1)) % n
+	for i := 0; i < n; i++ {
+		sl := start + i
+		if sl >= n {
+			sl -= n
+		}
+		if s.wakeSlot(sl) {
+			return
+		}
+	}
+}
+
+// WakeProducer wakes the producer slot if it is parked (taskwait or
+// throttle). Completions call it on the transitions only the producer
+// waits on — counter drops with no published successors, or the graph
+// draining to empty.
+func (s *Scheduler) WakeProducer() {
+	if s.engine == EngineMutex {
+		s.bump()
+		s.wake.Broadcast()
+		return
+	}
+	s.bump()
+	s.wakeSlot(s.NumWorkers())
+}
+
+// Kick wakes every parked slot without adding work (shutdown, detach
+// events, external completions).
 func (s *Scheduler) Kick() {
-	s.wakeMu.Lock()
-	s.seq++
-	s.wakeMu.Unlock()
-	s.wake.Broadcast()
+	s.bump()
+	if s.engine == EngineMutex {
+		s.wake.Broadcast()
+		return
+	}
+	for sl := range s.stat {
+		s.wakeSlot(sl)
+	}
 }
 
 // Pending returns the total number of queued tasks across all queues.
+// Racy snapshot while producers run; exact at quiescent points.
 func (s *Scheduler) Pending() int {
 	n := s.global.Len()
-	for _, d := range s.workers {
+	for _, w := range s.ws {
+		n += w.deque.Len()
+	}
+	for _, d := range s.mworkers {
 		n += d.Len()
 	}
 	return n

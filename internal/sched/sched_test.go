@@ -2,9 +2,12 @@ package sched
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"taskdep/internal/graph"
 )
@@ -206,86 +209,175 @@ func TestSchedulerPending(t *testing.T) {
 	}
 }
 
-func TestWaitChangeWakesOnPush(t *testing.T) {
-	s := New(DepthFirst, 1)
-	seq := s.Seq()
+// parkBlocked runs PrePark+Park for worker w in a goroutine (re-checking
+// the wake condition as the protocol requires) and returns a channel
+// closed once Park returns.
+func parkBlocked(s *Scheduler, w int) chan struct{} {
 	done := make(chan struct{})
+	ready := make(chan struct{})
 	go func() {
-		s.WaitChange(seq)
+		snap := s.PrePark(w)
+		if s.Pop(w) != nil || s.Seq() != snap {
+			s.CancelPark(w)
+			close(ready)
+			close(done)
+			return
+		}
+		close(ready)
+		s.Park(w)
 		close(done)
 	}()
-	s.Push(-1, &graph.Task{})
-	<-done // must not hang
-	if got := s.Pop(0); got == nil {
-		t.Fatalf("task lost")
+	<-ready
+	return done
+}
+
+func engines(t *testing.T, f func(t *testing.T, e Engine)) {
+	for _, e := range []Engine{EngineLockFree, EngineMutex} {
+		t.Run(e.String(), func(t *testing.T) { f(t, e) })
 	}
 }
 
-func TestKickWakesWithoutWork(t *testing.T) {
-	s := New(DepthFirst, 1)
-	seq := s.Seq()
-	done := make(chan struct{})
-	go func() {
-		s.WaitChange(seq)
-		close(done)
-	}()
-	s.Kick()
-	<-done
+func TestParkWakesOnPush(t *testing.T) {
+	engines(t, func(t *testing.T, e Engine) {
+		s := NewEngine(DepthFirst, 1, e)
+		done := parkBlocked(s, 0)
+		s.Push(-1, &graph.Task{})
+		<-done // must not hang
+		if got := s.Pop(0); got == nil {
+			t.Fatalf("task lost")
+		}
+	})
 }
 
-// TestConcurrentStealNoLossNoDup runs many producers and thieves and
-// checks every task is seen exactly once. Run with -race.
+func TestKickWakesParkedWithoutWork(t *testing.T) {
+	engines(t, func(t *testing.T, e Engine) {
+		s := NewEngine(DepthFirst, 1, e)
+		done := parkBlocked(s, 0)
+		s.Kick()
+		<-done
+	})
+}
+
+func TestWakeProducerWakesParkedProducer(t *testing.T) {
+	engines(t, func(t *testing.T, e Engine) {
+		s := NewEngine(DepthFirst, 2, e)
+		done := parkBlocked(s, -1)
+		s.WakeProducer()
+		<-done
+	})
+}
+
+func TestCancelParkAbsorbsConcurrentWake(t *testing.T) {
+	// A waker claiming a slot whose parker cancels concurrently must not
+	// wedge the slot: the token is either absorbed by CancelPark or
+	// buffered for the next Park, which then returns immediately.
+	s := New(DepthFirst, 1)
+	for i := 0; i < 1000; i++ {
+		s.PrePark(0)
+		go s.WakeOne()
+		s.CancelPark(0)
+		// The slot must still be usable for a real park/wake cycle.
+		done := parkBlocked(s, 0)
+		s.Kick()
+		<-done
+	}
+}
+
+func TestParkTimeoutExpires(t *testing.T) {
+	engines(t, func(t *testing.T, e Engine) {
+		s := NewEngine(DepthFirst, 1, e)
+		for i := 0; i < 3; i++ { // timer reuse across calls
+			s.PrePark(0)
+			if s.ParkTimeout(0, time.Millisecond) {
+				t.Fatalf("ParkTimeout reported a wake with no waker")
+			}
+		}
+	})
+}
+
+func TestParkTimeoutWoken(t *testing.T) {
+	s := New(DepthFirst, 1)
+	done := make(chan bool)
+	ready := make(chan struct{})
+	go func() {
+		s.PrePark(0)
+		close(ready)
+		done <- s.ParkTimeout(0, 10*time.Second)
+	}()
+	<-ready
+	s.Kick()
+	if woken := <-done; !woken {
+		t.Fatalf("ParkTimeout timed out despite Kick")
+	}
+}
+
+// TestConcurrentStealNoLossNoDup runs a cross-thread producer against
+// stealing workers, each of which also owner-pushes follow-up tasks to
+// its own deque, and checks every task is seen exactly once. Run with
+// -race.
 func TestConcurrentStealNoLossNoDup(t *testing.T) {
-	const nTasks = 10000
-	const nWorkers = 8
-	s := New(DepthFirst, nWorkers)
-	ts := mkTasks(nTasks)
+	engines(t, func(t *testing.T, e Engine) {
+		const nRoots = 5000
+		const nWorkers = 8
+		const fanout = 1 // one child per root, owner-pushed
+		s := NewEngine(DepthFirst, nWorkers, e)
+		ts := mkTasks(nRoots * (1 + fanout))
 
-	var seen sync.Map
-	var wg sync.WaitGroup
-	var popped [nWorkers]int
+		var seen sync.Map
+		var wg sync.WaitGroup
+		var popped [nWorkers]int64
 
-	stop := make(chan struct{})
-	for w := 0; w < nWorkers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				tk := s.Pop(w)
-				if tk == nil {
-					select {
-					case <-stop:
-						// final drain
-						for tk := s.Pop(w); tk != nil; tk = s.Pop(w) {
-							if _, dup := seen.LoadOrStore(tk.ID, w); dup {
-								t.Errorf("task %d seen twice", tk.ID)
-							}
-							popped[w]++
+		stop := make(chan struct{})
+		for w := 0; w < nWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				drain := false
+				for {
+					tk := s.Pop(w)
+					if tk == nil {
+						if drain {
+							return
 						}
-						return
-					default:
+						select {
+						case <-stop:
+							drain = true
+						default:
+						}
 						continue
 					}
+					drain = false
+					if _, dup := seen.LoadOrStore(tk.ID, w); dup {
+						t.Errorf("task %d seen twice", tk.ID)
+					}
+					atomic.AddInt64(&popped[w], 1)
+					// Roots spawn a child onto the worker's own deque —
+					// the owner-push side of the ownership contract.
+					if tk.ID < nRoots {
+						s.Push(w, ts[nRoots+tk.ID])
+					}
 				}
-				if _, dup := seen.LoadOrStore(tk.ID, w); dup {
-					t.Errorf("task %d seen twice", tk.ID)
-				}
-				popped[w]++
+			}(w)
+		}
+		for _, tk := range ts[:nRoots] {
+			s.Push(-1, tk)
+		}
+		// Roots are visible; children only appear after their root is
+		// popped, so spin until everything is accounted for.
+		for {
+			total := int64(0)
+			for w := range popped {
+				total += atomic.LoadInt64(&popped[w])
 			}
-		}(w)
-	}
-	for i, tk := range ts {
-		s.Push(i%nWorkers, tk)
-	}
-	close(stop)
-	wg.Wait()
-	total := 0
-	for _, c := range popped {
-		total += c
-	}
-	if total != nTasks {
-		t.Fatalf("popped %d of %d", total, nTasks)
-	}
+			if total == int64(nRoots*(1+fanout)) {
+				break
+			}
+			runtime.Gosched()
+		}
+		close(stop)
+		s.Kick()
+		wg.Wait()
+	})
 }
 
 func BenchmarkDequePushPop(b *testing.B) {

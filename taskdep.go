@@ -87,6 +87,22 @@ const (
 	BreadthFirst = sched.BreadthFirst
 )
 
+// Engine selects the executor hot-path implementation; set it in
+// Config.Engine.
+type Engine = sched.Engine
+
+// Executor engines.
+const (
+	// EngineLockFree (the default) runs workers on per-worker Chase–Lev
+	// work-stealing deques with real parking/wakeup — no locks on the
+	// push/pop/steal fast path.
+	EngineLockFree = sched.EngineLockFree
+	// EngineMutex is the pre-rebuild baseline: mutex-protected ring
+	// deques and a broadcast condition variable, kept for comparison
+	// (tdgbench -exp executor).
+	EngineMutex = sched.EngineMutex
+)
+
 // Config parametrizes a Runtime; see rt.Config for field documentation.
 type Config = rt.Config
 
