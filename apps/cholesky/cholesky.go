@@ -187,17 +187,15 @@ func Verify(a0, l *Matrix, tol float64) error {
 // tileKey namespaces dependence keys by tile coordinates.
 func tileKey(i, j int) graph.Key { return graph.Key(1<<60 | uint64(i)<<24 | uint64(j)) }
 
-// potrfErr collects kernel failures from inside tasks.
-type potrfErr struct{ err error }
-
 // TaskFactor factors m with dependent tasks on the runtime (single
 // process). Bitwise identical to SerialFactor: update chains per tile
-// run in the serial order through inout dependences.
+// run in the serial order through inout dependences. A not-positive-
+// definite panel makes the potrf task fail (Spec.Do), poisoning the
+// updates that depend on it; the error surfaces from the barrier as a
+// *fault.TaskError naming the tile.
 func TaskFactor(m *Matrix, r *rt.Runtime) error {
-	var pe potrfErr
-	taskFactorInto(m, r, &pe)
-	r.Taskwait()
-	return pe.err
+	taskFactorInto(m, r)
+	return r.Taskwait()
 }
 
 // RepeatedConfig parametrizes iterated factorizations (the paper's
@@ -214,7 +212,6 @@ type RepeatedConfig struct {
 // implicit barrier guarantees the previous factorization finished).
 func TaskFactorRepeated(a0 *Matrix, r *rt.Runtime, cfg RepeatedConfig) (*Matrix, error) {
 	work := a0.Clone()
-	var pe potrfErr
 	reset := func() {
 		for key, tile := range a0.tiles {
 			copy(work.tiles[key], tile)
@@ -222,7 +219,7 @@ func TaskFactorRepeated(a0 *Matrix, r *rt.Runtime, cfg RepeatedConfig) (*Matrix,
 	}
 	body := func(iter int) {
 		reset()
-		taskFactorInto(work, r, &pe)
+		taskFactorInto(work, r)
 	}
 	if cfg.Persistent {
 		if err := r.Persistent(cfg.Iters, body); err != nil {
@@ -231,16 +228,18 @@ func TaskFactorRepeated(a0 *Matrix, r *rt.Runtime, cfg RepeatedConfig) (*Matrix,
 	} else {
 		for it := 0; it < cfg.Iters; it++ {
 			body(it)
-			r.Taskwait()
+			if err := r.Taskwait(); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return work, pe.err
+	return work, nil
 }
 
 // taskFactorInto submits the factorization tasks without waiting. Each
 // elimination panel k (potrf + its trsm/syrk/gemm updates) is staged
 // into a slice and discovered with one SubmitBatch call.
-func taskFactorInto(m *Matrix, r *rt.Runtime, pe *potrfErr) {
+func taskFactorInto(m *Matrix, r *rt.Runtime) {
 	t, b := m.T, m.B
 	specs := make([]rt.Spec, 0, t*t/2+t)
 	for k := 0; k < t; k++ {
@@ -249,11 +248,7 @@ func taskFactorInto(m *Matrix, r *rt.Runtime, pe *potrfErr) {
 		specs = append(specs, rt.Spec{
 			Label: "potrf",
 			InOut: []graph.Key{tileKey(k, k)},
-			Body: func(any) {
-				if err := Potrf(m.Tile(k, k), b); err != nil && pe.err == nil {
-					pe.err = err
-				}
-			},
+			Do:    func(any) error { return Potrf(m.Tile(k, k), b) },
 		})
 		for i := k + 1; i < t; i++ {
 			i := i
@@ -322,7 +317,6 @@ func ghostKey(i, k int) graph.Key { return graph.Key(1<<61 | uint64(i)<<24 | uin
 func TaskFactorDist(dm *DistMatrix, r *rt.Runtime, comm *mpi.Comm) error {
 	t, b := dm.T, dm.B
 	P := dm.Ranks
-	var pe potrfErr
 	tag := func(k, i int) int { return k*t + i }
 
 	// panelTile returns the local or ghost buffer of panel tile (i,k)
@@ -346,11 +340,7 @@ func TaskFactorDist(dm *DistMatrix, r *rt.Runtime, comm *mpi.Comm) error {
 			r.Submit(rt.Spec{
 				Label: "potrf",
 				InOut: []graph.Key{tileKey(k, k)},
-				Body: func(any) {
-					if err := Potrf(dm.Tile(k, k), b); err != nil && pe.err == nil {
-						pe.err = err
-					}
-				},
+				Do:    func(any) error { return Potrf(dm.Tile(k, k), b) },
 			})
 			for i := k + 1; i < t; i++ {
 				i := i
@@ -421,6 +411,11 @@ func TaskFactorDist(dm *DistMatrix, r *rt.Runtime, comm *mpi.Comm) error {
 			}
 		}
 	}
-	r.Taskwait()
-	return pe.err
+	if err := r.Taskwait(); err != nil {
+		// Error out the peers' pending rendezvous/receives instead of
+		// letting them deadlock on tiles this rank will never send.
+		comm.Abort(err)
+		return err
+	}
+	return nil
 }

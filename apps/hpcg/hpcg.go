@@ -372,16 +372,26 @@ func (pr *Problem) RunTask(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig) error 
 
 	body := func(iter int) { pr.submitIteration(r, comm, cfg) }
 
+	abort := func(err error) error {
+		// Error out the peers' halo/allreduce requests rather than
+		// letting them deadlock on a rank that stopped iterating.
+		if comm != nil {
+			comm.Abort(err)
+		}
+		return err
+	}
 	if cfg.Persistent {
 		if err := r.Persistent(pr.P.Iters, body); err != nil {
-			return err
+			return abort(err)
 		}
 		return nil
 	}
 	for it := 0; it < pr.P.Iters; it++ {
 		body(it)
 	}
-	r.Taskwait()
+	if err := r.Taskwait(); err != nil {
+		return abort(err)
+	}
 	return nil
 }
 

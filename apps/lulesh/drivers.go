@@ -331,15 +331,26 @@ func RunTask(d *Domain, r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig) error {
 
 	body := func(iter int) { d.submitIteration(r, comm, ex, cfg, &dtMu) }
 
+	abort := func(err error) error {
+		// A failed rank errors out its peers' pending requests instead
+		// of leaving them deadlocked on halo exchanges that will never
+		// be posted.
+		if comm != nil {
+			comm.Abort(err)
+		}
+		return err
+	}
 	if cfg.Persistent {
 		if err := r.Persistent(d.P.Iters, body); err != nil {
-			return err
+			return abort(err)
 		}
 	} else {
 		for it := 0; it < d.P.Iters; it++ {
 			body(it)
 		}
-		r.Taskwait()
+		if err := r.Taskwait(); err != nil {
+			return abort(err)
+		}
 	}
 	// Apply the final iteration's constraint (outside tasking).
 	d.reduceDt(comm)

@@ -12,7 +12,7 @@ import (
 	"sync"
 	"testing"
 
-	"taskdep/internal/experiments"
+	"taskdep/experiments"
 	"taskdep/internal/graph"
 	"taskdep/internal/sched"
 	"taskdep/internal/trace"

@@ -13,11 +13,9 @@ import (
 	"os"
 	"time"
 
-	"taskdep/internal/apps/cholesky"
-	"taskdep/internal/experiments"
-	"taskdep/internal/graph"
-	"taskdep/internal/mpi"
-	"taskdep/internal/rt"
+	"taskdep"
+	"taskdep/apps/cholesky"
+	"taskdep/experiments"
 )
 
 func main() {
@@ -46,11 +44,11 @@ func main() {
 	a0 := cholesky.NewSPD(*tiles, *block)
 
 	if *ranks > 1 {
-		w := mpi.NewWorld(*ranks)
+		w := taskdep.NewWorld(*ranks)
 		t0 := time.Now()
-		w.Run(func(c *mpi.Comm) {
+		w.Run(func(c *taskdep.Comm) {
 			dm := cholesky.NewDistSPD(*tiles, *block, *ranks, c.Rank())
-			r := rt.New(rt.Config{Workers: *workers, Opts: graph.OptAll})
+			r := taskdep.New(taskdep.Config{Workers: *workers, Opts: taskdep.OptAll})
 			if err := cholesky.TaskFactorDist(dm, r, c); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -62,7 +60,7 @@ func main() {
 		return
 	}
 
-	r := rt.New(rt.Config{Workers: *workers, Opts: graph.OptAll})
+	r := taskdep.New(taskdep.Config{Workers: *workers, Opts: taskdep.OptAll})
 	t0 := time.Now()
 	got, err := cholesky.TaskFactorRepeated(a0, r, cholesky.RepeatedConfig{Iters: *iters, Persistent: *persistent})
 	wall := time.Since(t0)

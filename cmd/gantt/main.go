@@ -11,8 +11,8 @@ import (
 	"fmt"
 	"os"
 
-	"taskdep/internal/experiments"
-	"taskdep/internal/trace"
+	"taskdep"
+	"taskdep/experiments"
 )
 
 func main() {
@@ -26,9 +26,9 @@ func main() {
 	c := experiments.DefaultDistributed()
 	res := experiments.RunFig8(c, *tpl)
 
-	render := func(label string, recs []trace.TaskRecord, suffix string) {
+	render := func(label string, recs []taskdep.TaskRecord, suffix string) {
 		fmt.Printf("== Fig 8: rank %d — %s ==\n", c.ProfiledRank, label)
-		g := &trace.Gantt{Tasks: recs}
+		g := &taskdep.Gantt{Tasks: recs}
 		if err := g.WriteASCII(os.Stdout, *width); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -11,11 +11,9 @@ import (
 	"os"
 	"time"
 
-	"taskdep/internal/apps/hpcg"
-	"taskdep/internal/experiments"
-	"taskdep/internal/graph"
-	"taskdep/internal/mpi"
-	"taskdep/internal/rt"
+	"taskdep"
+	"taskdep/apps/hpcg"
+	"taskdep/experiments"
 )
 
 func main() {
@@ -40,14 +38,14 @@ func main() {
 		return
 	}
 
-	run := func(comm *mpi.Comm, rank int) {
+	run := func(comm *taskdep.Comm, rank int) {
 		p := hpcg.Params{NX: *nx, NY: *ny, NZ: *nz, Iters: *iters, Ranks: *ranks, Rank: rank}
 		pr, err := hpcg.New(p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		r := rt.New(rt.Config{Workers: *workers, Opts: graph.OptAll})
+		r := taskdep.New(taskdep.Config{Workers: *workers, Opts: taskdep.OptAll})
 		t0 := time.Now()
 		switch *mode {
 		case "serial":
@@ -78,8 +76,8 @@ func main() {
 	}
 
 	if *ranks > 1 {
-		w := mpi.NewWorld(*ranks)
-		w.Run(func(c *mpi.Comm) { run(c, c.Rank()) })
+		w := taskdep.NewWorld(*ranks)
+		w.Run(func(c *taskdep.Comm) { run(c, c.Rank()) })
 	} else {
 		run(nil, 0)
 	}

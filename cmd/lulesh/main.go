@@ -15,12 +15,9 @@ import (
 	"os"
 	"time"
 
-	"taskdep/internal/apps/lulesh"
-	"taskdep/internal/experiments"
-	"taskdep/internal/graph"
-	"taskdep/internal/mpi"
-	"taskdep/internal/rt"
-	"taskdep/internal/trace"
+	"taskdep"
+	"taskdep/apps/lulesh"
+	"taskdep/experiments"
 )
 
 func main() {
@@ -71,15 +68,15 @@ func main() {
 		return
 	}
 
-	run := func(comm *mpi.Comm, rank int) {
+	run := func(comm *taskdep.Comm, rank int) {
 		p := lulesh.Params{S: *s, Iters: *iters, Ranks: *ranks, Rank: rank}
 		d, err := lulesh.NewDomain(p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		prof := trace.New(*workers+1, *jsonOut != "")
-		r := rt.New(rt.Config{Workers: *workers, Opts: graph.OptAll, Profile: prof})
+		prof := taskdep.NewProfile(*workers+1, *jsonOut != "")
+		r := taskdep.New(taskdep.Config{Workers: *workers, Opts: taskdep.OptAll, Profile: prof})
 		t0 := time.Now()
 		switch *mode {
 		case "serial":
@@ -127,8 +124,8 @@ func main() {
 	}
 
 	if *ranks > 1 {
-		w := mpi.NewWorld(*ranks)
-		w.Run(func(c *mpi.Comm) { run(c, c.Rank()) })
+		w := taskdep.NewWorld(*ranks)
+		w.Run(func(c *taskdep.Comm) { run(c, c.Rank()) })
 	} else {
 		run(nil, 0)
 	}

@@ -11,7 +11,7 @@ import (
 	"flag"
 	"os"
 
-	"taskdep/internal/experiments"
+	"taskdep/experiments"
 )
 
 func main() {

@@ -1,6 +1,6 @@
 package main
 
-// lint.go implements the four taskdep API-misuse rules over go/ast +
+// lint.go implements the five taskdep API-misuse rules over go/ast +
 // go/types. Type information is best-effort: imports resolve through a
 // stub importer (no module loading, no new dependencies), which is
 // enough for the rules here — they need object identity and scope for
@@ -16,8 +16,12 @@ package main
 //	                 Close() in the same function;
 //	fulfill-nil-event calling Fulfill on the result of a Submit whose
 //	                 Spec is not Detached (Submit returns nil);
-//	missing-out      a Spec whose Body writes package-level state but
-//	                 declares no Out/InOut/InOutSet keys.
+//	missing-out      a Spec whose Body/Do writes package-level state but
+//	                 declares no Out/InOut/InOutSet keys;
+//	dropped-error    a Spec Do closure that blank-discards a call result
+//	                 while every return statement is `return nil` — the
+//	                 task can never fail, defeating the point of the
+//	                 error-returning form.
 //
 // A finding is suppressed by a comment containing "taskdeplint:ignore"
 // on the same line or the line above.
@@ -47,6 +51,7 @@ const (
 	ruleUseAfterClose = "use-after-close"
 	ruleFulfillNil    = "fulfill-nil-event"
 	ruleMissingOut    = "missing-out"
+	ruleDroppedError  = "dropped-error"
 )
 
 // taskdepPaths are the import paths whose New() produces a runtime the
@@ -97,6 +102,7 @@ func (l *pkgLint) lintFile(f *ast.File) {
 		if lit, ok := n.(*ast.CompositeLit); ok && isSpecLit(lit) {
 			l.checkLoopCapture(lit, stack)
 			l.checkMissingOut(lit)
+			l.checkDroppedError(lit)
 		}
 		stack = append(stack, n)
 		return true
@@ -204,7 +210,7 @@ func (l *pkgLint) varOf(id *ast.Ident) *types.Var {
 // body runs concurrently with later iterations overwriting it.
 func (l *pkgLint) checkLoopCapture(lit *ast.CompositeLit, stack []ast.Node) {
 	fields := specFields(lit)
-	for _, name := range []string{"Body", "DetachedBody"} {
+	for _, name := range []string{"Body", "Do", "DetachedBody"} {
 		fn, ok := fields[name].(*ast.FuncLit)
 		if !ok {
 			continue
@@ -301,6 +307,9 @@ func (l *pkgLint) checkMissingOut(lit *ast.CompositeLit) {
 	fields := specFields(lit)
 	fn, ok := fields["Body"].(*ast.FuncLit)
 	if !ok {
+		fn, ok = fields["Do"].(*ast.FuncLit)
+	}
+	if !ok {
 		return
 	}
 	if fields["Out"] != nil || fields["InOut"] != nil || fields["InOutSet"] != nil {
@@ -349,6 +358,58 @@ func (l *pkgLint) checkMissingOut(lit *ast.CompositeLit) {
 		}
 		return true
 	})
+}
+
+// --- rule: dropped-error ---
+
+// checkDroppedError flags a Do closure that discards a call result via
+// a trailing blank assignment while every return statement (outside
+// nested closures) is literally `return nil`: the error-returning form
+// was chosen, but no failure can ever reach the runtime. The fix is to
+// return the discarded error (so a failure poisons the task's cone) —
+// or to use Body, the zero-overhead form for work that cannot fail.
+func (l *pkgLint) checkDroppedError(lit *ast.CompositeLit) {
+	fn, ok := specFields(lit)["Do"].(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	alwaysNil := true
+	discards := 0
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false // nested closures have their own error discipline
+		case *ast.ReturnStmt:
+			if len(s.Results) == 0 {
+				// Naked return of a named result: value unknown, assume
+				// the author threads errors through it.
+				alwaysNil = false
+				return true
+			}
+			for _, r := range s.Results {
+				if id, isIdent := r.(*ast.Ident); !isIdent || id.Name != "nil" {
+					alwaysNil = false
+				}
+			}
+		case *ast.AssignStmt:
+			// `_ = f()` and `v, _ := f()` both throw away f's trailing
+			// result — for a multi-valued call, conventionally the error.
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			if _, isCall := s.Rhs[0].(*ast.CallExpr); !isCall {
+				return true
+			}
+			if id, isIdent := s.Lhs[len(s.Lhs)-1].(*ast.Ident); isIdent && id.Name == "_" {
+				discards++
+			}
+		}
+		return true
+	})
+	if alwaysNil && discards > 0 {
+		l.report(lit.Pos(), ruleDroppedError,
+			"Do body blank-discards a call result but every return is nil — the task can never fail; return the error so the failure poisons the cone, or use Body for work that cannot fail")
+	}
 }
 
 // rootIdent unwraps index/selector/star/paren chains to the base
@@ -458,7 +519,8 @@ func (l *pkgLint) seqLint(body *ast.BlockStmt, runtimes map[types.Object]bool) {
 				if _, already := closed[obj]; !already {
 					closed[obj] = s.Pos()
 				}
-			case "Submit", "TaskLoop", "Taskwait", "Persistent", "PersistentFrozen", "PersistentAdaptive":
+			case "Submit", "SubmitBatch", "TaskLoop", "Taskwait", "Abort",
+				"Persistent", "PersistentFrozen", "PersistentAdaptive":
 				if pos, bad := closed[obj]; bad {
 					l.report(s.Pos(), ruleUseAfterClose,
 						"%s on %q after its Close at %s — the workers are gone; move the Close after the last use (or defer it)",

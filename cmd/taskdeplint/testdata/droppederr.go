@@ -1,0 +1,107 @@
+package fixtures
+
+import (
+	"fmt"
+	"os"
+
+	"taskdep"
+)
+
+// Positive: the Do body throws away Chmod's error and unconditionally
+// returns nil — the task can never fail.
+func droppedErrBlank(rt *taskdep.Runtime) {
+	rt.Submit(taskdep.Spec{ // want "dropped-error"
+		Label: "chmod",
+		Out:   []taskdep.Key{1},
+		Do: func(any) error {
+			_ = os.Chmod("/tmp/x", 0o644)
+			return nil
+		},
+	})
+}
+
+// Positive: the trailing blank of a multi-valued call is conventionally
+// the error.
+func droppedErrMulti(rt *taskdep.Runtime) {
+	rt.Submit(taskdep.Spec{ // want "dropped-error"
+		Label: "open",
+		Out:   []taskdep.Key{1},
+		Do: func(any) error {
+			f, _ := os.Open("/tmp/x")
+			if f != nil {
+				f.Close()
+			}
+			return nil
+		},
+	})
+}
+
+// Negative: the discarded call's error is irrelevant because another
+// path returns a real error.
+func propagatesElsewhere(rt *taskdep.Runtime, bad bool) {
+	rt.Submit(taskdep.Spec{
+		Label: "mixed",
+		Out:   []taskdep.Key{1},
+		Do: func(any) error {
+			_, _ = fmt.Println("progress")
+			if bad {
+				return fmt.Errorf("bad input")
+			}
+			return nil
+		},
+	})
+}
+
+// Negative: the error is returned, as intended.
+func returnsTheError(rt *taskdep.Runtime) {
+	rt.Submit(taskdep.Spec{
+		Label: "chmod",
+		Out:   []taskdep.Key{1},
+		Do: func(any) error {
+			return os.Chmod("/tmp/x", 0o644)
+		},
+	})
+}
+
+// Negative: no discarded calls — always-nil alone is fine (a Do used
+// for uniformity with failing siblings).
+func alwaysNilNoDiscard(rt *taskdep.Runtime) {
+	n := 0
+	rt.Submit(taskdep.Spec{
+		Label: "count",
+		Out:   []taskdep.Key{1},
+		Do: func(any) error {
+			n++
+			return nil
+		},
+	})
+	rt.Taskwait()
+	_ = n
+}
+
+// Negative: a discard inside a nested closure belongs to that closure,
+// not to the Do body's error discipline.
+func nestedClosureDiscard(rt *taskdep.Runtime) {
+	rt.Submit(taskdep.Spec{
+		Label: "nested",
+		Out:   []taskdep.Key{1},
+		Do: func(any) error {
+			logf := func() { _, _ = fmt.Println("x") }
+			logf()
+			return os.Chmod("/tmp/x", 0o644)
+		},
+	})
+}
+
+// Negative: suppression comment.
+func droppedButSuppressed(rt *taskdep.Runtime) {
+	// Best-effort cleanup; failure is deliberately ignored. taskdeplint:ignore
+	rt.Submit(taskdep.Spec{
+		Label: "cleanup",
+		Out:   []taskdep.Key{1},
+		Do: func(any) error {
+			_ = os.Remove("/tmp/x")
+			return nil
+		},
+	})
+}

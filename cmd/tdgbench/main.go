@@ -25,6 +25,13 @@
 // count and task grain and reporting the METG@50% shift. -json/-check/
 // -maxregress/-smoke work as in discovery mode (committed baseline:
 // BENCH_executor.json).
+//
+// -exp faults drives the failure-domain subsystem: a synthetic
+// poison-cone graph plus LULESH/HPCG/Cholesky under deterministic
+// fault injection on both engines, checking that the failed task is
+// named, its cone is skipped, disjoint work completes, the runtime
+// closes cleanly and no goroutines leak. -check validates invariants
+// and coverage against BENCH_faults.json; there is no timing gate.
 package main
 
 import (
@@ -32,7 +39,7 @@ import (
 	"fmt"
 	"os"
 
-	"taskdep/internal/experiments"
+	"taskdep/experiments"
 )
 
 // runDiscovery executes the discovery-throughput mode; returns the
@@ -126,9 +133,55 @@ func runExecutor(smoke bool, jsonPath, checkPath string, maxRegress float64) int
 	return 0
 }
 
+// runFaults executes the fault-injection mode; returns the process
+// exit code. There is no -maxregress: the check validates failure-
+// domain invariants and coverage, never timing.
+func runFaults(smoke bool, jsonPath, checkPath string) int {
+	p := experiments.DefaultFaultParams()
+	if smoke {
+		p = experiments.SmokeFaultParams()
+	}
+	res, err := experiments.RunFaults(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fault-injection invariant FAILED: %v\n", err)
+		return 1
+	}
+	experiments.PrintFaults(os.Stdout, &res)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		committed, err := experiments.ReadFaultsJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", checkPath, err)
+			return 1
+		}
+		if err := experiments.CheckFaults(&res, committed); err != nil {
+			fmt.Fprintf(os.Stderr, "fault-injection check FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("fault-injection check OK (invariants + coverage vs %s)\n", checkPath)
+	}
+	return 0
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults")
 		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
 		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
 		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
@@ -150,6 +203,8 @@ func main() {
 		os.Exit(runDiscovery(*smoke, *tasks, *keys, *producers, *jsonOut, *check, *maxRegress))
 	case "executor":
 		os.Exit(runExecutor(*smoke, *jsonOut, *check, *maxRegress))
+	case "faults":
+		os.Exit(runFaults(*smoke, *jsonOut, *check))
 	case "table1":
 		res := experiments.RunTable1(c, *tpl, *fine)
 		res.Print(os.Stdout)

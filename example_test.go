@@ -1,0 +1,94 @@
+package taskdep_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"taskdep"
+)
+
+// Error handling: a task whose Do closure fails aborts and poisons its
+// successor cone; Taskwait reports the failure as a *TaskError naming
+// the task and carrying the cause.
+func ExampleRuntime_submitError() {
+	r := taskdep.New(taskdep.Config{Workers: 2})
+	defer r.Close()
+	r.Submit(taskdep.Spec{
+		Label: "load", Out: []taskdep.Key{1},
+		Do: func(any) error { return errors.New("disk on fire") },
+	})
+	r.Submit(taskdep.Spec{
+		Label: "use", In: []taskdep.Key{1},
+		Body: func(any) { fmt.Println("never runs: its input failed") },
+	})
+	err := r.Taskwait()
+	var te *taskdep.TaskError
+	if errors.As(err, &te) {
+		fmt.Printf("failed task: %s\ncause: %v\n", te.Label, te.Cause)
+	}
+	// Output:
+	// failed task: load
+	// cause: disk on fire
+}
+
+// SubmitBatch amortizes discovery overhead over a whole slice of
+// submissions — the natural form for a tiled kernel's inner loop.
+func ExampleRuntime_SubmitBatch() {
+	r := taskdep.New(taskdep.Config{Workers: 4})
+	defer r.Close()
+	var sum atomic.Int64
+	specs := make([]taskdep.Spec, 8)
+	for i := range specs {
+		n := int64(i)
+		specs[i] = taskdep.Spec{Label: "add", Body: func(any) { sum.Add(n) }}
+	}
+	r.SubmitBatch(specs)
+	if err := r.Taskwait(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("sum:", sum.Load())
+	// Output: sum: 28
+}
+
+// Persistent records the task graph once and replays it each
+// iteration; Frozen() additionally reuses the captured closures, so the
+// body only runs at iteration 0 (the OpenMP taskgraph semantics).
+func ExampleRuntime_Persistent() {
+	r := taskdep.New(taskdep.Config{Workers: 2})
+	defer r.Close()
+	x := 1.0
+	bodyRuns := 0
+	err := r.Persistent(3, func(iter int) {
+		bodyRuns++
+		r.Submit(taskdep.Spec{
+			Label: "double", InOut: []taskdep.Key{1},
+			Body: func(any) { x *= 2 },
+		})
+	}, taskdep.Frozen())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("x = %g after 3 iterations, body ran %d time\n", x, bodyRuns)
+	// Output: x = 8 after 3 iterations, body ran 1 time
+}
+
+// Abort cancels the window cooperatively: pending tasks are skipped,
+// the graph drains, and the next Taskwait returns the cause.
+func ExampleRuntime_Abort() {
+	r := taskdep.New(taskdep.Config{Workers: 2})
+	defer r.Close()
+	r.Abort(errors.New("quota exceeded"))
+	fmt.Println(r.Taskwait())
+	// Output: quota exceeded
+}
+
+// NewRuntime reports invalid configuration as a descriptive error
+// instead of panicking (New is the panicking must-form).
+func ExampleNewRuntime() {
+	_, err := taskdep.NewRuntime(taskdep.Config{Workers: -1})
+	fmt.Println(err)
+	// Output: rt: Workers is -1; want >= 0 (0 selects the default of 1)
+}

@@ -5,7 +5,7 @@ import (
 	"io"
 	"math"
 
-	"taskdep/internal/apps/lulesh"
+	"taskdep/apps/lulesh"
 	"taskdep/internal/graph"
 	"taskdep/internal/sim"
 	"taskdep/internal/trace"

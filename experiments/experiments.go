@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"io"
 
-	"taskdep/internal/apps/lulesh"
+	"taskdep/apps/lulesh"
 	"taskdep/internal/graph"
 	"taskdep/internal/sched"
 	"taskdep/internal/sim"

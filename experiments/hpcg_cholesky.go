@@ -5,8 +5,8 @@ import (
 	"io"
 	"time"
 
-	"taskdep/internal/apps/cholesky"
-	"taskdep/internal/apps/hpcg"
+	"taskdep/apps/cholesky"
+	"taskdep/apps/hpcg"
 	"taskdep/internal/graph"
 	"taskdep/internal/rt"
 	"taskdep/internal/sim"

@@ -5,7 +5,7 @@ import (
 	"io"
 	"time"
 
-	"taskdep/internal/apps/lulesh"
+	"taskdep/apps/lulesh"
 	"taskdep/internal/graph"
 	"taskdep/internal/metg"
 	"taskdep/internal/sched"
@@ -77,7 +77,7 @@ func measureDiscovery(ops []sim.Op, iters int, opts graph.Opt, persistent bool) 
 					if op.Kind != sim.OpSubmit {
 						continue
 					}
-					g.Replay(nil, nil)
+					g.Replay(nil, nil, nil, nil)
 				}
 				dt := time.Since(t0)
 				total += dt

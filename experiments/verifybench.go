@@ -11,7 +11,7 @@ import (
 	"math"
 	"time"
 
-	"taskdep/internal/apps/lulesh"
+	"taskdep/apps/lulesh"
 	"taskdep/internal/graph"
 	"taskdep/internal/sim"
 	"taskdep/internal/verify"

@@ -1,0 +1,203 @@
+// Package fault defines the runtime's failure domain: the structured
+// error a failed task surfaces through Taskwait/Close, the panic
+// wrapper bodies are recovered into, the abort sentinel, and a
+// deterministic fault-injection harness used by tests and
+// `tdgbench -exp faults` to prove the runtime survives arbitrary
+// single-task failure.
+//
+// The model (docs/architecture.md "Failure domains"): a task whose body
+// panics or returns a non-nil error transitions to graph.Aborted and
+// poisons its successor cone — every transitive successor completes as
+// graph.Skipped without executing, releasing its own successors, so the
+// graph always drains and Close never wedges. Tasks outside the cone
+// run to completion. The producer observes the failure as a *TaskError
+// from the next Taskwait (or Persistent iteration, or Close).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"taskdep/internal/graph"
+)
+
+// ErrAborted is the cause recorded by Runtime.Abort(nil): the producer
+// cancelled the frontier without naming a reason.
+var ErrAborted = errors.New("taskdep: runtime aborted")
+
+// ErrInjected marks failures manufactured by Inject, so tests can
+// errors.Is-separate harness faults from real ones.
+var ErrInjected = errors.New("taskdep: injected fault")
+
+// PanicError wraps a value recovered from a panicking task body,
+// preserving the goroutine stack at the panic site.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted goroutine stack captured inside the
+	// recovering deferred call, so it includes the panicking frames.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("task body panicked: %v", e.Value)
+}
+
+// TaskError identifies one failed task: which task (label, ID), what
+// data it touched (the declared key set), why it failed (Cause — the
+// body's returned error or a *PanicError), and what else failed in the
+// same wait window (Siblings, an errors.Join of the other failures).
+// Taskwait returns the first failure as the primary *TaskError.
+type TaskError struct {
+	// TaskID is the graph-unique submission sequence number.
+	TaskID int64
+	// Label names the task (Spec.Label).
+	Label string
+	// Keys is the dependence set declared at submission (bounded
+	// capture; KeysTruncated reports whether declarations were dropped).
+	Keys          []graph.Dep
+	KeysTruncated bool
+	// Stack is the panic-site stack when Cause is a *PanicError.
+	Stack []byte
+	// Cause is the body's returned error or the recovered *PanicError.
+	Cause error
+	// Siblings joins the other failures observed in the same wait
+	// window (nil when this task was the only failure).
+	Siblings error
+}
+
+func (e *TaskError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "task %q (id %d", e.Label, e.TaskID)
+	if len(e.Keys) > 0 {
+		b.WriteString(", keys ")
+		for i, d := range e.Keys {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s:%d", d.Type, d.Key)
+		}
+		if e.KeysTruncated {
+			b.WriteString(" ...")
+		}
+	}
+	fmt.Fprintf(&b, ") failed: %v", e.Cause)
+	return b.String()
+}
+
+// Unwrap exposes the cause and the sibling join to errors.Is/As.
+func (e *TaskError) Unwrap() []error {
+	if e.Siblings == nil {
+		return []error{e.Cause}
+	}
+	return []error{e.Cause, e.Siblings}
+}
+
+// Mode selects what an injected fault does to the victim task.
+type Mode uint8
+
+const (
+	// Panic makes the victim's body panic (the default).
+	Panic Mode = iota
+	// Error makes the victim return an ErrInjected-wrapped error.
+	Error
+	// Stall delays the victim by Inject.Stall without failing it —
+	// a straggler, for exercising abort/cancellation timing.
+	Stall
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case Stall:
+		return "stall"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// Inject is a deterministic fault-injection harness: within every
+// window of Every executed tasks, exactly one — chosen by a hash of
+// Seed and the window index — suffers the configured fault. Decisions
+// are a pure function of (Seed, execution index), so a run injects the
+// same faults at the same points every time the execution order is
+// reproduced, and differently seeded runs fail different tasks.
+//
+// Set it in rt.Config.Inject; the zero value (Every == 0) injects
+// nothing. One Inject must not be shared between runtimes.
+type Inject struct {
+	// Every is the window size: one fault per Every task executions.
+	// 0 disables injection.
+	Every int64
+	// Seed selects the victim offset within each window.
+	Seed int64
+	// Mode is what happens to the victim (Panic, Error, Stall).
+	Mode Mode
+	// StallFor is the Stall-mode delay; 0 means 100µs.
+	StallFor time.Duration
+
+	n atomic.Int64
+}
+
+// Count returns how many task executions the harness has observed.
+func (i *Inject) Count() int64 { return i.n.Load() }
+
+// Injected returns how many faults the harness has manufactured so far
+// (complete windows observed; the victim of a partial window may not
+// have been hit yet).
+func (i *Inject) Injected() int64 {
+	if i == nil || i.Every <= 0 {
+		return 0
+	}
+	n := i.n.Load()
+	full := n / i.Every
+	if victim(i.Seed, full, i.Every) < n%i.Every {
+		full++
+	}
+	return full
+}
+
+// Apply is called by the executor before each task body. It returns a
+// non-nil error (Error mode), panics (Panic mode), or stalls and
+// returns nil (Stall mode) iff the current execution is the victim of
+// its window. label names the task in the manufactured failure.
+func (i *Inject) Apply(label string) error {
+	if i == nil || i.Every <= 0 {
+		return nil
+	}
+	n := i.n.Add(1) - 1
+	window, offset := n/i.Every, n%i.Every
+	if offset != victim(i.Seed, window, i.Every) {
+		return nil
+	}
+	switch i.Mode {
+	case Error:
+		return fmt.Errorf("%w: error in task %q (execution %d, seed %d)", ErrInjected, label, n, i.Seed)
+	case Stall:
+		d := i.StallFor
+		if d <= 0 {
+			d = 100 * time.Microsecond
+		}
+		time.Sleep(d)
+		return nil
+	default:
+		panic(fmt.Sprintf("%v: panic in task %q (execution %d, seed %d)", ErrInjected, label, n, i.Seed))
+	}
+}
+
+// victim maps (seed, window) to the failing offset within the window
+// via a splitmix64 finalizer — a deterministic, well-spread choice.
+func victim(seed, window, every int64) int64 {
+	x := uint64(seed)*0x9E3779B97F4A7C15 + uint64(window)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x % uint64(every))
+}

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"taskdep/internal/graph"
+)
+
+func TestInjectDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		inj := &Inject{Every: 10, Seed: seed, Mode: Error}
+		var hits []int
+		for i := 0; i < 100; i++ {
+			if inj.Apply("t") != nil {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if len(a) != 10 {
+		t.Fatalf("expected exactly 1 fault per window of 10, got %d: %v", len(a), a)
+	}
+	for w, idx := range a {
+		if idx < w*10 || idx >= (w+1)*10 {
+			t.Fatalf("window %d victim %d out of range", w, idx)
+		}
+	}
+	if c := run(8); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds picked identical victims: %v", a)
+	}
+}
+
+func TestInjectModes(t *testing.T) {
+	inj := &Inject{Every: 1, Mode: Error}
+	if err := inj.Apply("x"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Error mode: got %v", err)
+	}
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		(&Inject{Every: 1, Mode: Panic}).Apply("x")
+		return false
+	}()
+	if !panicked {
+		t.Fatal("Panic mode did not panic")
+	}
+	st := &Inject{Every: 1, Mode: Stall, StallFor: time.Millisecond}
+	start := time.Now()
+	if err := st.Apply("x"); err != nil {
+		t.Fatalf("Stall mode returned error: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Stall mode did not stall")
+	}
+}
+
+func TestInjectDisabledAndCounts(t *testing.T) {
+	var nilInj *Inject
+	if err := nilInj.Apply("x"); err != nil {
+		t.Fatalf("nil Inject injected: %v", err)
+	}
+	off := &Inject{}
+	for i := 0; i < 5; i++ {
+		if err := off.Apply("x"); err != nil {
+			t.Fatalf("Every=0 injected: %v", err)
+		}
+	}
+	inj := &Inject{Every: 4, Seed: 3, Mode: Error}
+	faults := int64(0)
+	for i := 0; i < 40; i++ {
+		if inj.Apply("x") != nil {
+			faults++
+		}
+	}
+	if inj.Count() != 40 {
+		t.Fatalf("Count = %d, want 40", inj.Count())
+	}
+	if inj.Injected() != faults || faults != 10 {
+		t.Fatalf("Injected() = %d, observed %d, want 10", inj.Injected(), faults)
+	}
+}
+
+func TestTaskErrorFormatUnwrap(t *testing.T) {
+	cause := errors.New("boom")
+	sib := errors.New("sibling")
+	te := &TaskError{
+		TaskID: 42,
+		Label:  "potrf",
+		Keys: []graph.Dep{
+			{Key: 7, Type: graph.InOut},
+			{Key: 9, Type: graph.In},
+		},
+		KeysTruncated: true,
+		Cause:         cause,
+		Siblings:      sib,
+	}
+	msg := te.Error()
+	for _, want := range []string{`"potrf"`, "id 42", "inout:7", "in:9", "...", "boom"} {
+		if !contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	if !errors.Is(te, cause) || !errors.Is(te, sib) {
+		t.Fatal("Unwrap does not reach cause/siblings")
+	}
+	var pe *PanicError
+	te2 := &TaskError{Cause: &PanicError{Value: "v"}}
+	if !errors.As(te2, &pe) {
+		t.Fatal("errors.As failed to find PanicError cause")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

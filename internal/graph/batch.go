@@ -4,13 +4,18 @@ package graph
 // data, so a producer can stage a slice of submissions and hand them to
 // the graph in one call.
 type TaskDesc struct {
-	Label        string
-	Deps         []Dep
-	Body         func(fp any)
+	Label string
+	Deps  []Dep
+	Body  func(fp any)
+	// Do is the error-returning body form; when set it takes precedence
+	// over Body (see Task.Do).
+	Do           func(fp any) error
 	FirstPrivate any
 	// Detached marks a task completed externally (Event/Fulfill) rather
 	// than at body return.
 	Detached bool
+	// Attach is copied to Task.Attach before the task is published.
+	Attach any
 }
 
 // SubmitBatch discovers all tasks described by descs, in order, and
@@ -51,8 +56,11 @@ func (g *Graph) SubmitBatch(descs []TaskDesc, out []*Task) []*Task {
 		t.ID = firstID + int64(i)
 		t.Label = d.Label
 		t.Body = d.Body
+		t.Do = d.Do
 		t.FirstPrivate = d.FirstPrivate
 		t.Detached = d.Detached
+		t.Attach = d.Attach
+		t.captureDeps(d.Deps)
 		t.preds.Store(1) // producer sentinel
 		t.Persistent = g.recording
 		if g.recording {

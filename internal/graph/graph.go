@@ -169,6 +169,14 @@ type Graph struct {
 	live  atomic.Int64 // created but not completed
 	ready atomic.Int64 // ready or running but not completed
 
+	// failEpoch is the current failure window. A task that drains
+	// non-Completed stamps the window it failed in; discovery-time
+	// poisoning (addEdge against an already-drained predecessor) only
+	// applies within the same window, so consuming a failure at
+	// Taskwait — which advances the epoch — makes keys last written by
+	// a failed task usable again instead of poisoning forever.
+	failEpoch atomic.Uint64
+
 	// redirectLog retains every optimization-(c) node for the TDG
 	// verifier; populated only under OptKeepPrunedEdges (verify mode),
 	// since it pins completed nodes for the graph's lifetime.
@@ -268,23 +276,32 @@ func (g *Graph) Stats() Stats {
 // task descriptor. Safe for concurrent producers (outside recording
 // mode).
 func (g *Graph) Submit(label string, deps []Dep, body func(fp any), fp any) *Task {
-	return g.submit(label, deps, body, fp, false)
+	return g.submit(label, deps, body, nil, fp, false, nil)
 }
 
 // SubmitDetached is Submit for a detached task: its completion is
 // signalled externally rather than at body return. The flag must be set
 // before the task is released, hence this dedicated entry point.
 func (g *Graph) SubmitDetached(label string, deps []Dep, body func(fp any), fp any) *Task {
-	return g.submit(label, deps, body, fp, true)
+	return g.submit(label, deps, body, nil, fp, true, nil)
 }
 
-func (g *Graph) submit(label string, deps []Dep, body func(fp any), fp any, detached bool) *Task {
+// SubmitTask discovers one task from a full descriptor — the Submit
+// parameters as data, including the error-returning Do body form.
+func (g *Graph) SubmitTask(d *TaskDesc) *Task {
+	return g.submit(d.Label, d.Deps, d.Body, d.Do, d.FirstPrivate, d.Detached, d.Attach)
+}
+
+func (g *Graph) submit(label string, deps []Dep, body func(fp any), do func(fp any) error, fp any, detached bool, attach any) *Task {
 	t := g.allocTask()
 	t.ID = g.nextID.Add(1) - 1
 	t.Label = label
 	t.Body = body
+	t.Do = do
 	t.FirstPrivate = fp
 	t.Detached = detached
+	t.Attach = attach
+	t.captureDeps(deps)
 	g.tasks.Add(1)
 	g.live.Add(1)
 	t.preds.Store(1) // producer sentinel
@@ -471,7 +488,18 @@ func (g *Graph) addEdge(sh *shard, pred, succ *Task) {
 		sh.duplicate++
 		return
 	}
-	done := State(pred.state.Load()) == Completed
+	st := State(pred.state.Load())
+	done := st.Done()
+	if done && (st != Completed || pred.Poisoned()) &&
+		pred.failEpoch == g.failEpoch.Load() {
+		// The predecessor drained as Aborted/Skipped (or finished while
+		// poisoned) in the CURRENT failure window: the new successor
+		// joins the poisoned cone even when the edge is pruned and no
+		// longer orders execution. Predecessors that failed in an
+		// already-consumed window (ConsumeFailures ran since) don't
+		// poison — the producer observed that failure and moved on.
+		succ.Poison()
+	}
 	// An edge is replay-relevant only when the predecessor belongs to
 	// the same recording: it will be re-instanced and complete again on
 	// every iteration. Edges from outside the recording (earlier tasks,
@@ -561,16 +589,52 @@ func (g *Graph) Complete(t *Task) []*Task { return g.CompleteInto(t, nil) }
 // aliases buf (possibly regrown); its contents are only valid until the
 // caller's next CompleteInto with the same buffer.
 func (g *Graph) CompleteInto(t *Task, buf []*Task) []*Task {
+	return g.finishInto(t, buf, Completed)
+}
+
+// AbortInto finishes t as failed: successors are released exactly as in
+// CompleteInto, but each is poisoned first, so the entire successor
+// cone drains as Skipped without executing while disjoint subgraphs run
+// to completion. Same buffer contract as CompleteInto.
+func (g *Graph) AbortInto(t *Task, buf []*Task) []*Task {
+	return g.finishInto(t, buf, Aborted)
+}
+
+// SkipInto finishes a poisoned (or abort-cancelled) task without its
+// body having run. Successors are released poisoned, so a skip releases
+// its own successors and the graph always drains. Same buffer contract
+// as CompleteInto.
+func (g *Graph) SkipInto(t *Task, buf []*Task) []*Task {
+	return g.finishInto(t, buf, Skipped)
+}
+
+// finishInto is the single terminal transition: store the final state,
+// release successors, propagate poison. Poison is stored on a successor
+// BEFORE this task's predecessor-counter decrement; the decrement that
+// makes the successor ready therefore happens after every poisoning
+// predecessor's store, and the queue publication that hands the ready
+// task to a worker orders the store before the worker's Poisoned() load.
+// A task with an aborted ancestor is thus deterministically skipped, no
+// matter how completions interleave.
+func (g *Graph) finishInto(t *Task, buf []*Task, final State) []*Task {
+	poison := final != Completed || t.Poisoned()
 	t.mu.Lock()
-	t.state.Store(int32(Completed))
+	if poison {
+		// Stamp the failure window before the state store publishes it:
+		// addEdge reads failEpoch only after observing a Done state.
+		t.failEpoch = g.failEpoch.Load()
+	}
+	t.state.Store(int32(final))
 	succs := t.succs
 	t.mu.Unlock()
 
 	g.ready.Add(-1)
 	g.live.Add(-1)
-
 	released := buf[:0]
 	for _, s := range succs {
+		if poison {
+			s.poisoned.Store(true)
+		}
 		if s.preds.Add(-1) == 0 {
 			g.markReadyQuiet(s)
 			released = append(released, s)
@@ -578,6 +642,13 @@ func (g *Graph) CompleteInto(t *Task, buf []*Task) []*Task {
 	}
 	return released
 }
+
+// ConsumeFailures advances the failure epoch: tasks that drained
+// failed in earlier windows stop poisoning new successors at discovery
+// time. The runtime calls this when a wait consumes the window's
+// failures, making the runtime — and keys last written by failed tasks
+// — reusable afterwards. Must be called with the graph drained.
+func (g *Graph) ConsumeFailures() { g.failEpoch.Add(1) }
 
 // ResetDiscoveryFrontier clears the per-key discovery state (last
 // writers/readers) without touching counters, used between independent

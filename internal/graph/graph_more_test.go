@@ -79,7 +79,7 @@ func TestRecordingIgnoresCrossBoundaryEdges(t *testing.T) {
 		if err := g.BeginReplay(); err != nil {
 			t.Fatal(err)
 		}
-		g.Replay(nil, nil)
+		g.Replay(nil, nil, nil, nil)
 		if err := g.FinishReplay(); err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestSequentialRecordingsIndependent(t *testing.T) {
 	if err := g.BeginReplay(); err != nil {
 		t.Fatal(err)
 	}
-	g.Replay(nil, nil)
+	g.Replay(nil, nil, nil, nil)
 	if err := g.FinishReplay(); err != nil {
 		t.Fatal(err)
 	}

@@ -343,7 +343,7 @@ func TestPersistentRecordAndReplay(t *testing.T) {
 			t.Fatalf("iter %d: %v", iter, err)
 		}
 		for i := 0; i < 4; i++ {
-			tk := g.Replay(iter*10+i, nil)
+			tk := g.Replay(iter*10+i, nil, nil, nil)
 			if tk != ts[i] {
 				t.Fatalf("replay returned wrong task instance")
 			}
@@ -393,12 +393,12 @@ func TestPersistentCreatesAllEdgesNoPruning(t *testing.T) {
 	if err := g.BeginReplay(); err != nil {
 		t.Fatal(err)
 	}
-	g.Replay(nil, nil) // a
+	g.Replay(nil, nil, nil, nil) // a
 	ra := c.pop()
 	if ra != a {
 		t.Fatalf("expected a ready first")
 	}
-	g.Replay(nil, nil) // b
+	g.Replay(nil, nil, nil, nil) // b
 	if b.State() == Ready {
 		t.Fatalf("b ready before a completed on replay")
 	}
@@ -442,7 +442,7 @@ func TestReplayWithRedirectNodes(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 4; i++ { // 3 members + reader (redirect skipped)
-			g.Replay(nil, nil)
+			g.Replay(nil, nil, nil, nil)
 		}
 		if err := g.FinishReplay(); err != nil {
 			t.Fatal(err)
@@ -665,7 +665,7 @@ func TestPropertyReplayEquivalence(t *testing.T) {
 				return false
 			}
 			for i := range prog {
-				g.Replay(i, nil)
+				g.Replay(i, nil, nil, nil)
 			}
 			if err := g.FinishReplay(); err != nil {
 				return false
@@ -708,7 +708,7 @@ func BenchmarkPersistentReplay(b *testing.B) {
 			b.Fatal(err)
 		}
 		for j := 0; j < chain; j++ {
-			g.Replay(j, nil)
+			g.Replay(j, nil, nil, nil)
 		}
 		if err := g.FinishReplay(); err != nil {
 			b.Fatal(err)

@@ -35,22 +35,25 @@ func (g *Graph) EndRecording() {
 func (g *Graph) RecordedLen() int { return len(g.recorded) }
 
 // BeginReplay prepares a new persistent iteration. Every recorded task
-// must be Completed (the implicit end-of-iteration barrier guarantees
-// this). Counters are reset for all tasks up front so that completions of
-// early replayed tasks can safely decrement later tasks not yet
-// re-released.
+// must be in a terminal state — Completed, or Aborted/Skipped from a
+// failed previous iteration (the implicit end-of-iteration barrier
+// guarantees the graph drained either way). Counters — and any poison
+// left by a failed iteration — are reset for all tasks up front so that
+// completions of early replayed tasks can safely decrement later tasks
+// not yet re-released.
 func (g *Graph) BeginReplay() error {
 	if !g.persistent {
 		return fmt.Errorf("graph: BeginReplay outside a persistent region")
 	}
 	for _, t := range g.recorded {
-		if t.State() != Completed {
+		if !t.State().Done() {
 			return fmt.Errorf("graph: replay with task %d (%s) in state %v", t.ID, t.Label, t.State())
 		}
 	}
 	for _, t := range g.recorded {
 		t.preds.Store(t.recordedIndegree + 1) // +1 producer sentinel
 		t.state.Store(int32(Created))
+		t.poisoned.Store(false)
 	}
 	g.live.Add(int64(len(g.recorded)))
 	g.replayIndex = 0
@@ -62,7 +65,12 @@ func (g *Graph) BeginReplay() error {
 // mirroring the paper's single-memcpy replay cost and its dynamic
 // firstprivate-update extension. Redirect nodes interleaved in the
 // recording are released implicitly. Returns the task instance.
-func (g *Graph) Replay(fp any, body func(fp any)) *Task {
+//
+// Exactly one of body/do may be non-nil to swap the task's closure; the
+// recorded body form is kept otherwise. attach, when non-nil, replaces
+// the task's Attach before the instance is released (detached tasks
+// need a fresh event per iteration).
+func (g *Graph) Replay(fp any, body func(fp any), do func(fp any) error, attach any) *Task {
 	for g.replayIndex < len(g.recorded) && g.recorded[g.replayIndex].Redirect {
 		r := g.recorded[g.replayIndex]
 		g.replayIndex++
@@ -77,6 +85,12 @@ func (g *Graph) Replay(fp any, body func(fp any)) *Task {
 	t.FirstPrivate = fp
 	if body != nil {
 		t.Body = body
+	}
+	if do != nil {
+		t.Do = do
+	}
+	if attach != nil {
+		t.Attach = attach
 	}
 	g.replayed.Add(1)
 	g.releaseSentinel(t, nil)

@@ -61,6 +61,12 @@ const (
 	Running
 	// Completed: the body finished and successors were released.
 	Completed
+	// Aborted: the body failed (panic or returned error); successors were
+	// released poisoned and will drain as Skipped.
+	Aborted
+	// Skipped: a failed predecessor (or a runtime abort) poisoned the
+	// task; it completed without its body ever running.
+	Skipped
 )
 
 func (s State) String() string {
@@ -73,14 +79,31 @@ func (s State) String() string {
 		return "running"
 	case Completed:
 		return "completed"
+	case Aborted:
+		return "aborted"
+	case Skipped:
+		return "skipped"
 	}
 	return fmt.Sprintf("State(%d)", int32(s))
 }
+
+// Done reports whether s is terminal: the task finished (Completed) or
+// was drained without executing (Aborted, Skipped). Successor releases
+// happen exactly once in any terminal transition, so graph-level
+// invariants (live counts, replay eligibility) key off Done, not
+// specifically Completed.
+func (s State) Done() bool { return s >= Completed }
 
 // inlineSuccs is the successor capacity embedded in every Task. Most
 // tasks in block-structured workloads (stencils, factorizations) have
 // out-degree <= 8, so their successor list never touches the heap.
 const inlineSuccs = 4
+
+// inlineDeps is the dependence-declaration capacity embedded in every
+// Task for failure reports. Captures beyond it are truncated (flagged),
+// never spilled to the heap: the discovery hot path stays allocation
+// free regardless of arity.
+const inlineDeps = 4
 
 // Task is a node of the dependency graph. Executors attach their payload
 // (closure, cost model, ...) through the exported fields; the graph itself
@@ -100,11 +123,21 @@ type Task struct {
 	// Body is the work closure run by the real executor (nil for
 	// redirect nodes and for DES-only tasks).
 	Body func(fp any)
+	// Do is the error-returning body form. When set it takes precedence
+	// over Body; a non-nil return aborts the task. Carried as a separate
+	// field (rather than adapting Body into it) so the classic Body form
+	// costs no wrapper closure on the discovery hot path.
+	Do func(fp any) error
 	// FirstPrivate is the per-instance private datum, copied on
 	// persistent replay (the paper's single-memcpy replay cost).
 	FirstPrivate any
 	// Data carries executor-specific payload (e.g. a DES cost spec).
 	Data any
+	// Attach carries an opaque runtime attachment (the rt layer's detach
+	// event). Written by the producer before the task is published — or,
+	// on persistent replay, before the instance is re-released — so any
+	// worker that pops the task reads it without synchronization.
+	Attach any
 	// Detached marks a task whose completion is signalled externally
 	// (MPI request completion) rather than at body return.
 	Detached bool
@@ -124,6 +157,25 @@ type Task struct {
 	// never count toward replay indegrees.
 	recordEpoch int
 	state       atomic.Int32
+	// poisoned marks the task as lying in a failed task's successor cone
+	// (or cancelled by a runtime abort): executors complete it as Skipped
+	// without running the body. Set before the poisoning predecessor's
+	// counter decrement, so it is always visible by the time the task can
+	// be popped (see Graph.finishInto).
+	poisoned atomic.Bool
+	// failEpoch stamps the failure window (Graph.failEpoch) the task
+	// drained non-Completed in. Written before the terminal state store
+	// and read only after observing a Done state, so no synchronization
+	// beyond the state atomic is needed. Discovery-time poisoning
+	// ignores predecessors that failed in an already-consumed window.
+	failEpoch uint64
+
+	// Inline capture of the task's dependence declarations, for failure
+	// reports (*fault.TaskError names the key set of a failed task).
+	// Bounded by inlineDeps; depsTrunc flags a truncated capture.
+	ndeps     uint8
+	depsTrunc bool
+	deps0     [inlineDeps]Dep
 
 	mu       sync.Mutex
 	succs    []*Task
@@ -135,6 +187,34 @@ type Task struct {
 
 // State returns the task's lifecycle state.
 func (t *Task) State() State { return State(t.state.Load()) }
+
+// Poison marks the task for skipping: an executor must complete it via
+// SkipInto instead of running its body. The graph poisons successor
+// cones of failed tasks itself; runtimes additionally call Poison when
+// cancelling the frontier on abort.
+func (t *Task) Poison() { t.poisoned.Store(true) }
+
+// Poisoned reports whether the task lies in a failed task's successor
+// cone (or was cancelled by an abort).
+func (t *Task) Poisoned() bool { return t.poisoned.Load() }
+
+// DeclaredDeps returns the dependence declarations captured at
+// submission (at most inlineDeps of them) and whether the capture was
+// truncated. Used to name the key set of a failed task.
+func (t *Task) DeclaredDeps() ([]Dep, bool) {
+	return t.deps0[:t.ndeps], t.depsTrunc
+}
+
+// captureDeps stores up to inlineDeps declarations inline.
+func (t *Task) captureDeps(deps []Dep) {
+	n := len(deps)
+	if n > inlineDeps {
+		n = inlineDeps
+		t.depsTrunc = true
+	}
+	copy(t.deps0[:n], deps[:n])
+	t.ndeps = uint8(n)
+}
 
 // NumSuccessors returns the current successor count (racy during
 // discovery; stable once discovery is complete).

@@ -12,12 +12,37 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"taskdep/internal/trace"
 )
+
+// ErrAborted reports that the world was torn down by World.Abort (a
+// rank failed): every pending request — including rendezvous sends and
+// half-gathered collectives that would otherwise block forever — is
+// completed with an error wrapping it, and later posts complete
+// immediately the same way. Use errors.Is(err, mpi.ErrAborted).
+var ErrAborted = errors.New("mpi: world aborted")
+
+// abortError carries the abort cause alongside ErrAborted.
+type abortError struct{ cause error }
+
+func (e *abortError) Error() string {
+	if e.cause == nil {
+		return ErrAborted.Error()
+	}
+	return ErrAborted.Error() + ": " + e.cause.Error()
+}
+
+func (e *abortError) Unwrap() []error {
+	if e.cause == nil {
+		return []error{ErrAborted}
+	}
+	return []error{ErrAborted, e.cause}
+}
 
 // AnySource and AnyTag are wildcard matching values for Irecv.
 const (
@@ -70,6 +95,11 @@ type Request struct {
 	bytes int
 	done  chan struct{}
 	once  sync.Once
+	// err is the completion status: nil for success, an ErrAborted
+	// wrapper when the world aborted under the request. Written before
+	// done is closed, read only after it — the channel orders the
+	// accesses.
+	err error
 
 	// Source/Tag are filled on receive completion (matched envelope).
 	Source int
@@ -103,14 +133,33 @@ func (r *Request) fire() {
 	}
 }
 
-func (r *Request) complete() {
+func (r *Request) complete() { r.completeErr(nil) }
+
+// completeErr finishes the request exactly once, recording err as its
+// status. OnComplete callbacks fire on error completions too, so
+// detached-task events bridged to requests are still fulfilled and the
+// task graph drains; the task observes the failure through Err.
+func (r *Request) completeErr(err error) {
 	r.once.Do(func() {
+		r.err = err
 		if c := r.comm; c != nil && c.profile != nil {
 			c.profile.CommComplete(r.id, c.clock())
 		}
 		close(r.done)
 		r.fire()
 	})
+}
+
+// Err returns the request's completion status: nil before completion
+// and for successful completion, an ErrAborted-wrapping error when the
+// world aborted under the request.
+func (r *Request) Err() error {
+	select {
+	case <-r.done:
+		return r.err
+	default:
+		return nil
+	}
 }
 
 // Done reports (without blocking) whether the request completed.
@@ -172,6 +221,14 @@ type World struct {
 	eagerThreshold int
 
 	reqID atomic.Int64
+
+	// Abort state. aborted is checked inside the mailbox/collective
+	// critical sections, so a post either lands before the abort drain
+	// (and is drained) or observes the flag (and fails immediately) —
+	// never enqueues unseen.
+	aborted  atomic.Bool
+	abortMu  sync.Mutex
+	abortErr error
 }
 
 // NewWorld creates a world of size ranks with the default eager
@@ -193,6 +250,66 @@ func NewWorld(size int) *World {
 // SetEagerThreshold overrides the eager/rendezvous switch (in float64
 // elements). Call before Run.
 func (w *World) SetEagerThreshold(n int) { w.eagerThreshold = n }
+
+// Abort tears the world down after a rank failed: every pending request
+// on every rank — posted receives, rendezvous sends parked in
+// unexpected queues, half-gathered collectives — completes with an
+// error wrapping ErrAborted and cause, and every later post completes
+// immediately the same way. Peers blocked in Wait/Waitall observe the
+// error instead of deadlocking against a rank that will never send.
+// Idempotent; the first cause wins. Safe to call from any goroutine.
+func (w *World) Abort(cause error) {
+	w.abortMu.Lock()
+	if w.aborted.Load() {
+		w.abortMu.Unlock()
+		return
+	}
+	w.abortErr = &abortError{cause: cause}
+	err := w.abortErr
+	w.aborted.Store(true)
+	w.abortMu.Unlock()
+
+	for _, box := range w.boxes {
+		box.mu.Lock()
+		posted := box.posted
+		box.posted = nil
+		var sreqs []*Request
+		for _, m := range box.unexpected {
+			if m.sreq != nil {
+				sreqs = append(sreqs, m.sreq)
+			}
+		}
+		box.unexpected = nil
+		box.mu.Unlock()
+		for _, p := range posted {
+			p.req.completeErr(err)
+		}
+		for _, s := range sreqs {
+			s.completeErr(err)
+		}
+	}
+
+	w.collMu.Lock()
+	colls := w.colls
+	w.colls = make(map[int64]*collective)
+	w.collMu.Unlock()
+	for _, coll := range colls {
+		for _, r := range coll.reqs {
+			r.completeErr(err)
+		}
+	}
+}
+
+// Aborted reports whether the world was aborted.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// abortedErr returns the composed abort error; call only after aborted
+// is observed true.
+func (w *World) abortedErr() error {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
+}
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
@@ -236,6 +353,11 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
+// Abort tears down the whole world (see World.Abort): a rank whose
+// runtime failed calls it so its peers error out of pending and future
+// communications instead of deadlocking against a dead rank.
+func (c *Comm) Abort(cause error) { c.world.Abort(cause) }
+
 // SetProfile attaches a PMPI-style profiler: every send/collective post
 // and completion is recorded with the given clock.
 func (c *Comm) SetProfile(p *trace.Profile, clock func() float64) {
@@ -271,6 +393,11 @@ func (c *Comm) Isend(buf []float64, dest, tag int) *Request {
 	box := c.world.boxes[dest]
 
 	box.mu.Lock()
+	if c.world.aborted.Load() {
+		box.mu.Unlock()
+		req.completeErr(c.world.abortedErr())
+		return req
+	}
 	// Try to match an already-posted receive (FIFO).
 	for i := range box.posted {
 		p := box.posted[i]
@@ -307,6 +434,11 @@ func (c *Comm) Irecv(buf []float64, src, tag int) *Request {
 	box := c.world.boxes[c.rank]
 
 	box.mu.Lock()
+	if c.world.aborted.Load() {
+		box.mu.Unlock()
+		req.completeErr(c.world.abortedErr())
+		return req
+	}
 	for i := range box.unexpected {
 		m := box.unexpected[i]
 		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
@@ -350,6 +482,11 @@ func (c *Comm) Iallreduce(op Op, send, recv []float64) *Request {
 
 	w := c.world
 	w.collMu.Lock()
+	if w.aborted.Load() {
+		w.collMu.Unlock()
+		req.completeErr(w.abortedErr())
+		return req
+	}
 	coll := w.colls[seq]
 	if coll == nil {
 		coll = &collective{op: op, n: len(send), ins: make([][]float64, w.size)}
@@ -390,20 +527,30 @@ func (c *Comm) Barrier() {
 	c.Allreduce(Sum, x[:], y[:])
 }
 
-// Wait blocks until the request completes.
-func (r *Request) Wait() { <-r.done }
+// Wait blocks until the request completes and returns its status: nil
+// on success, an ErrAborted-wrapping error when the world aborted.
+func (r *Request) Wait() error {
+	<-r.done
+	return r.err
+}
 
 // Test reports whether the request completed (MPI_Test semantics: no
 // blocking, safe to call repeatedly).
 func (r *Request) Test() bool { return r.Done() }
 
-// Waitall blocks until every request completes.
-func Waitall(reqs ...*Request) {
+// Waitall blocks until every request completes and returns the joined
+// non-nil statuses (nil when all succeeded).
+func Waitall(reqs ...*Request) error {
+	var errs []error
 	for _, r := range reqs {
-		if r != nil {
-			r.Wait()
+		if r == nil {
+			continue
+		}
+		if err := r.Wait(); err != nil {
+			errs = append(errs, err)
 		}
 	}
+	return errors.Join(errs...)
 }
 
 // Testall reports whether all requests completed.

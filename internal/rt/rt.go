@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"taskdep/internal/fault"
 	"taskdep/internal/graph"
 	"taskdep/internal/sched"
 	"taskdep/internal/trace"
@@ -54,6 +56,11 @@ type Config struct {
 	// task descriptors, so it is a debugging mode, not a production
 	// default.
 	Verify verify.Mode
+	// Inject, if non-nil, is a deterministic fault-injection harness
+	// applied before every task body (see fault.Inject) — test/benchmark
+	// machinery for the failure domain, nil in production. Must not be
+	// shared between runtimes.
+	Inject *fault.Inject
 }
 
 // Runtime executes dependent tasks discovered by a single producer.
@@ -102,6 +109,27 @@ type Runtime struct {
 	// (completions from other non-worker contexts — detach events —
 	// allocate).
 	relBufs [][]*graph.Task
+
+	// Failure-domain state, scoped to one wait window: Taskwait drains
+	// the graph, composes these into the returned *fault.TaskError and
+	// resets them, so the runtime is reusable after a failure.
+	failMu      sync.Mutex
+	failures    []*fault.TaskError
+	failDropped int
+	abortCause  error // first Abort cause (under failMu)
+	// aborted is the cooperative cancellation flag workers check before
+	// each body; set by Abort, cleared when Taskwait drains the window.
+	aborted atomic.Bool
+
+	// detachLive maps every outstanding detached task instance to its
+	// Event, inserted by the producer before the event's task pointer is
+	// published and removed by whichever path claims the event (Fulfill,
+	// poison skip, body failure, abort cancellation). Abort cancels only
+	// armed entries — tasks whose body already ran and therefore sit in
+	// no scheduler queue; unexecuted ones are skipped by the worker that
+	// pops them, so a queued task is never completed behind its back.
+	detachMu   sync.Mutex
+	detachLive map[*graph.Task]*Event
 }
 
 // producerID is the scheduler slot the producer consumes under
@@ -109,14 +137,56 @@ type Runtime struct {
 // producer-executed chains keep depth-first locality.
 func (rt *Runtime) producerID() int { return rt.cfg.Workers }
 
-// New creates and starts a runtime. Close must be called to join workers.
+// New creates and starts a runtime, panicking on invalid configuration.
+// Most callers should use NewRuntime, which returns the validation
+// problem as a descriptive error instead; New is its must-wrapper, kept
+// for the common all-defaults case and for tests.
 func New(cfg Config) *Runtime {
-	if cfg.Workers <= 0 {
+	r, err := NewRuntime(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return r
+}
+
+// NewRuntime validates cfg, then creates and starts a runtime. Close
+// must be called to join the workers. Validation failures — a profile
+// with too few slots, negative counts, out-of-range enum values — are
+// returned as descriptive errors.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("rt: Workers is %d; want >= 0 (0 selects the default of 1)", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
 		cfg.Workers = 1
 	}
 	if cfg.Profile != nil && cfg.Profile.NumWorkers() < cfg.Workers+1 {
-		panic(fmt.Sprintf("rt: profile has %d slots, need Workers+1 = %d (slot %d is the producer)",
-			cfg.Profile.NumWorkers(), cfg.Workers+1, cfg.Workers))
+		return nil, fmt.Errorf("rt: profile has %d slots, need Workers+1 = %d (slot %d is the producer)",
+			cfg.Profile.NumWorkers(), cfg.Workers+1, cfg.Workers)
+	}
+	if cfg.ThrottleReady < 0 {
+		return nil, fmt.Errorf("rt: ThrottleReady is %d; want >= 0 (0 disables ready-task throttling)", cfg.ThrottleReady)
+	}
+	if cfg.ThrottleTotal < 0 {
+		return nil, fmt.Errorf("rt: ThrottleTotal is %d; want >= 0 (0 disables total-task throttling)", cfg.ThrottleTotal)
+	}
+	switch cfg.Policy {
+	case sched.DepthFirst, sched.BreadthFirst:
+	default:
+		return nil, fmt.Errorf("rt: unknown Policy %d; want DepthFirst or BreadthFirst", cfg.Policy)
+	}
+	switch cfg.Engine {
+	case sched.EngineLockFree, sched.EngineMutex:
+	default:
+		return nil, fmt.Errorf("rt: unknown Engine %d; want EngineLockFree or EngineMutex", cfg.Engine)
+	}
+	switch cfg.Verify {
+	case verify.Off, verify.Observe, verify.Full:
+	default:
+		return nil, fmt.Errorf("rt: unknown Verify mode %d; want Off, Observe or Full", cfg.Verify)
+	}
+	if cfg.Inject != nil && cfg.Inject.Every < 0 {
+		return nil, fmt.Errorf("rt: Inject.Every is %d; want >= 0 (0 disables injection)", cfg.Inject.Every)
 	}
 	gopts := cfg.Opts
 	if cfg.Verify != verify.Off {
@@ -129,6 +199,7 @@ func New(cfg Config) *Runtime {
 		s:          sched.NewEngine(cfg.Policy, cfg.Workers, cfg.Engine),
 		start:      time.Now(),
 		throttleOn: cfg.ThrottleTotal > 0 || cfg.ThrottleReady > 0,
+		detachLive: make(map[*graph.Task]*Event),
 	}
 	if cfg.Verify != verify.Off {
 		rt.ver = verify.NewRecorder(cfg.Opts)
@@ -149,7 +220,7 @@ func New(cfg Config) *Runtime {
 		rt.wg.Add(1)
 		go rt.worker(w)
 	}
-	return rt
+	return rt, nil
 }
 
 // now returns seconds since runtime start (profile clock).
@@ -171,6 +242,12 @@ type Spec struct {
 	InOutSet []graph.Key
 	// Body is the work closure; it receives FirstPrivate.
 	Body func(fp any)
+	// Do is the error-returning work closure: a non-nil return aborts
+	// the task exactly like a panic, poisoning its successor cone and
+	// surfacing from the next Taskwait as a *fault.TaskError. When both
+	// are set, Do wins. Body stays the zero-overhead form for bodies
+	// that cannot fail.
+	Do func(arg any) error
 	// DetachedBody is the work closure of a detached task; it receives
 	// FirstPrivate and the task's detach event, which the body (or an
 	// external engine it arms) must eventually Fulfill. Set Detached.
@@ -214,11 +291,21 @@ func (s *Spec) deps() []graph.Dep {
 type Event struct {
 	rt *Runtime
 	t  atomic.Pointer[graph.Task]
+	// fired makes completion exactly-once under races between Fulfill
+	// and the failure domain (abort cancellation, poison skip, a body
+	// that fulfilled synchronously and then panicked): whichever path
+	// wins the CAS completes the task; the others are no-ops.
+	fired atomic.Bool
+	// armed records that the task's body ran and returned: the task is
+	// in no scheduler queue, waiting only on external fulfillment, so
+	// Abort may complete it exceptionally.
+	armed atomic.Bool
 }
 
 // Fulfill completes the detached task, releasing its successors. It may
 // be called from any goroutine, including synchronously from within the
-// task body.
+// task body. Idempotent against the runtime's abort paths: if an abort
+// or poison skip already completed the task, Fulfill is a no-op.
 func (e *Event) Fulfill() {
 	// The task pointer is published right after submission; a body that
 	// completes its request synchronously can race that window.
@@ -227,15 +314,22 @@ func (e *Event) Fulfill() {
 		runtime.Gosched()
 		t = e.t.Load()
 	}
-	e.rt.complete(-1, t)
-	e.rt.detached.Add(-1)
+	if !e.fired.CompareAndSwap(false, true) {
+		return
+	}
+	rt := e.rt
+	rt.detachMu.Lock()
+	delete(rt.detachLive, t)
+	rt.detachMu.Unlock()
+	rt.complete(-1, t)
+	rt.detached.Add(-1)
 }
 
-// wrapBody prepares the execution closure for a spec, binding a detach
+// wrapBody prepares the execution closures for a spec, binding a detach
 // event for detached tasks.
-func (rt *Runtime) wrapBody(spec *Spec) (func(fp any), *Event) {
+func (rt *Runtime) wrapBody(spec *Spec) (func(fp any), func(fp any) error, *Event) {
 	if !spec.Detached {
-		return spec.Body, nil
+		return spec.Body, spec.Do, nil
 	}
 	ev := &Event{rt: rt}
 	db := spec.DetachedBody
@@ -243,7 +337,7 @@ func (rt *Runtime) wrapBody(spec *Spec) (func(fp any), *Event) {
 		if db != nil {
 			db(fp, ev)
 		}
-	}, ev
+	}, nil, ev
 }
 
 // finishSubmit handles the post-discovery bookkeeping shared by Submit
@@ -252,18 +346,29 @@ func (rt *Runtime) finishSubmit(t *graph.Task, ev *Event) *Event {
 	if p := rt.cfg.Profile; p != nil {
 		p.TaskCreated(rt.now())
 	}
-	if t.Detached {
-		if ev == nil {
-			// Replay of a recorded detached task submitted without the
-			// Detached flag set again: still needs an event bound to
-			// this instance.
-			ev = &Event{rt: rt}
-		}
+	if ev != nil {
 		rt.detached.Add(1)
+		rt.registerDetached(t, ev)
+		// Publish the task pointer last: Fulfill spins on it, so a
+		// non-nil load implies the registry entry is visible too.
 		ev.t.Store(t)
-		return ev
 	}
-	return nil
+	return ev
+}
+
+// registerDetached records a live detached task for abort enumeration.
+// The event itself travels on the task (graph.Task.Attach, written
+// before publication), so workers never need this registry; a worker or
+// external Fulfill may therefore claim the task before the producer
+// gets here. The fired guard keeps such an already-claimed task from
+// being inserted, and both this check and the claimers' delete run
+// under detachMu, so an entry can neither leak nor be claimed twice.
+func (rt *Runtime) registerDetached(t *graph.Task, ev *Event) {
+	rt.detachMu.Lock()
+	if !ev.fired.Load() {
+		rt.detachLive[t] = ev
+	}
+	rt.detachMu.Unlock()
 }
 
 // Submit discovers one task. Producer-only. In a persistent replay it
@@ -271,21 +376,30 @@ func (rt *Runtime) finishSubmit(t *graph.Task, ev *Event) *Event {
 // detach event for Detached tasks, else nil.
 func (rt *Runtime) Submit(spec Spec) *Event {
 	rt.throttle()
-	body, ev := rt.wrapBody(&spec)
+	body, do, ev := rt.wrapBody(&spec)
 	rt.depBuf = spec.depsInto(rt.depBuf[:0])
 	deps := rt.depBuf
+	var attach any
+	if ev != nil {
+		attach = ev
+	}
 	var t *graph.Task
 	if rt.replay {
-		t = rt.g.Replay(spec.FirstPrivate, body)
+		t = rt.g.Replay(spec.FirstPrivate, body, do, attach)
 		if rt.ver != nil {
 			rt.ver.ReplayNext(spec.Label, deps)
 		}
 	} else {
-		if spec.Detached {
-			t = rt.g.SubmitDetached(spec.Label, deps, body, spec.FirstPrivate)
-		} else {
-			t = rt.g.Submit(spec.Label, deps, body, spec.FirstPrivate)
+		d := graph.TaskDesc{
+			Label:        spec.Label,
+			Deps:         deps,
+			Body:         body,
+			Do:           do,
+			FirstPrivate: spec.FirstPrivate,
+			Detached:     spec.Detached,
+			Attach:       attach,
 		}
+		t = rt.g.SubmitTask(&d)
 		if rt.ver != nil {
 			rt.ver.Record(t, deps)
 		}
@@ -353,12 +467,14 @@ func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*E
 	flat := st.deps[:0]
 	for i := lo; i < hi; i++ {
 		s := &specs[i]
-		body, ev := rt.wrapBody(s)
+		body, do, ev := rt.wrapBody(s)
+		var attach any
 		if ev != nil {
 			if evs == nil {
 				evs = make([]*Event, len(specs))
 			}
 			evs[i] = ev
+			attach = ev
 		}
 		start := len(flat)
 		flat = s.depsInto(flat)
@@ -366,8 +482,10 @@ func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*E
 			Label:        s.Label,
 			Deps:         flat[start:len(flat):len(flat)],
 			Body:         body,
+			Do:           do,
 			FirstPrivate: s.FirstPrivate,
 			Detached:     s.Detached,
+			Attach:       attach,
 		})
 	}
 	tasks := rt.g.SubmitBatch(descs, st.tasks[:0])
@@ -382,6 +500,7 @@ func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*E
 		if t.Detached {
 			ev := evs[i+lo]
 			rt.detached.Add(1)
+			rt.registerDetached(t, ev)
 			ev.t.Store(t)
 		}
 	}
@@ -480,10 +599,18 @@ func (rt *Runtime) producerIdle(done func() bool) {
 	rt.s.Park(-1)
 }
 
-// Taskwait blocks the producer until every discovered task has completed,
-// executing ready tasks meanwhile. It flushes open inoutset groups first
-// (a synchronization point).
-func (rt *Runtime) Taskwait() {
+// Taskwait blocks the producer until every discovered task has reached
+// a terminal state, executing ready tasks meanwhile. It flushes open
+// inoutset groups first (a synchronization point).
+//
+// If any task failed since the previous synchronization point — its
+// body panicked or its Do returned an error — Taskwait returns the
+// first failure as a *fault.TaskError, with the remaining failures
+// errors.Join-ed into its Siblings field; if the window was Abort-ed,
+// the abort cause is included. The graph is fully drained either way
+// (failed cones as Skipped), and the failure state is reset: the
+// runtime is reusable after an error.
+func (rt *Runtime) Taskwait() error {
 	rt.g.Flush()
 	for rt.g.Live() > 0 {
 		if !rt.produceConsumeOne() {
@@ -495,6 +622,147 @@ func (rt *Runtime) Taskwait() {
 		// synchronization point; the latest report is kept for
 		// LastVerifyReport.
 		rt.lastAudit.Store(rt.ver.Audit(rt.g.RedirectNodes()))
+	}
+	return rt.takeFailure()
+}
+
+// takeFailure composes and clears the drained window's failure state.
+// Called only at quiescent points (graph drained, no body in flight).
+func (rt *Runtime) takeFailure() error {
+	rt.failMu.Lock()
+	fails := rt.failures
+	dropped := rt.failDropped
+	cause := rt.abortCause
+	rt.failures = nil
+	rt.failDropped = 0
+	rt.abortCause = nil
+	rt.failMu.Unlock()
+	rt.aborted.Store(false)
+	if len(fails) == 0 && cause == nil {
+		return nil
+	}
+	// The producer is observing this window's failures: advance the
+	// graph's failure epoch so keys last written by a failed task stop
+	// poisoning new successors — the runtime is reusable afterwards.
+	rt.g.ConsumeFailures()
+	if len(fails) == 0 {
+		return cause // a pure Abort with no failed task
+	}
+	primary := fails[0]
+	var sibs []error
+	for _, te := range fails[1:] {
+		sibs = append(sibs, te)
+	}
+	if dropped > 0 {
+		sibs = append(sibs, fmt.Errorf("rt: %d further task failures not recorded", dropped))
+	}
+	if cause != nil {
+		sibs = append(sibs, cause)
+	}
+	primary.Siblings = errors.Join(sibs...)
+	return primary
+}
+
+// recordFailure captures t's identity and cause as a *fault.TaskError.
+// Bounded: beyond maxRecordedFailures per window only a count is kept,
+// so a mass failure cannot accumulate unbounded error state.
+func (rt *Runtime) recordFailure(t *graph.Task, cause error) {
+	keys, trunc := t.DeclaredDeps()
+	te := &fault.TaskError{
+		TaskID:        t.ID,
+		Label:         t.Label,
+		Keys:          append([]graph.Dep(nil), keys...),
+		KeysTruncated: trunc,
+		Cause:         cause,
+	}
+	var pe *fault.PanicError
+	if errors.As(cause, &pe) {
+		te.Stack = pe.Stack
+	}
+	rt.failMu.Lock()
+	if len(rt.failures) < maxRecordedFailures {
+		rt.failures = append(rt.failures, te)
+	} else {
+		rt.failDropped++
+	}
+	rt.failMu.Unlock()
+}
+
+// maxRecordedFailures bounds the per-window failure list.
+const maxRecordedFailures = 64
+
+// Abort cancels the current wait window cooperatively: tasks that have
+// not started are completed as Skipped when a worker reaches them (no
+// body runs), detached tasks already waiting on an external event are
+// fulfilled exceptionally (their completion may never arrive once peers
+// failed), and bodies already running are left to finish — there is no
+// preemption. The next Taskwait drains the graph and returns err (or
+// fault.ErrAborted when err is nil, or the window's task failures with
+// err joined in). Safe to call from any goroutine, including task
+// bodies; the first cause wins.
+func (rt *Runtime) Abort(err error) {
+	if err == nil {
+		err = fault.ErrAborted
+	}
+	rt.failMu.Lock()
+	if rt.abortCause == nil {
+		rt.abortCause = err
+	}
+	rt.failMu.Unlock()
+	rt.aborted.Store(true)
+	rt.cancelDetached()
+	// Wake everyone: parked workers must drain the now-skippable queue,
+	// and a parked producer must observe the counters move.
+	rt.s.Kick()
+	rt.s.WakeProducer()
+}
+
+// Aborted reports whether the current wait window was Abort-ed.
+func (rt *Runtime) Aborted() bool { return rt.aborted.Load() }
+
+// cancelDetached claims and exceptionally completes every armed
+// detached task (body ran, event unfired, in no queue). Unarmed entries
+// are left for their popping worker's skip path. Runs both from Abort
+// and from armDetached when arming races an abort.
+func (rt *Runtime) cancelDetached() {
+	type victim struct {
+		t  *graph.Task
+		ev *Event
+	}
+	var victims []victim
+	rt.detachMu.Lock()
+	for t, ev := range rt.detachLive {
+		if !ev.armed.Load() {
+			continue
+		}
+		if ev.fired.CompareAndSwap(false, true) {
+			victims = append(victims, victim{t, ev})
+		}
+		delete(rt.detachLive, t)
+	}
+	rt.detachMu.Unlock()
+	for _, v := range victims {
+		rt.finish(-1, v.t, graph.Skipped)
+		rt.detached.Add(-1)
+	}
+}
+
+// detachEvent returns t's event. It rides on the task itself — written
+// before publication (or before replay release) — so the worker holding
+// t reads it without locks and without racing the registry.
+func (rt *Runtime) detachEvent(t *graph.Task) *Event {
+	return t.Attach.(*Event)
+}
+
+// armDetached marks a detached task as waiting on external fulfillment
+// (body returned without failing). If an abort raced the arming, run
+// the cancellation pass again so the task cannot be stranded: either
+// the abort's pass saw armed (and claimed it), or this re-run does.
+func (rt *Runtime) armDetached(t *graph.Task) {
+	ev := rt.detachEvent(t)
+	ev.armed.Store(true)
+	if rt.aborted.Load() {
+		rt.cancelDetached()
 	}
 }
 
@@ -516,7 +784,14 @@ func (rt *Runtime) Verify() *verify.Report {
 func (rt *Runtime) LastVerifyReport() *verify.Report { return rt.lastAudit.Load() }
 
 // execute runs one task as worker w (-1 = producer) and completes it.
+// Poisoned tasks (a predecessor failed) and tasks caught by an abort
+// never run their body: they are terminally Skipped, still releasing
+// their successors so the graph drains.
 func (rt *Runtime) execute(w int, t *graph.Task) {
+	if t.Poisoned() || rt.aborted.Load() {
+		rt.skip(w, t)
+		return
+	}
 	p := rt.cfg.Profile
 	slot := w
 	if slot < 0 {
@@ -528,9 +803,7 @@ func (rt *Runtime) execute(w int, t *graph.Task) {
 		p.SetState(slot, trace.Work, t0)
 	}
 	rt.g.Start(t)
-	if t.Body != nil {
-		t.Body(t.FirstPrivate)
-	}
+	err := rt.runBody(t)
 	if p != nil {
 		t1 := rt.now()
 		p.SetState(slot, trace.Overhead, t1)
@@ -541,25 +814,115 @@ func (rt *Runtime) execute(w int, t *graph.Task) {
 			})
 		}
 	}
+	if err != nil {
+		rt.fail(w, t, err)
+		return
+	}
 	if t.Detached {
-		// Completion arrives via Event.Fulfill.
+		// Completion arrives via Event.Fulfill; mark the task as out of
+		// the queues so an Abort may claim it.
+		rt.armDetached(t)
 		return
 	}
 	rt.complete(w, t)
 }
 
-// complete finishes t and schedules released successors on worker w's
-// deque (depth-first locality) or the global queue for w == -1. Worker
-// completions reuse a per-worker release buffer and publish the whole
-// release set with one queue operation; non-worker contexts (producer,
-// detach events, which may run concurrently) allocate per call.
+// runBody executes t's closure under panic recovery, applying the
+// configured fault injector first. Redirect nodes are graph machinery,
+// not user tasks: never injected (their empty bodies cannot fail).
+func (rt *Runtime) runBody(t *graph.Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &fault.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if !t.Redirect {
+		if ierr := rt.cfg.Inject.Apply(t.Label); ierr != nil {
+			return ierr
+		}
+	}
+	if t.Do != nil {
+		return t.Do(t.FirstPrivate)
+	}
+	if t.Body != nil {
+		t.Body(t.FirstPrivate)
+	}
+	return nil
+}
+
+// skip terminally completes t as Skipped without running its body.
+func (rt *Runtime) skip(w int, t *graph.Task) {
+	p := rt.cfg.Profile
+	slot := w
+	if slot < 0 {
+		slot = rt.cfg.Workers
+	}
+	if p != nil {
+		p.SetState(slot, trace.Skip, rt.now())
+	}
+	if !t.Detached {
+		rt.finish(w, t, graph.Skipped)
+	} else if ev := rt.detachEvent(t); ev.fired.CompareAndSwap(false, true) {
+		rt.detachMu.Lock()
+		delete(rt.detachLive, t)
+		rt.detachMu.Unlock()
+		rt.detached.Add(-1)
+		rt.finish(w, t, graph.Skipped)
+	}
+	// A lost CAS means an external Fulfill already completed the task.
+	if p != nil {
+		p.SetState(slot, trace.Overhead, rt.now())
+	}
+}
+
+// fail records t's failure and terminally completes it as Aborted,
+// poisoning the successor cone (see graph.AbortInto).
+func (rt *Runtime) fail(w int, t *graph.Task, cause error) {
+	rt.recordFailure(t, cause)
+	if t.Detached {
+		ev := rt.detachEvent(t)
+		if !ev.fired.CompareAndSwap(false, true) {
+			// The body fulfilled its own event synchronously and then
+			// failed: the fulfillment completed the task and wins; the
+			// failure is still reported by the next Taskwait.
+			return
+		}
+		rt.detachMu.Lock()
+		delete(rt.detachLive, t)
+		rt.detachMu.Unlock()
+		rt.detached.Add(-1)
+	}
+	rt.finish(w, t, graph.Aborted)
+}
+
+// complete finishes t successfully; see finish.
 func (rt *Runtime) complete(w int, t *graph.Task) {
+	rt.finish(w, t, graph.Completed)
+}
+
+// finish moves t to the terminal state final and schedules released
+// successors on worker w's deque (depth-first locality) or the global
+// queue for w == -1. Worker and producer contexts reuse a per-slot
+// release buffer and publish the whole release set with one queue
+// operation; other contexts (detach events, abort cancellation, which
+// may run concurrently) allocate per call.
+func (rt *Runtime) finish(w int, t *graph.Task, final graph.State) {
+	var buf []*graph.Task
+	slotted := w >= 0 && w < len(rt.relBufs)
+	if slotted {
+		buf = rt.relBufs[w]
+	}
 	var released []*graph.Task
-	if w >= 0 && w < len(rt.relBufs) {
-		released = rt.g.CompleteInto(t, rt.relBufs[w])
+	switch final {
+	case graph.Aborted:
+		released = rt.g.AbortInto(t, buf)
+	case graph.Skipped:
+		released = rt.g.SkipInto(t, buf)
+	default:
+		released = rt.g.CompleteInto(t, buf)
+	}
+	if slotted {
 		rt.relBufs[w] = released
-	} else {
-		released = rt.g.Complete(t)
 	}
 	rt.s.PushBatch(w, released)
 	// PushBatch already wakes (at most) one worker for the published
@@ -652,37 +1015,118 @@ func (rt *Runtime) checkReplayDivergence() error {
 	return fmt.Errorf("%w: %s", ErrReplayDivergence, divs[0].String())
 }
 
+// persistentOpts is the resolved option set of a Persistent call.
+type persistentOpts struct {
+	frozen  bool
+	changed func(iter int) bool
+}
+
+// PersistentOption configures Persistent's replay strategy.
+type PersistentOption func(*persistentOpts)
+
+// Frozen selects frozen replay: body runs only at iteration 0 to record
+// the task graph, and every later iteration re-releases the captured
+// closures and firstprivates without re-running the body. These are the
+// semantics of the OpenMP `taskgraph` proposal the paper contrasts with
+// its own extension (§3.2, §6) — cheaper per iteration, but nothing can
+// be updated between iterations. Mutually exclusive with Adaptive.
+func Frozen() PersistentOption {
+	return func(o *persistentOpts) { o.frozen = true }
+}
+
+// Adaptive selects adaptive re-recording: the graph is re-recorded
+// whenever changed(iter) reports that the task stream's shape differs
+// from the last recording — the paper's §3.2 applicability argument for
+// adaptive mesh refinement: AMR changes the TDG only every few
+// iterations, so recording cost is amortized over the unchanged
+// stretches. changed is consulted before every iteration after a
+// recording; recording iterations never consult it. Mutually exclusive
+// with Frozen.
+func Adaptive(changed func(iter int) bool) PersistentOption {
+	return func(o *persistentOpts) { o.changed = changed }
+}
+
 // Persistent runs body(iter) for iters iterations under the persistent
 // TDG extension (optimization p): iteration 0 records the graph; later
 // iterations replay it, with per-task cost reduced to the firstprivate
 // copy. An implicit barrier (Taskwait) ends every iteration, as in the
-// paper's implementation.
-func (rt *Runtime) Persistent(iters int, body func(iter int)) error {
+// paper's implementation. Options select the replay strategy: Frozen
+// for record-once/never-rerun replay, Adaptive for shape-change-driven
+// re-recording; with no options every iteration re-runs body against
+// the recorded structure.
+//
+// A task failure inside any iteration ends the region after that
+// iteration's barrier drains, returning the *fault.TaskError.
+func (rt *Runtime) Persistent(iters int, body func(iter int), opts ...PersistentOption) error {
+	var o persistentOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.frozen && o.changed != nil {
+		return fmt.Errorf("rt: Persistent options Frozen and Adaptive are mutually exclusive")
+	}
 	if rt.inPersistent {
 		return fmt.Errorf("rt: nested Persistent regions are not supported")
 	}
 	rt.inPersistent = true
 	defer func() { rt.inPersistent = false }()
+	switch {
+	case o.frozen:
+		return rt.persistentFrozen(iters, body)
+	case o.changed != nil:
+		return rt.persistentAdaptive(iters, body, o.changed)
+	default:
+		return rt.persistentPlain(iters, body)
+	}
+}
 
+// PersistentFrozen runs body once to record the task graph, then replays
+// it iters-1 more times without re-running the body.
+//
+// Deprecated: use Persistent(iters, func(int) { ... }, Frozen()).
+func (rt *Runtime) PersistentFrozen(iters int, body func()) error {
+	return rt.Persistent(iters, func(int) { body() }, Frozen())
+}
+
+// PersistentAdaptive runs body under the persistent extension,
+// re-recording whenever changed reports a shape change.
+//
+// Deprecated: use Persistent(iters, body, Adaptive(changed)).
+func (rt *Runtime) PersistentAdaptive(iters int, body func(iter int), changed func(iter int) bool) error {
+	return rt.Persistent(iters, body, Adaptive(changed))
+}
+
+// recordIteration runs one recording iteration: body under BeginRecording,
+// the implicit barrier, and the verifier/profile bookkeeping. Returns the
+// barrier's failure, if any.
+func (rt *Runtime) recordIteration(it int, body func(iter int)) error {
 	rt.g.BeginRecording()
 	if rt.ver != nil {
 		rt.ver.BeginRecording()
 	}
-	rt.iter.Store(0)
-	body(0)
+	rt.iter.Store(int32(it))
+	body(it)
 	rt.g.Flush()
 	rt.g.EndRecording()
-	rt.Taskwait()
+	werr := rt.Taskwait()
 	if rt.ver != nil {
 		rt.ver.EndRecording(rt.g.Recorded())
 	}
 	if p := rt.cfg.Profile; p != nil {
 		p.IterationEnd(rt.now())
 	}
+	return werr
+}
 
+func (rt *Runtime) persistentPlain(iters int, body func(iter int)) error {
+	if err := rt.recordIteration(0, body); err != nil {
+		rt.g.EndPersistent()
+		return err
+	}
 	recorded := rt.g.RecordedLen()
 	for it := 1; it < iters; it++ {
 		if err := rt.g.BeginReplay(); err != nil {
+			rt.g.EndPersistent()
 			return err
 		}
 		if rt.ver != nil {
@@ -694,15 +1138,20 @@ func (rt *Runtime) Persistent(iters int, body func(iter int)) error {
 		rt.replay = false
 		if err := rt.g.FinishReplay(); err != nil {
 			// Release the rest of the recording so the graph can
-			// drain, then surface the mismatch.
+			// drain, then surface the mismatch (joined with any task
+			// failure the drain turned up).
 			rt.g.AbortReplay()
-			rt.Taskwait()
+			werr := rt.Taskwait()
 			rt.g.EndPersistent()
-			return fmt.Errorf("%w: %v (recorded %d tasks)", ErrReplayShape, err, recorded)
+			return errors.Join(fmt.Errorf("%w: %v (recorded %d tasks)", ErrReplayShape, err, recorded), werr)
 		}
-		rt.Taskwait()
+		werr := rt.Taskwait()
 		if p := rt.cfg.Profile; p != nil {
 			p.IterationEnd(rt.now())
+		}
+		if werr != nil {
+			rt.g.EndPersistent()
+			return werr
 		}
 		if err := rt.checkReplayDivergence(); err != nil {
 			rt.g.EndPersistent()
@@ -713,36 +1162,14 @@ func (rt *Runtime) Persistent(iters int, body func(iter int)) error {
 	return nil
 }
 
-// PersistentFrozen runs body(0) once to record the task graph, then
-// replays it iters-1 more times without re-running the body: every
-// closure and firstprivate is captured at record time. These are the
-// semantics of the OpenMP `taskgraph` proposal the paper contrasts with
-// its own extension (§3.2, §6) — cheaper per iteration than Persistent,
-// but nothing can be updated between iterations.
-func (rt *Runtime) PersistentFrozen(iters int, body func()) error {
-	if rt.inPersistent {
-		return fmt.Errorf("rt: nested Persistent regions are not supported")
-	}
-	rt.inPersistent = true
-	defer func() { rt.inPersistent = false }()
-
-	rt.g.BeginRecording()
-	if rt.ver != nil {
-		rt.ver.BeginRecording()
-	}
-	rt.iter.Store(0)
-	body()
-	rt.g.Flush()
-	rt.g.EndRecording()
-	rt.Taskwait()
-	if rt.ver != nil {
-		rt.ver.EndRecording(rt.g.Recorded())
-	}
-	if p := rt.cfg.Profile; p != nil {
-		p.IterationEnd(rt.now())
+func (rt *Runtime) persistentFrozen(iters int, body func(iter int)) error {
+	if err := rt.recordIteration(0, body); err != nil {
+		rt.g.EndPersistent()
+		return err
 	}
 	for it := 1; it < iters; it++ {
 		if err := rt.g.BeginReplay(); err != nil {
+			rt.g.EndPersistent()
 			return err
 		}
 		if rt.ver != nil {
@@ -753,11 +1180,16 @@ func (rt *Runtime) PersistentFrozen(iters int, body func()) error {
 		rt.iter.Store(int32(it))
 		rt.g.ReplayAll()
 		if err := rt.g.FinishReplay(); err != nil {
+			rt.g.EndPersistent()
 			return err
 		}
-		rt.Taskwait()
+		werr := rt.Taskwait()
 		if p := rt.cfg.Profile; p != nil {
 			p.IterationEnd(rt.now())
+		}
+		if werr != nil {
+			rt.g.EndPersistent()
+			return werr
 		}
 		if err := rt.checkReplayDivergence(); err != nil {
 			rt.g.EndPersistent()
@@ -768,40 +1200,13 @@ func (rt *Runtime) PersistentFrozen(iters int, body func()) error {
 	return nil
 }
 
-// PersistentAdaptive runs body(iter) under the persistent extension,
-// re-recording the graph whenever changed(iter) reports that the task
-// stream's shape differs from the last recording — the paper's §3.2
-// applicability argument for adaptive mesh refinement: AMR changes the
-// TDG only every few iterations, so recording cost is amortized over
-// the unchanged stretches. changed is consulted before every iteration
-// after the first; iteration 0 always records.
-func (rt *Runtime) PersistentAdaptive(iters int, body func(iter int), changed func(iter int) bool) error {
-	if rt.inPersistent {
-		return fmt.Errorf("rt: nested Persistent regions are not supported")
-	}
-	rt.inPersistent = true
-	defer func() { rt.inPersistent = false }()
-
-	endIter := func() {
-		rt.Taskwait()
-		if p := rt.cfg.Profile; p != nil {
-			p.IterationEnd(rt.now())
-		}
-	}
+func (rt *Runtime) persistentAdaptive(iters int, body func(iter int), changed func(iter int) bool) error {
 	it := 0
 	for it < iters {
 		// Record a fresh graph at the segment head.
-		rt.g.BeginRecording()
-		if rt.ver != nil {
-			rt.ver.BeginRecording()
-		}
-		rt.iter.Store(int32(it))
-		body(it)
-		rt.g.Flush()
-		rt.g.EndRecording()
-		endIter()
-		if rt.ver != nil {
-			rt.ver.EndRecording(rt.g.Recorded())
+		if err := rt.recordIteration(it, body); err != nil {
+			rt.g.EndPersistent()
+			return err
 		}
 		it++
 		// Replay while the shape holds.
@@ -819,11 +1224,18 @@ func (rt *Runtime) PersistentAdaptive(iters int, body func(iter int), changed fu
 			rt.replay = false
 			if err := rt.g.FinishReplay(); err != nil {
 				rt.g.AbortReplay()
-				rt.Taskwait()
+				werr := rt.Taskwait()
 				rt.g.EndPersistent()
-				return fmt.Errorf("%w: %v (use changed() to flag shape changes)", ErrReplayShape, err)
+				return errors.Join(fmt.Errorf("%w: %v (use changed() to flag shape changes)", ErrReplayShape, err), werr)
 			}
-			endIter()
+			werr := rt.Taskwait()
+			if p := rt.cfg.Profile; p != nil {
+				p.IterationEnd(rt.now())
+			}
+			if werr != nil {
+				rt.g.EndPersistent()
+				return werr
+			}
 			if err := rt.checkReplayDivergence(); err != nil {
 				rt.g.EndPersistent()
 				return err
@@ -835,14 +1247,16 @@ func (rt *Runtime) PersistentAdaptive(iters int, body func(iter int), changed fu
 	return nil
 }
 
-// Close waits for all tasks, then stops the workers. The runtime must not
-// be used afterwards.
-func (rt *Runtime) Close() {
-	rt.Taskwait()
+// Close waits for all tasks, then stops the workers, returning whatever
+// the final implicit Taskwait returned. The runtime must not be used
+// afterwards.
+func (rt *Runtime) Close() error {
+	err := rt.Taskwait()
 	rt.shutdown.Store(true)
 	rt.s.Kick()
 	rt.wg.Wait()
 	if p := rt.cfg.Profile; p != nil {
 		p.Finish(rt.now())
 	}
+	return err
 }

@@ -328,7 +328,7 @@ func (r *Rank) produceNext() {
 func (r *Rank) doSubmit(spec TaskSpec) float64 {
 	cs := &r.cfg.Costs
 	if r.cfg.Persistent && r.iter > 0 {
-		r.g.Replay(r.iter, nil)
+		r.g.Replay(r.iter, nil, nil, nil)
 		return cs.ReplayTask
 	}
 	st0 := r.g.Stats()

@@ -17,7 +17,13 @@ const (
 	Overhead
 	// Work: inside a task body.
 	Work
+	// Skip: draining aborted or poisoned tasks — terminal transitions
+	// whose bodies never ran (the failure-domain time bucket).
+	Skip
 )
+
+// numWorkerStates sizes the per-worker accumulator array.
+const numWorkerStates = 4
 
 func (s WorkerState) String() string {
 	switch s {
@@ -27,6 +33,8 @@ func (s WorkerState) String() string {
 		return "overhead"
 	case Work:
 		return "work"
+	case Skip:
+		return "skip"
 	}
 	return fmt.Sprintf("WorkerState(%d)", int(s))
 }
@@ -79,7 +87,7 @@ type CommRecord struct {
 type workerClock struct {
 	state   WorkerState
 	since   float64
-	accum   [3]float64
+	accum   [numWorkerStates]float64
 	started bool
 }
 
@@ -204,10 +212,13 @@ func (p *Profile) CommComplete(reqID int64, now float64) {
 // Breakdown is the per-run summary in the units of the executor clock
 // (seconds). Cumulated values sum over workers; Avg* divide by workers.
 type Breakdown struct {
-	Workers       int
-	Work          float64
-	OverheadTime  float64
-	IdleTime      float64
+	Workers      int
+	Work         float64
+	OverheadTime float64
+	IdleTime     float64
+	// SkipTime is the time spent draining aborted/poisoned tasks whose
+	// bodies never ran (zero outside failure scenarios).
+	SkipTime      float64
 	AvgWork       float64
 	AvgOverhead   float64
 	AvgIdle       float64
@@ -224,6 +235,7 @@ func (p *Profile) Breakdown() Breakdown {
 		b.Work += p.workers[w].accum[Work]
 		b.OverheadTime += p.workers[w].accum[Overhead]
 		b.IdleTime += p.workers[w].accum[Idle]
+		b.SkipTime += p.workers[w].accum[Skip]
 	}
 	if p.nWorkers > 0 {
 		b.AvgWork = b.Work / float64(p.nWorkers)

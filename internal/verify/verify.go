@@ -251,6 +251,11 @@ func auditRaces(rep *Report, infos []TaskInfo, idx map[*graph.Task]int, adj [][]
 				if a.ty == graph.InOutSet && b.ty == graph.InOutSet && a.run == b.run {
 					continue // same inoutset group: independent by contract
 				}
+				if nodes[a.node].State() >= graph.Aborted || nodes[b.node].State() >= graph.Aborted {
+					// Aborted/Skipped bodies never ran: a missing
+					// ordering between them cannot have raced.
+					continue
+				}
 				sig := [3]uint64{uint64(a.node), uint64(b.node), uint64(key)}
 				if reported[sig] {
 					continue

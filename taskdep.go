@@ -26,19 +26,32 @@
 // breakdown, discovery time, communication overlap ratio, and Gantt
 // charts.
 //
+// Tasks form failure domains: a body that panics, or whose Do closure
+// returns an error, aborts the task and deterministically poisons its
+// successor cone (those bodies never run); everything outside the cone
+// still executes and the graph always drains. Taskwait/Close/Persistent
+// surface the failure as a *TaskError naming the task, its dependence
+// keys and the cause; Runtime.Abort cancels a whole window
+// cooperatively.
+//
 // # Quick start
 //
 //	rt := taskdep.New(taskdep.Config{Workers: 8, Opts: taskdep.OptAll})
 //	defer rt.Close()
 //	rt.Submit(taskdep.Spec{
 //		Label: "produce", Out: []taskdep.Key{1},
-//		Body: func(any) { /* write x */ },
+//		Do: func(any) error { return writeX() },
 //	})
 //	rt.Submit(taskdep.Spec{
 //		Label: "consume", In: []taskdep.Key{1},
 //		Body: func(any) { /* read x */ },
 //	})
-//	rt.Taskwait()
+//	if err := rt.Taskwait(); err != nil {
+//		var te *taskdep.TaskError
+//		if errors.As(err, &te) {
+//			log.Fatalf("task %s failed: %v", te.Label, te.Cause)
+//		}
+//	}
 //
 // See examples/ for iterative stencils with persistent graphs,
 // communication overlap with detached tasks, and a dense Cholesky
@@ -48,6 +61,7 @@ package taskdep
 import (
 	"io"
 
+	"taskdep/internal/fault"
 	"taskdep/internal/graph"
 	"taskdep/internal/mpi"
 	"taskdep/internal/rt"
@@ -116,9 +130,94 @@ type Event = rt.Event
 // goroutine.
 type Runtime = rt.Runtime
 
-// New creates and starts a runtime. Close must be called to drain and
-// join the workers.
+// New creates and starts a runtime, panicking on invalid configuration.
+// Close must be called to drain and join the workers. Use NewRuntime to
+// get the validation problem as an error instead.
 func New(cfg Config) *Runtime { return rt.New(cfg) }
+
+// NewRuntime validates cfg, then creates and starts a runtime. Close
+// must be called to drain and join the workers. Invalid configurations
+// — negative counts, a profile with too few slots, out-of-range enum
+// values — are reported as descriptive errors.
+func NewRuntime(cfg Config) (*Runtime, error) { return rt.NewRuntime(cfg) }
+
+// PersistentOption configures Runtime.Persistent's replay strategy.
+type PersistentOption = rt.PersistentOption
+
+// Frozen selects frozen replay for Runtime.Persistent: the body runs
+// only at iteration 0 and later iterations re-release the captured
+// closures (the OpenMP `taskgraph` proposal's semantics).
+func Frozen() PersistentOption { return rt.Frozen() }
+
+// Adaptive selects adaptive re-recording for Runtime.Persistent: the
+// graph is re-recorded whenever changed(iter) reports a shape change.
+func Adaptive(changed func(iter int) bool) PersistentOption { return rt.Adaptive(changed) }
+
+// Dep is one dependence declaration (key + access type), as carried by
+// TaskError.Keys.
+type Dep = graph.Dep
+
+// DepType classifies a dependence access.
+type DepType = graph.DepType
+
+// Dependence access types.
+const (
+	// In declares a read (concurrent with other reads).
+	In = graph.In
+	// Out declares a write.
+	Out = graph.Out
+	// InOut declares a read-modify-write.
+	InOut = graph.InOut
+	// InOutSet declares membership in a commutative write group.
+	InOutSet = graph.InOutSet
+)
+
+// TaskState is a task's lifecycle state (see Task.State).
+type TaskState = graph.State
+
+// Terminal task states.
+const (
+	// TaskCompleted: the body ran to completion.
+	TaskCompleted = graph.Completed
+	// TaskAborted: the body failed (panic or Do error).
+	TaskAborted = graph.Aborted
+	// TaskSkipped: the body never ran — a predecessor failed (poisoned
+	// cone) or the window was aborted.
+	TaskSkipped = graph.Skipped
+)
+
+// TaskError reports a failed task from Taskwait/Close/Persistent: which
+// task (label, ID, declared dependence keys), why (Cause — the Do error
+// or a PanicError with stack), and any further failures from the same
+// wait window (Siblings, an errors.Join). Unwrap reaches both, so
+// errors.Is/As see through it.
+type TaskError = fault.TaskError
+
+// PanicError wraps a recovered task-body panic with its stack.
+type PanicError = fault.PanicError
+
+// ErrAborted is the default cause installed by Runtime.Abort(nil).
+var ErrAborted = fault.ErrAborted
+
+// ErrInjected marks errors produced by the fault-injection harness.
+var ErrInjected = fault.ErrInjected
+
+// Inject is a deterministic fault-injection harness; set it in
+// Config.Inject (test/benchmark machinery, nil in production).
+type Inject = fault.Inject
+
+// InjectMode selects what an injected fault does.
+type InjectMode = fault.Mode
+
+// Fault-injection modes.
+const (
+	// InjectPanic panics in the victim's body.
+	InjectPanic = fault.Panic
+	// InjectError makes the victim's body return an ErrInjected error.
+	InjectError = fault.Error
+	// InjectStall delays the victim's body (latency fault).
+	InjectStall = fault.Stall
+)
 
 // GraphStats snapshots discovery counters (tasks, edges created /
 // pruned / deduplicated, redirect nodes, replays).
@@ -140,8 +239,8 @@ func WriteDOT(w io.Writer, tasks []*Task, name string) error {
 // under-declared dependences (conflicting accesses with no
 // happens-before path), cycles, dangling inoutset redirect nodes,
 // duplicate edges that survived OptDedup, and persistent-replay
-// divergence (a Persistent/PersistentAdaptive body whose task stream
-// silently changed shape).
+// divergence (a Persistent body whose task stream silently changed
+// shape, e.g. under a lying Adaptive `changed` callback).
 type VerifyMode = verify.Mode
 
 // Verifier integration levels.
@@ -168,8 +267,8 @@ type VerifyRace = verify.Race
 // VerifyReport.
 type VerifyDivergence = verify.Divergence
 
-// ErrReplayDivergence is returned by Persistent/PersistentAdaptive when
-// the verifier catches a replay diverging from the recorded structure.
+// ErrReplayDivergence is returned by Runtime.Persistent when the
+// verifier catches a replay diverging from the recorded structure.
 var ErrReplayDivergence = rt.ErrReplayDivergence
 
 // Profile accumulates the paper's execution metrics. Create with
@@ -186,6 +285,9 @@ type Breakdown = trace.Breakdown
 // Gantt renders recorded task boxes (one row per worker, one color per
 // iteration) as ASCII or SVG.
 type Gantt = trace.Gantt
+
+// TaskRecord is one scheduled task instance in a Profile (a Gantt box).
+type TaskRecord = trace.TaskRecord
 
 // World is an in-process set of MPI-style ranks (goroutines).
 type World = mpi.World
