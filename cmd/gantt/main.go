@@ -3,7 +3,7 @@
 // optimizations (the persistent version shows the per-iteration barrier
 // as vertical alignment).
 //
-//	gantt [-tpl N] [-width N] [-svg out.svg]
+//	gantt [-tpl N] [-width N] [-svg out.svg] [-chrome prefix]
 package main
 
 import (
@@ -17,16 +17,17 @@ import (
 
 func main() {
 	var (
-		tpl   = flag.Int("tpl", 128, "tasks per loop")
-		width = flag.Int("width", 120, "ASCII chart width")
-		svg   = flag.String("svg", "", "also write SVG charts to this prefix (…-opt.svg, …-non.svg)")
+		tpl    = flag.Int("tpl", 128, "tasks per loop")
+		width  = flag.Int("width", 120, "ASCII chart width")
+		svg    = flag.String("svg", "", "also write SVG charts to this prefix (…-opt.svg, …-non.svg)")
+		chrome = flag.String("chrome", "", "also write Chrome trace JSON (Perfetto-loadable) to this prefix (…-opt.json, …-non.json)")
 	)
 	flag.Parse()
 
 	c := experiments.DefaultDistributed()
 	res := experiments.RunFig8(c, *tpl)
 
-	render := func(label string, recs []taskdep.TaskRecord, suffix string) {
+	render := func(label string, recs []taskdep.TaskRecord, suffix, jsonSuffix string) {
 		fmt.Printf("== Fig 8: rank %d — %s ==\n", c.ProfiledRank, label)
 		g := &taskdep.Gantt{Tasks: recs}
 		if err := g.WriteASCII(os.Stdout, *width); err != nil {
@@ -46,7 +47,21 @@ func main() {
 			}
 			fmt.Printf("wrote %s%s\n", *svg, suffix)
 		}
+		if *chrome != "" {
+			out := *chrome + jsonSuffix
+			f, err := os.Create(out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := taskdep.WriteChromeTasks(f, recs); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (load in ui.perfetto.dev)\n", out)
+		}
 	}
-	render("TDG optimizations enabled (persistent)", res.Optimized, "-opt.svg")
-	render("TDG optimizations disabled", res.NonOptimized, "-non.svg")
+	render("TDG optimizations enabled (persistent)", res.Optimized, "-opt.svg", "-opt.json")
+	render("TDG optimizations disabled", res.NonOptimized, "-non.svg", "-non.json")
 }

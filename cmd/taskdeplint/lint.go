@@ -1,6 +1,6 @@
 package main
 
-// lint.go implements the five taskdep API-misuse rules over go/ast +
+// lint.go implements the six taskdep API-misuse rules over go/ast +
 // go/types. Type information is best-effort: imports resolve through a
 // stub importer (no module loading, no new dependencies), which is
 // enough for the rules here — they need object identity and scope for
@@ -21,7 +21,12 @@ package main
 //	dropped-error    a Spec Do closure that blank-discards a call result
 //	                 while every return statement is `return nil` — the
 //	                 task can never fail, defeating the point of the
-//	                 error-returning form.
+//	                 error-returning form;
+//	span-no-end      a variable assigned from a BeginSpan call that is
+//	                 never closed with End(), or that leaks past an
+//	                 early return with no deferred End — the span never
+//	                 reaches the trace export, and a later B event on
+//	                 the same lane pairs with the wrong E.
 //
 // A finding is suppressed by a comment containing "taskdeplint:ignore"
 // on the same line or the line above.
@@ -52,6 +57,7 @@ const (
 	ruleFulfillNil    = "fulfill-nil-event"
 	ruleMissingOut    = "missing-out"
 	ruleDroppedError  = "dropped-error"
+	ruleSpanNoEnd     = "span-no-end"
 )
 
 // taskdepPaths are the import paths whose New() produces a runtime the
@@ -112,6 +118,7 @@ func (l *pkgLint) lintFile(f *ast.File) {
 	for _, decl := range f.Decls {
 		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
 			l.seqLint(fd.Body, map[types.Object]bool{})
+			l.checkSpanNoEnd(fd.Body)
 		}
 	}
 
@@ -530,6 +537,110 @@ func (l *pkgLint) seqLint(body *ast.BlockStmt, runtimes map[types.Object]bool) {
 		}
 		return true
 	})
+}
+
+// --- rule: span-no-end ---
+
+// spanState tracks one variable assigned from a BeginSpan call.
+type spanState struct {
+	begin    token.Pos // position of the Begin assignment
+	ended    bool      // an x.End() call was seen after the Begin
+	deferred bool      // a defer x.End() covers every exit
+	leakyRet token.Pos // first return between Begin and End, if any
+	hasLeak  bool
+}
+
+// checkSpanNoEnd walks one function body in source order and flags
+// variables holding a BeginSpan result that are never End()ed, or that
+// leak past a return statement with no deferred End. The zero-Span
+// idiom (`var sp obs.Span; if sampled { sp = BeginSpan(...) };
+// sp.End()`) is fine: End on the zero Span is a no-op, and the
+// unconditional End closes the sampled case. Nested closures get their
+// own context — they execute at a different time.
+func (l *pkgLint) checkSpanNoEnd(body *ast.BlockStmt) {
+	spans := map[types.Object]*spanState{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			// defer sp.End() closes the span on every exit path.
+			if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if st := spans[l.objOf(id)]; st != nil {
+						st.deferred = true
+					}
+				}
+			}
+			return false
+		case *ast.FuncLit:
+			l.checkSpanNoEnd(s.Body)
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := l.objOf(id)
+				if obj == nil {
+					continue
+				}
+				rhs := ast.Expr(nil)
+				if len(s.Rhs) == len(s.Lhs) {
+					rhs = s.Rhs[i]
+				} else if len(s.Rhs) == 1 {
+					rhs = s.Rhs[0]
+				}
+				call, isBegin := rhs.(*ast.CallExpr)
+				isBegin = isBegin && isBeginSpanCall(call)
+				if st := spans[obj]; st != nil && !st.ended && !st.deferred {
+					// Overwritten while open: the old span is lost.
+					l.report(st.begin, ruleSpanNoEnd,
+						"span %q is reassigned before End() — the open span never reaches the trace", id.Name)
+					delete(spans, obj)
+				}
+				if isBegin {
+					// A fresh Begin (or a re-Begin of a closed variable)
+					// starts a new tracking window.
+					spans[obj] = &spanState{begin: s.Pos()}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, st := range spans {
+				if !st.ended && !st.deferred && !st.hasLeak {
+					st.hasLeak = true
+					st.leakyRet = s.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if st := spans[l.objOf(id)]; st != nil {
+						st.ended = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, st := range spans {
+		switch {
+		case st.deferred:
+		case !st.ended:
+			l.report(st.begin, ruleSpanNoEnd,
+				"BeginSpan result is never End()ed — the span never reaches the trace export (call End, or defer it)")
+		case st.hasLeak:
+			l.report(st.leakyRet, ruleSpanNoEnd,
+				"return between BeginSpan and End() — the span leaks on this path (defer sp.End() instead)")
+		}
+	}
+}
+
+// isBeginSpanCall matches <expr>.BeginSpan(...) on any receiver.
+func isBeginSpanCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "BeginSpan"
 }
 
 // isRuntimeNew matches taskdep.New(...) / rt.New(...) where the

@@ -9,7 +9,12 @@
 //   - fulfill-nil-event: Event.Fulfill on the result of a Submit whose
 //     Spec is not Detached (Submit returns nil);
 //   - missing-out: a Spec whose Body writes package-level state but
-//     declares no Out/InOut/InOutSet keys.
+//     declares no Out/InOut/InOutSet keys;
+//   - dropped-error: a Spec Do closure that discards a call result
+//     while every return is `return nil` (the task can never fail);
+//   - span-no-end: a variable holding obs.BeginSpan's result that is
+//     never closed with End(), or leaks past an early return with no
+//     deferred End — the span would never reach the Perfetto export.
 //
 // Usage:
 //

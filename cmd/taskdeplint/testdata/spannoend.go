@@ -1,0 +1,72 @@
+package fixtures
+
+// A stand-in for obs.Registry / obs.Span: the rule matches any
+// receiver's BeginSpan/End pair, so the fixture needs no real import.
+type fakeSpan struct{}
+
+func (fakeSpan) End() {}
+
+type fakeReg struct{}
+
+func (fakeReg) BeginSpan(slot int, kind, id, a, b int) fakeSpan { return fakeSpan{} }
+func (fakeReg) Sampled(slot int) bool                           { return false }
+
+// Positive: the span is begun and simply never closed.
+func spanNeverEnded(r fakeReg) {
+	sp := r.BeginSpan(0, 1, 2, 0, 0) // want "span-no-end"
+	_ = sp
+}
+
+// Positive: an early return escapes between Begin and End.
+func spanLeaksOnReturn(r fakeReg, bail bool) {
+	sp := r.BeginSpan(0, 1, 2, 0, 0)
+	if bail {
+		return // want "span-no-end"
+	}
+	sp.End()
+}
+
+// Positive: the variable is overwritten while the first span is open.
+func spanOverwritten(r fakeReg) {
+	sp := r.BeginSpan(0, 1, 2, 0, 0) // want "span-no-end"
+	sp = r.BeginSpan(0, 1, 3, 0, 0)
+	sp.End()
+}
+
+// Negative: the deferred End covers every exit path.
+func spanDeferred(r fakeReg, bail bool) {
+	sp := r.BeginSpan(0, 1, 2, 0, 0)
+	defer sp.End()
+	if bail {
+		return
+	}
+}
+
+// Negative: the zero-Span sampling idiom — End on the zero value is a
+// no-op, and the unconditional End closes the sampled case.
+func spanZeroValueIdiom(r fakeReg) {
+	var sp fakeSpan
+	if r.Sampled(0) {
+		sp = r.BeginSpan(0, 1, 2, 0, 0)
+	}
+	work()
+	sp.End()
+}
+
+// Negative: straight-line Begin/End with a return only afterwards.
+func spanStraightLine(r fakeReg) int {
+	sp := r.BeginSpan(0, 1, 2, 0, 0)
+	work()
+	sp.End()
+	return 1
+}
+
+// Negative: a closure gets its own context; its span is deferred.
+func spanInClosure(r fakeReg) func() {
+	return func() {
+		sp := r.BeginSpan(0, 1, 2, 0, 0)
+		defer sp.End()
+	}
+}
+
+func work() {}

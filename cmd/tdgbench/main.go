@@ -26,6 +26,13 @@
 // -maxregress/-smoke work as in discovery mode (committed baseline:
 // BENCH_executor.json).
 //
+// -exp obs measures the observability layer itself: the grain-0
+// executor drain under obs off / metrics / metrics+spans on both
+// engines, plus a microbenchmark of the disabled per-task hook
+// sequence and a live /metrics completeness scrape. -check gates the
+// fresh disabled-hook cost (<= 2 ns/task) and the committed enabled
+// overhead (<= 10% on the optimized engine) against BENCH_obs.json.
+//
 // -exp faults drives the failure-domain subsystem: a synthetic
 // poison-cone graph plus LULESH/HPCG/Cholesky under deterministic
 // fault injection on both engines, checking that the failed task is
@@ -179,9 +186,55 @@ func runFaults(smoke bool, jsonPath, checkPath string) int {
 	return 0
 }
 
+// runObs executes the observability-overhead mode; returns the process
+// exit code. The -check gate holds the disabled hook under 2 ns/task
+// and the committed enabled overhead under 10%.
+func runObs(smoke bool, jsonPath, checkPath string) int {
+	p := experiments.DefaultObsParams()
+	if smoke {
+		p = experiments.SmokeObsParams()
+	}
+	res, err := experiments.RunObs(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obs benchmark FAILED: %v\n", err)
+		return 1
+	}
+	experiments.PrintObs(os.Stdout, &res)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		committed, err := experiments.ReadObsJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", checkPath, err)
+			return 1
+		}
+		if err := experiments.CheckObs(&res, committed, 2.0, 10.0); err != nil {
+			fmt.Fprintf(os.Stderr, "obs overhead check FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("obs overhead check OK (disabled hook <= 2 ns, committed overhead <= 10%% vs %s)\n", checkPath)
+	}
+	return 0
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs")
 		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
 		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
 		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
@@ -205,6 +258,8 @@ func main() {
 		os.Exit(runExecutor(*smoke, *jsonOut, *check, *maxRegress))
 	case "faults":
 		os.Exit(runFaults(*smoke, *jsonOut, *check))
+	case "obs":
+		os.Exit(runObs(*smoke, *jsonOut, *check))
 	case "table1":
 		res := experiments.RunTable1(c, *tpl, *fine)
 		res.Print(os.Stdout)

@@ -36,12 +36,13 @@ import (
 	"taskdep/apps/lulesh"
 	"taskdep/internal/fault"
 	"taskdep/internal/graph"
+	"taskdep/internal/obs"
 	"taskdep/internal/rt"
 	"taskdep/internal/sched"
 )
 
 // FaultsSchemaVersion identifies the BENCH_faults.json layout.
-const FaultsSchemaVersion = 1
+const FaultsSchemaVersion = 2
 
 // errSyntheticFault is the planted failure of the poison-cone check.
 var errSyntheticFault = errors.New("faults experiment: planted failure")
@@ -131,6 +132,14 @@ type ConeRow struct {
 	Completed  int    `json:"completed"`
 	PoisonRan  int    `json:"poison_ran"`
 	FailedTask string `json:"failed_task"`
+	// Observability cross-check: the runtime's merged counters after
+	// Close must agree with the ground truth the bodies counted —
+	// skipped == cone size, aborted == 1, and submitted ==
+	// executed + skipped + aborted.
+	SubmittedCounter int64 `json:"submitted_counter"`
+	ExecutedCounter  int64 `json:"executed_counter"`
+	SkippedCounter   int64 `json:"skipped_counter"`
+	AbortedCounter   int64 `json:"aborted_counter"`
 }
 
 // FaultResult is the machine-readable experiment outcome
@@ -235,6 +244,26 @@ func runCone(engine sched.Engine, p FaultParams) (ConeRow, error) {
 	}
 	if row.PoisonRan != 0 {
 		return row, fmt.Errorf("%d poisoned bodies executed, want 0", row.PoisonRan)
+	}
+	// Counters are exact after Close (every shard flushed): check them
+	// against the ground truth the task bodies observed.
+	reg := r.Obs()
+	row.SubmittedCounter = reg.Counter(obs.CTasksSubmitted)
+	row.ExecutedCounter = reg.Counter(obs.CTasksExecuted)
+	row.SkippedCounter = reg.Counter(obs.CTasksSkipped)
+	row.AbortedCounter = reg.Counter(obs.CTasksAborted)
+	if row.SkippedCounter != int64(depth) {
+		return row, fmt.Errorf("skipped counter is %d, cone size is %d", row.SkippedCounter, depth)
+	}
+	if row.AbortedCounter != 1 {
+		return row, fmt.Errorf("aborted counter is %d, want 1", row.AbortedCounter)
+	}
+	if row.ExecutedCounter != int64(depth+1) {
+		return row, fmt.Errorf("executed counter is %d, want %d", row.ExecutedCounter, depth+1)
+	}
+	if row.SubmittedCounter != row.ExecutedCounter+row.SkippedCounter+row.AbortedCounter {
+		return row, fmt.Errorf("submitted %d != executed %d + skipped %d + aborted %d",
+			row.SubmittedCounter, row.ExecutedCounter, row.SkippedCounter, row.AbortedCounter)
 	}
 	return row, nil
 }
@@ -360,6 +389,10 @@ func (r *FaultResult) Validate() error {
 	for _, c := range r.Cone {
 		if c.FailedTask != "cone-head" || c.PoisonRan != 0 || c.Completed != r.Params.ConeDepth+1 {
 			return fmt.Errorf("cone row %+v violates the poison contract", c)
+		}
+		if c.SubmittedCounter != c.ExecutedCounter+c.SkippedCounter+c.AbortedCounter ||
+			c.SkippedCounter != int64(r.Params.ConeDepth) || c.AbortedCounter != 1 {
+			return fmt.Errorf("cone row %+v counters disagree with the ground truth", c)
 		}
 	}
 	want := 3 * len(faultEngines) * len(faultModes) * r.Params.Seeds

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"taskdep/internal/graph"
+	"taskdep/internal/obs"
 )
 
 // ErrAborted is the cause recorded by Runtime.Abort(nil): the producer
@@ -142,6 +143,20 @@ type Inject struct {
 	StallFor time.Duration
 
 	n atomic.Int64
+
+	// metrics, when set, counts manufactured faults
+	// (obs.CFaultsInjected). Wired by the runtime before workers start;
+	// Apply reads it without synchronization.
+	metrics *obs.Registry
+}
+
+// SetMetrics attaches a metrics registry so manufactured faults are
+// counted (taskdep_faults_injected_total). The runtime calls this from
+// NewRuntime; set it before any Apply call.
+func (i *Inject) SetMetrics(r *obs.Registry) {
+	if i != nil {
+		i.metrics = r
+	}
 }
 
 // Count returns how many task executions the harness has observed.
@@ -175,6 +190,9 @@ func (i *Inject) Apply(label string) error {
 	if offset != victim(i.Seed, window, i.Every) {
 		return nil
 	}
+	// Injection sites run on arbitrary worker goroutines: use the
+	// registry's external (true atomic) shard. Rare by construction.
+	i.metrics.Add(obs.CFaultsInjected, 1)
 	switch i.Mode {
 	case Error:
 		return fmt.Errorf("%w: error in task %q (execution %d, seed %d)", ErrInjected, label, n, i.Seed)

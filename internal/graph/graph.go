@@ -650,6 +650,10 @@ func (g *Graph) finishInto(t *Task, buf []*Task, final State) []*Task {
 // — reusable afterwards. Must be called with the graph drained.
 func (g *Graph) ConsumeFailures() { g.failEpoch.Add(1) }
 
+// FailEpoch returns the current failure window number (0 until a
+// failure has been consumed). Exposed for introspection (/graphz).
+func (g *Graph) FailEpoch() uint64 { return g.failEpoch.Load() }
+
 // ResetDiscoveryFrontier clears the per-key discovery state (last
 // writers/readers) without touching counters, used between independent
 // phases in benchmarks. The shard maps and keyStates are recycled, not

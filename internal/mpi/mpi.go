@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"taskdep/internal/obs"
 	"taskdep/internal/trace"
 )
 
@@ -345,6 +346,7 @@ type Comm struct {
 
 	profile *trace.Profile
 	clock   func() float64
+	metrics *obs.Registry
 }
 
 // Rank returns the caller's rank.
@@ -367,6 +369,12 @@ func (c *Comm) SetProfile(p *trace.Profile, clock func() float64) {
 	}
 }
 
+// SetMetrics attaches a metrics registry: every posted send, receive
+// and collective bumps the taskdep_mpi_* counters (operation count and
+// payload bytes). Typically wired to the posting rank's runtime
+// registry (Runtime.Obs). Set before posting operations.
+func (c *Comm) SetMetrics(r *obs.Registry) { c.metrics = r }
+
 func (c *Comm) newRequest(kind trace.CommKind, bytes int) *Request {
 	r := &Request{
 		id:    c.world.reqID.Add(1),
@@ -377,6 +385,23 @@ func (c *Comm) newRequest(kind trace.CommKind, bytes int) *Request {
 	}
 	if c.profile != nil {
 		c.profile.CommPost(r.id, kind, bytes, c.clock())
+	}
+	if m := c.metrics; m != nil {
+		// MPI posts happen inside task bodies on arbitrary workers, and
+		// completion callbacks on engine goroutines: route through the
+		// registry's external (true atomic) shard. Collective payloads
+		// count as sent bytes.
+		switch kind {
+		case trace.Send:
+			m.Add(obs.CMPISends, 1)
+			m.Add(obs.CMPIBytesSent, int64(bytes))
+		case trace.Recv:
+			m.Add(obs.CMPIRecvs, 1)
+			m.Add(obs.CMPIBytesRecvd, int64(bytes))
+		case trace.Collective:
+			m.Add(obs.CMPICollectives, 1)
+			m.Add(obs.CMPIBytesSent, int64(bytes))
+		}
 	}
 	return r
 }

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry in the Chrome trace-event JSON format
+// (the "JSON Array Format" with a traceEvents wrapper), which Perfetto
+// and chrome://tracing both load. Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Meta            map[string]string `json:"metadata,omitempty"`
+}
+
+func chromeArgs(ev SpanEvent) map[string]any {
+	args := map[string]any{}
+	if ev.TaskID != 0 {
+		args["task"] = ev.TaskID
+	}
+	if ev.KeyHash != 0 {
+		args["keys"] = ev.KeyHash
+	}
+	if ev.Iter != 0 {
+		args["iter"] = ev.Iter
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+func spanCat(n SpanName) string {
+	switch n {
+	case SpanDiscoveryBatch, SpanReplayCopy:
+		return "discovery"
+	case SpanTaskwait, SpanClose:
+		return "sync"
+	case InstSkip, InstAbort:
+		return "fault"
+	}
+	return "exec"
+}
+
+// WriteChromeTrace writes events as Chrome trace-event JSON. Complete
+// spans become matched B/E pairs on (pid 1, tid = slot); instants
+// become thread-scoped "i" events. Events must be pre-sorted by start
+// time (DrainSpans/SnapshotSpans return them sorted); E events are
+// emitted immediately after their B, which Perfetto accepts because
+// nesting is reconstructed per-tid from timestamps.
+func WriteChromeTrace(w io.Writer, events []SpanEvent) error {
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, 2*len(events)),
+		DisplayTimeUnit: "ns",
+		Meta:            map[string]string{"source": "taskdep/internal/obs"},
+	}
+	for _, ev := range events {
+		base := chromeEvent{
+			Name: ev.Name.String(),
+			Cat:  spanCat(ev.Name),
+			Ts:   float64(ev.StartNs) / 1e3,
+			Pid:  1,
+			Tid:  ev.Slot,
+			Args: chromeArgs(ev),
+		}
+		if ev.Kind == 'i' {
+			base.Ph = "i"
+			base.S = "t"
+			out.TraceEvents = append(out.TraceEvents, base)
+			continue
+		}
+		b := base
+		b.Ph = "B"
+		e := chromeEvent{
+			Name: base.Name,
+			Cat:  base.Cat,
+			Ph:   "E",
+			Ts:   float64(ev.EndNs) / 1e3,
+			Pid:  1,
+			Tid:  ev.Slot,
+		}
+		out.TraceEvents = append(out.TraceEvents, b, e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func goldenEvents() []SpanEvent {
+	return []SpanEvent{
+		{Name: SpanDiscoveryBatch, Kind: 'X', Slot: 2, TaskID: 256, Iter: 0, StartNs: 1000, EndNs: 41000},
+		{Name: SpanTaskBody, Kind: 'X', Slot: 0, TaskID: 1, KeyHash: 0xabcdef, Iter: 0, StartNs: 45000, EndNs: 52000},
+		{Name: SpanTaskBody, Kind: 'X', Slot: 1, TaskID: 2, KeyHash: 0x123456, Iter: 0, StartNs: 46000, EndNs: 50000},
+		{Name: InstSkip, Kind: 'i', Slot: 1, TaskID: 3, Iter: 0, StartNs: 51000, EndNs: 51000},
+		{Name: SpanTaskwait, Kind: 'X', Slot: 2, TaskID: 0, Iter: 1, StartNs: 44000, EndNs: 60000},
+	}
+}
+
+// TestChromeGolden locks the Chrome trace-event export format: the
+// output must match the committed golden file byte-for-byte, parse as
+// valid JSON, and contain a matched E for every B per (pid, tid).
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/obs -update-golden` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome export diverged from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	validateChromeTrace(t, want)
+}
+
+// validateChromeTrace checks that data is a valid Chrome trace-event
+// JSON document with balanced, well-ordered B/E pairs on every thread
+// lane — the loadability contract Perfetto relies on.
+func validateChromeTrace(t *testing.T, data []byte) {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export has no events")
+	}
+	type lane struct{ pid, tid int }
+	type open struct {
+		name string
+		ts   float64
+	}
+	stacks := map[lane][]open{}
+	for i, ev := range doc.TraceEvents {
+		l := lane{ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "B":
+			stacks[l] = append(stacks[l], open{ev.Name, ev.Ts})
+		case "E":
+			st := stacks[l]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q on %v without open B", i, ev.Name, l)
+			}
+			top := st[len(st)-1]
+			if top.name != ev.Name {
+				t.Fatalf("event %d: E %q does not match open B %q", i, ev.Name, top.name)
+			}
+			if ev.Ts < top.ts {
+				t.Fatalf("event %d: E at %g before its B at %g", i, ev.Ts, top.ts)
+			}
+			stacks[l] = st[:len(st)-1]
+		case "i":
+			// instants carry no pairing
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, ev.Ph)
+		}
+	}
+	for l, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("lane %v has %d unclosed B events", l, len(st))
+		}
+	}
+}
+
+// TestChromeFromRegistry round-trips live registry events through the
+// exporter and the validator: what the runtime records is loadable.
+func TestChromeFromRegistry(t *testing.T) {
+	r := New(2, Options{Spans: true})
+	for i := 0; i < 5; i++ {
+		sp := r.BeginSpan(i%2, SpanTaskBody, int64(i), uint64(i), 0)
+		sp.End()
+	}
+	r.Instant(0, InstSkip, 9, 0, 0)
+	sp := r.BeginSpan(2, SpanTaskwait, 0, 0, 0)
+	sp.End()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.DrainSpans()); err != nil {
+		t.Fatal(err)
+	}
+	validateChromeTrace(t, buf.Bytes())
+}

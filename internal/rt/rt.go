@@ -11,6 +11,7 @@ import (
 
 	"taskdep/internal/fault"
 	"taskdep/internal/graph"
+	"taskdep/internal/obs"
 	"taskdep/internal/sched"
 	"taskdep/internal/trace"
 	"taskdep/internal/verify"
@@ -61,6 +62,12 @@ type Config struct {
 	// machinery for the failure domain, nil in production. Must not be
 	// shared between runtimes.
 	Inject *fault.Inject
+	// Obs configures the observability layer (internal/obs): the zero
+	// value keeps the sharded counters on (near-zero overhead), spans
+	// off, and no HTTP endpoint. Set Obs.Spans for span tracing +
+	// latency histograms, Obs.Addr to serve /metrics, /graphz, /spans
+	// and /debug/pprof/, and Obs.Disable to turn everything off.
+	Obs obs.Options
 }
 
 // Runtime executes dependent tasks discovered by a single producer.
@@ -69,6 +76,11 @@ type Runtime struct {
 	g     *graph.Graph
 	s     *sched.Scheduler
 	start time.Time
+
+	// obs is the metrics + span registry, always non-nil (Config.Obs
+	// selects its tiers); obsSrv is the optional introspection endpoint.
+	obs    *obs.Registry
+	obsSrv *obs.Server
 
 	wg       sync.WaitGroup
 	shutdown atomic.Bool
@@ -201,6 +213,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		throttleOn: cfg.ThrottleTotal > 0 || cfg.ThrottleReady > 0,
 		detachLive: make(map[*graph.Task]*Event),
 	}
+	// Registry slots mirror the scheduler's: workers 0..W-1 plus the
+	// producer-as-consumer at W (the external shard is implicit).
+	rt.obs = obs.New(cfg.Workers+1, cfg.Obs)
+	rt.s.SetObs(rt.obs)
+	cfg.Inject.SetMetrics(rt.obs)
+	rt.registerCollectors()
 	if cfg.Verify != verify.Off {
 		rt.ver = verify.NewRecorder(cfg.Opts)
 	}
@@ -216,11 +234,99 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		},
 	})
 	rt.relBufs = make([][]*graph.Task, cfg.Workers+1)
+	if cfg.Obs.Addr != "" {
+		srv, err := obs.Serve(cfg.Obs.Addr, rt.obs.Handler(func() any { return rt.Introspect() }))
+		if err != nil {
+			return nil, fmt.Errorf("rt: Obs.Addr %q: %w", cfg.Obs.Addr, err)
+		}
+		rt.obsSrv = srv
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		rt.wg.Add(1)
 		go rt.worker(w)
 	}
 	return rt, nil
+}
+
+// registerCollectors wires the callback-backed /metrics series: edge
+// counters read from the graph's own striped discovery stats, and the
+// live-state gauges. Collectors run at scrape time only, so the
+// discovery and execution hot paths pay nothing for them.
+func (rt *Runtime) registerCollectors() {
+	reg := rt.obs
+	reg.RegisterCounterFunc("taskdep_edges_created_total", func() int64 { return rt.g.Stats().EdgesCreated })
+	reg.RegisterCounterFunc("taskdep_edges_deduped_total", func() int64 { return rt.g.Stats().EdgesDuplicate })
+	reg.RegisterCounterFunc("taskdep_edges_redirected_total", func() int64 { return rt.g.Stats().RedirectNodes })
+	reg.RegisterCounterFunc("taskdep_edges_pruned_total", func() int64 { return rt.g.Stats().EdgesPruned })
+	reg.RegisterGauge("taskdep_graph_live_tasks", func() float64 { return float64(rt.g.Live()) })
+	reg.RegisterGauge("taskdep_graph_ready_tasks", func() float64 { return float64(rt.g.ReadyCount()) })
+	reg.RegisterGauge("taskdep_sched_pending_tasks", func() float64 { return float64(rt.s.Pending()) })
+	reg.RegisterGauge("taskdep_detached_tasks", func() float64 { return float64(rt.detached.Load()) })
+	reg.RegisterGauge("taskdep_failure_epoch", func() float64 { return float64(rt.g.FailEpoch()) })
+}
+
+// Obs returns the runtime's metrics registry (always non-nil; its
+// tiers reflect Config.Obs).
+func (rt *Runtime) Obs() *obs.Registry { return rt.obs }
+
+// ObsAddr returns the bound introspection-endpoint address, or "" when
+// Config.Obs.Addr was empty. Useful with "localhost:0".
+func (rt *Runtime) ObsAddr() string { return rt.obsSrv.Addr() }
+
+// Snapshot is the /graphz introspection payload: frontier, ready and
+// live state plus the failure-domain view, racy-but-monotone while
+// tasks run, exact at quiescent points.
+type Snapshot struct {
+	Workers         int         `json:"workers"`
+	Engine          string      `json:"engine"`
+	Policy          string      `json:"policy"`
+	Live            int64       `json:"live"`
+	Ready           int64       `json:"ready"`
+	Pending         int         `json:"pending"`
+	Detached        int64       `json:"detached"`
+	Iter            int32       `json:"iter"`
+	Aborted         bool        `json:"aborted"`
+	FailEpoch       uint64      `json:"fail_epoch"`
+	Failures        int         `json:"failures"`
+	FailuresDropped int         `json:"failures_dropped"`
+	Discovery       graph.Stats `json:"discovery"`
+}
+
+// Introspect captures the runtime's live state (the /graphz payload).
+// Safe from any goroutine.
+func (rt *Runtime) Introspect() Snapshot {
+	rt.failMu.Lock()
+	nFail, nDrop := len(rt.failures), rt.failDropped
+	rt.failMu.Unlock()
+	return Snapshot{
+		Workers:         rt.cfg.Workers,
+		Engine:          rt.cfg.Engine.String(),
+		Policy:          rt.cfg.Policy.String(),
+		Live:            rt.g.Live(),
+		Ready:           rt.g.ReadyCount(),
+		Pending:         rt.s.Pending(),
+		Detached:        rt.detached.Load(),
+		Iter:            rt.iter.Load(),
+		Aborted:         rt.aborted.Load(),
+		FailEpoch:       rt.g.FailEpoch(),
+		Failures:        nFail,
+		FailuresDropped: nDrop,
+		Discovery:       rt.g.Stats(),
+	}
+}
+
+// depHash is an FNV-1a fold of a task's declared dependence set, the
+// key-set fingerprint attached to span events.
+func depHash(t *graph.Task) uint64 {
+	deps, _ := t.DeclaredDeps()
+	h := uint64(14695981039346656037)
+	for _, d := range deps {
+		h ^= uint64(d.Key)
+		h *= 1099511628211
+		h ^= uint64(d.Type)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // now returns seconds since runtime start (profile clock).
@@ -343,6 +449,7 @@ func (rt *Runtime) wrapBody(spec *Spec) (func(fp any), func(fp any) error, *Even
 // finishSubmit handles the post-discovery bookkeeping shared by Submit
 // and SubmitBatch; returns the detach event for detached tasks.
 func (rt *Runtime) finishSubmit(t *graph.Task, ev *Event) *Event {
+	rt.obs.IncSlot(rt.producerID(), obs.CTasksSubmitted)
 	if p := rt.cfg.Profile; p != nil {
 		p.TaskCreated(rt.now())
 	}
@@ -385,7 +492,13 @@ func (rt *Runtime) Submit(spec Spec) *Event {
 	}
 	var t *graph.Task
 	if rt.replay {
+		var sp obs.Span
+		if rt.obs.Sampled(rt.producerID()) {
+			sp = rt.obs.BeginSpan(rt.producerID(), obs.SpanReplayCopy, 0, 0, int(rt.iter.Load()))
+		}
 		t = rt.g.Replay(spec.FirstPrivate, body, do, attach)
+		sp.End()
+		rt.obs.IncSlot(rt.producerID(), obs.CReplayHits)
 		if rt.ver != nil {
 			rt.ver.ReplayNext(spec.Label, deps)
 		}
@@ -459,6 +572,15 @@ type batchStage struct {
 // submitBatchChunk stages and submits specs[lo:hi] as one graph batch.
 func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*Event {
 	rt.throttle()
+	// Discovery-batch span: TaskID carries the chunk size (there is no
+	// single task), recorded unsampled — chunks are coarse. Recorded on
+	// the external (unowned) lane, not the producer's: the batch path
+	// supports concurrent producers, so the producer shard's
+	// single-writer contract does not hold here.
+	var sp obs.Span
+	if rt.obs.TimingOn() {
+		sp = rt.obs.BeginSpan(-1, obs.SpanDiscoveryBatch, int64(hi-lo), 0, int(rt.iter.Load()))
+	}
 	st, _ := rt.stagePool.Get().(*batchStage)
 	if st == nil {
 		st = &batchStage{}
@@ -489,6 +611,10 @@ func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*E
 		})
 	}
 	tasks := rt.g.SubmitBatch(descs, st.tasks[:0])
+	// One atomic add per chunk on the multi-writer external shard: the
+	// batch path supports concurrent producers, which the producer
+	// shard's owner-private pending counters cannot.
+	rt.obs.Add(obs.CTasksSubmitted, int64(len(tasks)))
 	p := rt.cfg.Profile
 	for i, t := range tasks {
 		if rt.ver != nil {
@@ -509,6 +635,7 @@ func (rt *Runtime) submitBatchChunk(specs []Spec, lo, hi int, evs []*Event) []*E
 	clear(tasks)
 	st.descs, st.deps, st.tasks = descs[:0], flat[:0], tasks[:0]
 	rt.stagePool.Put(st)
+	sp.End()
 	return evs
 }
 
@@ -550,6 +677,10 @@ func (rt *Runtime) throttle() {
 			return
 		}
 		if !rt.produceConsumeOne() {
+			// External (atomic) shard: throttle is reachable from
+			// concurrent SubmitBatch producers, and a stall is about to
+			// block anyway, so the atomic add is free.
+			rt.obs.Add(obs.CThrottleStalls, 1)
 			rt.producerIdle(func() bool { return !rt.overThrottle() })
 		}
 	}
@@ -612,11 +743,18 @@ func (rt *Runtime) producerIdle(done func() bool) {
 // runtime is reusable after an error.
 func (rt *Runtime) Taskwait() error {
 	rt.g.Flush()
+	if rt.obs.TimingOn() {
+		sp := rt.obs.BeginSpan(rt.producerID(), obs.SpanTaskwait, rt.g.Live(), 0, int(rt.iter.Load()))
+		defer sp.End()
+	}
 	for rt.g.Live() > 0 {
 		if !rt.produceConsumeOne() {
 			rt.producerIdle(func() bool { return rt.g.Live() == 0 })
 		}
 	}
+	// Quiescence point: publish the producer's pending counter deltas
+	// (workers publish theirs as they park; Close drains every slot).
+	rt.obs.FlushSlot(rt.producerID())
 	if rt.ver != nil && rt.cfg.Verify == verify.Full {
 		// Paranoid mode: audit the whole discovered graph at every
 		// synchronization point; the latest report is kept for
@@ -802,8 +940,15 @@ func (rt *Runtime) execute(w int, t *graph.Task) {
 		t0 = rt.now()
 		p.SetState(slot, trace.Work, t0)
 	}
+	// Task-body span, sampled (Obs.SpanSample) to amortize the two
+	// timestamps; the zero Span's End is a no-op on unsampled bodies.
+	var sp obs.Span
+	if !t.Redirect && rt.obs.Sampled(slot) {
+		sp = rt.obs.BeginSpan(slot, obs.SpanTaskBody, t.ID, depHash(t), int(rt.iter.Load()))
+	}
 	rt.g.Start(t)
 	err := rt.runBody(t)
+	sp.End()
 	if p != nil {
 		t1 := rt.now()
 		p.SetState(slot, trace.Overhead, t1)
@@ -860,6 +1005,7 @@ func (rt *Runtime) skip(w int, t *graph.Task) {
 	if p != nil {
 		p.SetState(slot, trace.Skip, rt.now())
 	}
+	rt.obs.Instant(w, obs.InstSkip, t.ID, 0, int(rt.iter.Load()))
 	if !t.Detached {
 		rt.finish(w, t, graph.Skipped)
 	} else if ev := rt.detachEvent(t); ev.fired.CompareAndSwap(false, true) {
@@ -878,6 +1024,7 @@ func (rt *Runtime) skip(w int, t *graph.Task) {
 // fail records t's failure and terminally completes it as Aborted,
 // poisoning the successor cone (see graph.AbortInto).
 func (rt *Runtime) fail(w int, t *graph.Task, cause error) {
+	rt.obs.Instant(w, obs.InstAbort, t.ID, 0, int(rt.iter.Load()))
 	rt.recordFailure(t, cause)
 	if t.Detached {
 		ev := rt.detachEvent(t)
@@ -912,14 +1059,27 @@ func (rt *Runtime) finish(w int, t *graph.Task, final graph.State) {
 	if slotted {
 		buf = rt.relBufs[w]
 	}
+	// Terminal-transition counters, on the finisher's shard (w == -1
+	// routes to the external shard). Redirect sentinels are graph
+	// machinery, not user tasks: uncounted, so at quiescent points
+	// submitted == executed + skipped + aborted.
 	var released []*graph.Task
 	switch final {
 	case graph.Aborted:
 		released = rt.g.AbortInto(t, buf)
+		if !t.Redirect {
+			rt.obs.IncSlot(w, obs.CTasksAborted)
+		}
 	case graph.Skipped:
 		released = rt.g.SkipInto(t, buf)
+		if !t.Redirect {
+			rt.obs.IncSlot(w, obs.CTasksSkipped)
+		}
 	default:
 		released = rt.g.CompleteInto(t, buf)
+		if !t.Redirect {
+			rt.obs.IncSlot(w, obs.CTasksExecuted)
+		}
 	}
 	if slotted {
 		rt.relBufs[w] = released
@@ -1179,6 +1339,7 @@ func (rt *Runtime) persistentFrozen(iters int, body func(iter int)) error {
 		}
 		rt.iter.Store(int32(it))
 		rt.g.ReplayAll()
+		rt.obs.AddSlot(rt.producerID(), obs.CReplayHits, int64(rt.g.RecordedLen()))
 		if err := rt.g.FinishReplay(); err != nil {
 			rt.g.EndPersistent()
 			return err
@@ -1251,12 +1412,22 @@ func (rt *Runtime) persistentAdaptive(iters int, body func(iter int), changed fu
 // the final implicit Taskwait returned. The runtime must not be used
 // afterwards.
 func (rt *Runtime) Close() error {
+	if rt.obs.TimingOn() {
+		sp := rt.obs.BeginSpan(rt.producerID(), obs.SpanClose, rt.g.Live(), 0, int(rt.iter.Load()))
+		defer sp.End()
+	}
 	err := rt.Taskwait()
 	rt.shutdown.Store(true)
 	rt.s.Kick()
 	rt.wg.Wait()
 	if p := rt.cfg.Profile; p != nil {
 		p.Finish(rt.now())
+	}
+	// Workers are joined: drain every slot's pending deltas so merged
+	// counter reads are exact from here on.
+	rt.obs.FlushAll()
+	if rt.obsSrv != nil {
+		_ = rt.obsSrv.Close()
 	}
 	return err
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"taskdep/internal/graph"
+	"taskdep/internal/obs"
 )
 
 // Policy selects the order in which ready tasks are executed.
@@ -247,6 +248,13 @@ type Scheduler struct {
 	// engines: it is the cross-thread entry point, touched only when a
 	// worker's own deque is empty.
 	global *Deque
+
+	// obs receives queue counters (pushes, pops, steals, steal
+	// failures, parks, wakes). Nil disables the hooks entirely; all
+	// Registry methods are nil-safe, so no guards are needed at the
+	// call sites. Slot indexing matches slot(): workers 0..N-1, the
+	// producer at N.
+	obs *obs.Registry
 }
 
 // New creates a lock-free scheduler for nWorkers workers.
@@ -283,6 +291,11 @@ func NewEngine(policy Policy, nWorkers int, engine Engine) *Scheduler {
 	}
 	return s
 }
+
+// SetObs attaches a metrics registry (or detaches with nil). Call
+// before workers start; the field is read without synchronization on
+// the hot path.
+func (s *Scheduler) SetObs(r *obs.Registry) { s.obs = r }
 
 // Policy returns the scheduling policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
@@ -347,6 +360,7 @@ func (s *Scheduler) ownDeque(worker int) bool {
 // story. Everything else enters the global FIFO and wakes at most one
 // parked slot.
 func (s *Scheduler) Push(worker int, t *graph.Task) {
+	s.obs.IncSlot(worker, obs.CDequePush)
 	if s.engine == EngineMutex {
 		if s.ownDeque(worker) {
 			s.mworkers[worker].PushTop(t)
@@ -378,6 +392,7 @@ func (s *Scheduler) PushBatch(worker int, ts []*graph.Task) {
 	if len(ts) == 0 {
 		return
 	}
+	s.obs.AddSlot(worker, obs.CDequePush, int64(len(ts)))
 	if s.engine == EngineMutex {
 		if s.ownDeque(worker) {
 			s.mworkers[worker].PushTopAll(ts)
@@ -417,24 +432,35 @@ func xorshift64(x uint64) uint64 {
 // non-own pop that leaves surplus work behind cascades one wake.
 func (s *Scheduler) Pop(worker int) *graph.Task {
 	if s.policy == BreadthFirst {
-		return s.global.PopBottom()
+		if t := s.global.PopBottom(); t != nil {
+			s.obs.IncSlot(worker, obs.CDequePop)
+			return t
+		}
+		return nil
 	}
 	if s.engine == EngineMutex {
 		return s.popMutex(worker)
 	}
 	if worker >= 0 && worker < len(s.ws) {
 		if t := s.ws[worker].deque.PopTop(); t != nil {
+			s.obs.IncSlot(worker, obs.CDequePop)
 			return t
 		}
 	}
 	if t := s.global.PopBottom(); t != nil {
+		s.obs.IncSlot(worker, obs.CDequePop)
 		s.cascade()
 		return t
 	}
 	if t := s.steal(worker); t != nil {
+		s.obs.IncSlot(worker, obs.CDequeSteal)
 		s.cascade()
 		return t
 	}
+	s.obs.IncSlot(worker, obs.CDequeStealFail)
+	// A pop miss means this slot is out of local work — a natural
+	// moment to publish its pending counter deltas.
+	s.obs.MaybeFlush(worker)
 	return nil
 }
 
@@ -488,24 +514,30 @@ func (s *Scheduler) cascade() {
 func (s *Scheduler) popMutex(worker int) *graph.Task {
 	if worker >= 0 && worker < len(s.mworkers) {
 		if t := s.mworkers[worker].PopTop(); t != nil {
+			s.obs.IncSlot(worker, obs.CDequePop)
 			return t
 		}
 	}
 	if t := s.global.PopBottom(); t != nil {
+		s.obs.IncSlot(worker, obs.CDequePop)
 		return t
 	}
 	n := len(s.mworkers)
 	if n == 0 {
 		return nil
 	}
-	if worker < 0 {
-		worker = 0
+	victim := worker
+	if victim < 0 {
+		victim = 0
 	}
 	for i := 1; i <= n; i++ {
-		if t := s.mworkers[(worker+i)%n].PopBottom(); t != nil {
+		if t := s.mworkers[(victim+i)%n].PopBottom(); t != nil {
+			s.obs.IncSlot(worker, obs.CDequeSteal)
 			return t
 		}
 	}
+	s.obs.IncSlot(worker, obs.CDequeStealFail)
+	s.obs.MaybeFlush(worker)
 	return nil
 }
 
@@ -559,6 +591,10 @@ func (s *Scheduler) unparkSelf(sl int) {
 // the caller's loop re-checks). Must follow PrePark.
 func (s *Scheduler) Park(worker int) {
 	sl := s.slot(worker)
+	s.obs.IncSlot(sl, obs.CParks)
+	// About to block: publish pending deltas so /metrics sees an idle
+	// slot's full history.
+	s.obs.FlushSlot(sl)
 	if s.engine == EngineMutex {
 		// The baseline's condition-variable wait: broadcast on every
 		// publication, re-checked against the PrePark snapshot.
@@ -579,6 +615,8 @@ func (s *Scheduler) Park(worker int) {
 // a token, false on timeout. The per-slot timer is reused across calls.
 func (s *Scheduler) ParkTimeout(worker int, d time.Duration) bool {
 	sl := s.slot(worker)
+	s.obs.IncSlot(sl, obs.CParks)
+	s.obs.FlushSlot(sl)
 	tm := s.timers[sl]
 	if tm == nil {
 		tm = time.NewTimer(d)
@@ -617,6 +655,9 @@ func (s *Scheduler) wakeSlot(sl int) bool {
 		case s.parks[sl] <- struct{}{}:
 		default:
 		}
+		// Wakers run in arbitrary goroutines, so this is an external
+		// (true atomic) add, off any worker's shard.
+		s.obs.Add(obs.CWakes, 1)
 		return true
 	}
 	return false

@@ -3,6 +3,8 @@ package trace
 import (
 	"encoding/json"
 	"io"
+
+	"taskdep/internal/obs"
 )
 
 // Export is the JSON-serializable snapshot of a profile, for external
@@ -41,4 +43,53 @@ func ReadExport(r io.Reader) (Export, error) {
 	var e Export
 	err := json.NewDecoder(r).Decode(&e)
 	return e, err
+}
+
+// WriteChrome writes span events as Chrome trace-event JSON (loadable
+// in Perfetto / chrome://tracing). Thin re-export of the obs encoder
+// so trace consumers need only this package.
+func WriteChrome(w io.Writer, events []obs.SpanEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// WriteChromeTasks converts profile task boxes (Profile.Tasks, the
+// Gantt input) to Chrome trace-event JSON: each box becomes a matched
+// B/E pair on its worker's tid. This keeps the existing Gantt/record
+// path exportable alongside the obs span rings — the same records
+// drive both the ASCII/SVG charts and a Perfetto timeline.
+func WriteChromeTasks(w io.Writer, tasks []TaskRecord) error {
+	evs := make([]obs.SpanEvent, 0, len(tasks))
+	for _, t := range tasks {
+		evs = append(evs, obs.SpanEvent{
+			Name:    obs.SpanTaskBody,
+			Kind:    'X',
+			Slot:    t.Worker,
+			TaskID:  t.TaskID,
+			Iter:    t.Iter,
+			StartNs: int64(t.Start * 1e9),
+			EndNs:   int64(t.End * 1e9),
+		})
+	}
+	return obs.WriteChromeTrace(w, evs)
+}
+
+// SpanTasks converts obs span events back into profile task boxes:
+// every complete task-body span becomes a TaskRecord (seconds clock),
+// so the Gantt renderers work on top of the new span stream too.
+func SpanTasks(events []obs.SpanEvent) []TaskRecord {
+	var out []TaskRecord
+	for _, ev := range events {
+		if ev.Name != obs.SpanTaskBody || ev.Kind != 'X' {
+			continue
+		}
+		out = append(out, TaskRecord{
+			TaskID: ev.TaskID,
+			Label:  ev.Name.String(),
+			Worker: ev.Slot,
+			Iter:   ev.Iter,
+			Start:  float64(ev.StartNs) / 1e9,
+			End:    float64(ev.EndNs) / 1e9,
+		})
+	}
+	return out
 }

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProducerSlotDoesNotAliasWorkerZero is the regression test for the
+// producer-as-consumer slot: worker index == nWorkers (the producer's
+// deque slot) must map to a valid clock and shard without panicking and
+// without folding its samples into worker 0's accumulators.
+func TestProducerSlotDoesNotAliasWorkerZero(t *testing.T) {
+	const nWorkers = 2
+	p := New(nWorkers, true)
+
+	// Producer slot and a plainly out-of-range slot: both must be safe.
+	for _, w := range []int{nWorkers, -1, nWorkers + 5} {
+		p.SetState(w, Work, 0)
+		p.SetState(w, Idle, 1)
+		p.TaskScheduled(TaskRecord{TaskID: int64(100 + w), Worker: w, Start: 0, End: 1})
+	}
+	p.SetState(0, Work, 0)
+	p.SetState(0, Idle, 0.25)
+	p.Finish(2)
+
+	// Worker 0 spent 0.25s working; the three spill-slot intervals (1s
+	// each) must land on the spill clock, not worker 0's.
+	if got := p.workers[0].accum[Work]; got != 0.25 {
+		t.Fatalf("worker 0 work = %g, want 0.25 (spill slots aliased into worker 0)", got)
+	}
+	if got := p.workers[nWorkers].accum[Work]; got != 3 {
+		t.Fatalf("spill clock work = %g, want 3", got)
+	}
+
+	// All three spill task boxes survive the merge with their original
+	// worker IDs intact.
+	tasks := p.Tasks()
+	byWorker := map[int]int{}
+	for _, r := range tasks {
+		byWorker[r.Worker]++
+	}
+	for _, w := range []int{nWorkers, -1, nWorkers + 5} {
+		if byWorker[w] != 1 {
+			t.Fatalf("spill slot %d has %d task records, want 1 (tasks: %+v)", w, byWorker[w], tasks)
+		}
+	}
+}
+
+// TestShardedTaskScheduledConcurrent drives TaskScheduled from every
+// worker slot, the producer slot, and an out-of-range slot concurrently
+// with Tasks() merges — the -race proof of the sharded recorder.
+func TestShardedTaskScheduledConcurrent(t *testing.T) {
+	const nWorkers = 4
+	const perSlot = 2000
+	p := New(nWorkers, true)
+	slots := []int{0, 1, 2, 3, nWorkers, -1}
+	var wg sync.WaitGroup
+	for _, w := range slots {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perSlot; i++ {
+				if w >= 0 && w < nWorkers {
+					// Clocks are owner-only; the two spill slots share
+					// one clock, so only addressable slots tick theirs.
+					p.SetState(w, Work, float64(i))
+				}
+				p.TaskScheduled(TaskRecord{TaskID: int64(i), Worker: w, Start: float64(i), End: float64(i) + 0.5})
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = p.Tasks()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	got := p.Tasks()
+	if want := len(slots) * perSlot; len(got) != want {
+		t.Fatalf("merged %d task records, want %d", len(got), want)
+	}
+	// Merge order contract: sorted by (Start, TaskID).
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.Start > b.Start || (a.Start == b.Start && a.TaskID > b.TaskID) {
+			t.Fatalf("Tasks() not sorted at %d: %+v before %+v", i, a, b)
+		}
+	}
+}

@@ -91,21 +91,43 @@ type workerClock struct {
 	started bool
 }
 
-// Profile accumulates executor events. Worker-state transitions must come
-// from the owning worker (or a single-threaded simulator); list appends
-// are internally locked.
-type Profile struct {
-	nWorkers int
-	workers  []workerClock
-
+// taskShard is one recording slot's task-box list. Each worker (and
+// the producer-as-consumer slot) appends to its own shard under its
+// own mutex, so enabling detail profiling no longer funnels every
+// completion through one global lock; readers merge on demand. The
+// pad keeps neighbouring shard mutexes off one cache line.
+type taskShard struct {
 	mu    sync.Mutex
 	tasks []TaskRecord
-	comms []CommRecord
-	open  map[int64]int // reqID -> index into comms
+	_     [64]byte
+}
+
+// Profile accumulates executor events. Worker-state transitions must come
+// from the owning worker (or a single-threaded simulator); task records
+// go to per-worker shards locked independently, and discovery/comm
+// records take their own (producer- respectively engine-side) locks —
+// nothing serializes the workers against each other.
+type Profile struct {
+	nWorkers int
+	// workers has nWorkers+1 clocks and shards has nWorkers+2 task
+	// shards: callers address slots 0..nWorkers-1 (rt additionally uses
+	// slot nWorkers for the producer-as-consumer when it was created
+	// with Workers+1 slots), and the trailing entry of each absorbs any
+	// out-of-range slot — producer-as-consumer IDs against a profile
+	// sized without the +1, or -1 contexts — instead of panicking or
+	// aliasing worker 0.
+	workers []workerClock
+	shards  []taskShard
 
 	detail bool // record per-task boxes
 
+	commMu sync.Mutex
+	comms  []CommRecord
+	open   map[int64]int // reqID -> index into comms
+
 	// discovery window (first to last task creation), per the paper.
+	// Producer-side state under its own lock.
+	discMu             sync.Mutex
 	createCount        int64
 	firstCreate        float64
 	lastCreate         float64
@@ -121,7 +143,8 @@ type Profile struct {
 func New(nWorkers int, detail bool) *Profile {
 	return &Profile{
 		nWorkers: nWorkers,
-		workers:  make([]workerClock, nWorkers),
+		workers:  make([]workerClock, nWorkers+1),
+		shards:   make([]taskShard, nWorkers+2),
 		open:     make(map[int64]int),
 		detail:   detail,
 	}
@@ -130,10 +153,28 @@ func New(nWorkers int, detail bool) *Profile {
 // NumWorkers returns the worker count the profile was built for.
 func (p *Profile) NumWorkers() int { return p.nWorkers }
 
+// clockFor maps a slot to its state clock; out-of-range slots share
+// the spill clock after the addressable ones.
+func (p *Profile) clockFor(w int) *workerClock {
+	if w >= 0 && w < p.nWorkers {
+		return &p.workers[w]
+	}
+	return &p.workers[p.nWorkers]
+}
+
+// shardFor maps a slot to its task shard; out-of-range slots share the
+// trailing spill shard (mutex-guarded, so concurrent spillers are safe).
+func (p *Profile) shardFor(w int) *taskShard {
+	if w >= 0 && w < len(p.shards)-1 {
+		return &p.shards[w]
+	}
+	return &p.shards[len(p.shards)-1]
+}
+
 // SetState transitions worker w to state at time now, accumulating the
-// duration spent in the previous state.
+// duration spent in the previous state. Owner-only per slot.
 func (p *Profile) SetState(w int, state WorkerState, now float64) {
-	wc := &p.workers[w]
+	wc := p.clockFor(w)
 	if wc.started {
 		d := now - wc.since
 		if d > 0 {
@@ -154,7 +195,7 @@ func (p *Profile) Finish(now float64) {
 
 // TaskCreated records a discovery event (task creation) at time now.
 func (p *Profile) TaskCreated(now float64) {
-	p.mu.Lock()
+	p.discMu.Lock()
 	if p.createCount == 0 {
 		p.firstCreate = now
 	}
@@ -164,49 +205,51 @@ func (p *Profile) TaskCreated(now float64) {
 		p.currentIterStart = now
 		p.currentIterStarted = true
 	}
-	p.mu.Unlock()
+	p.discMu.Unlock()
 }
 
 // IterationEnd marks the end of a discovery iteration at time now,
 // recording that iteration's discovery span (first creation in the
 // iteration to now is an overestimate; we use last creation).
 func (p *Profile) IterationEnd(now float64) {
-	p.mu.Lock()
+	p.discMu.Lock()
 	if p.currentIterStarted {
 		p.discoveryPerIter = append(p.discoveryPerIter, p.lastCreate-p.currentIterStart)
 		p.discoveryAccum += p.lastCreate - p.currentIterStart
 		p.currentIterStarted = false
 	}
 	p.iterMarks = append(p.iterMarks, now)
-	p.mu.Unlock()
+	p.discMu.Unlock()
 }
 
-// TaskScheduled records a task execution box.
+// TaskScheduled records a task execution box on the executing slot's
+// shard (rec.Worker), contending only with readers.
 func (p *Profile) TaskScheduled(rec TaskRecord) {
 	if !p.detail {
 		return
 	}
-	p.mu.Lock()
-	p.tasks = append(p.tasks, rec)
-	p.mu.Unlock()
+	sh := p.shardFor(rec.Worker)
+	sh.mu.Lock()
+	sh.tasks = append(sh.tasks, rec)
+	sh.mu.Unlock()
 }
 
 // CommPost records the posting of request reqID at time now.
 func (p *Profile) CommPost(reqID int64, kind CommKind, bytes int, now float64) {
-	p.mu.Lock()
+	p.commMu.Lock()
 	p.open[reqID] = len(p.comms)
 	p.comms = append(p.comms, CommRecord{ReqID: reqID, Kind: kind, Bytes: bytes, Post: now, Complete: -1})
-	p.mu.Unlock()
+	p.commMu.Unlock()
 }
 
 // CommComplete records successful completion (MPI_Test/Wait success).
 func (p *Profile) CommComplete(reqID int64, now float64) {
-	p.mu.Lock()
+	p.commMu.Lock()
 	if i, ok := p.open[reqID]; ok {
 		p.comms[i].Complete = now
 		delete(p.open, reqID)
 	}
-	p.mu.Unlock()
+	p.commMu.Unlock()
 }
 
 // Breakdown is the per-run summary in the units of the executor clock
@@ -242,7 +285,7 @@ func (p *Profile) Breakdown() Breakdown {
 		b.AvgOverhead = b.OverheadTime / float64(p.nWorkers)
 		b.AvgIdle = b.IdleTime / float64(p.nWorkers)
 	}
-	p.mu.Lock()
+	p.discMu.Lock()
 	if p.discoveryAccum > 0 {
 		b.Discovery = p.discoveryAccum
 	} else if p.createCount > 0 {
@@ -250,23 +293,33 @@ func (p *Profile) Breakdown() Breakdown {
 	}
 	b.DiscoveryIter = append([]float64(nil), p.discoveryPerIter...)
 	b.Tasks = p.createCount
-	p.mu.Unlock()
+	p.discMu.Unlock()
 	return b
 }
 
-// Tasks returns a copy of the recorded task boxes.
+// Tasks returns the recorded task boxes, merged across the per-worker
+// shards into a deterministic order (start time, then task ID).
 func (p *Profile) Tasks() []TaskRecord {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]TaskRecord, len(p.tasks))
-	copy(out, p.tasks)
+	var out []TaskRecord
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		out = append(out, sh.tasks...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].TaskID < out[j].TaskID
+	})
 	return out
 }
 
 // Comms returns a copy of the communication records.
 func (p *Profile) Comms() []CommRecord {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.commMu.Lock()
+	defer p.commMu.Unlock()
 	out := make([]CommRecord, len(p.comms))
 	copy(out, p.comms)
 	return out
@@ -289,10 +342,8 @@ type CommSummary struct {
 // requests and task boxes. Only completed Send and Collective requests
 // are considered, matching the paper's methodology.
 func (p *Profile) CommSummary() CommSummary {
-	p.mu.Lock()
-	comms := append([]CommRecord(nil), p.comms...)
-	tasks := append([]TaskRecord(nil), p.tasks...)
-	p.mu.Unlock()
+	comms := p.Comms()
+	tasks := p.Tasks()
 
 	// Build a prefix-sum of work time over merged task intervals so
 	// ov(r) = W(complete) - W(post) is O(log n) per request.

@@ -64,6 +64,7 @@ import (
 	"taskdep/internal/fault"
 	"taskdep/internal/graph"
 	"taskdep/internal/mpi"
+	"taskdep/internal/obs"
 	"taskdep/internal/rt"
 	"taskdep/internal/sched"
 	"taskdep/internal/trace"
@@ -308,3 +309,70 @@ const (
 // NewWorld creates an in-process world of n ranks. Use World.Run to
 // execute a function per rank.
 func NewWorld(n int) *World { return mpi.NewWorld(n) }
+
+// ObsOptions configures the always-on observability layer via
+// Config.Obs: the zero value keeps the sharded counters on, spans off
+// and no HTTP endpoint; set Spans for span tracing + latency
+// histograms, Addr to serve /metrics, /graphz, /spans and
+// /debug/pprof/, Disable to turn everything off. See internal/obs's
+// package documentation for the full metric list.
+type ObsOptions = obs.Options
+
+// ObsRegistry is a runtime's sharded metrics + span store, from
+// Runtime.Obs: merged counter reads, histogram snapshots, span drains
+// (Chrome trace JSON via WriteChromeTrace), Prometheus text via
+// WriteMetrics.
+type ObsRegistry = obs.Registry
+
+// SpanEvent is one decoded span or instant from the span rings.
+type SpanEvent = obs.SpanEvent
+
+// ObsCounter identifies a pre-registered counter for programmatic
+// merged reads (ObsRegistry.Counter); ObsHisto likewise for histogram
+// snapshots (ObsRegistry.Histogram). The Name methods return the
+// Prometheus series names served on /metrics.
+type (
+	ObsCounter = obs.Counter
+	ObsHisto   = obs.Histo
+)
+
+// Pre-registered counters and histograms (see internal/obs's package
+// documentation for meanings).
+const (
+	CTasksSubmitted = obs.CTasksSubmitted
+	CTasksExecuted  = obs.CTasksExecuted
+	CTasksSkipped   = obs.CTasksSkipped
+	CTasksAborted   = obs.CTasksAborted
+	CReplayHits     = obs.CReplayHits
+	CDequePush      = obs.CDequePush
+	CDequePop       = obs.CDequePop
+	CDequeSteal     = obs.CDequeSteal
+	CDequeStealFail = obs.CDequeStealFail
+	CParks          = obs.CParks
+	CWakes          = obs.CWakes
+	CThrottleStalls = obs.CThrottleStalls
+	CMPISends       = obs.CMPISends
+	CMPIRecvs       = obs.CMPIRecvs
+	CMPICollectives = obs.CMPICollectives
+	CMPIBytesSent   = obs.CMPIBytesSent
+	CMPIBytesRecvd  = obs.CMPIBytesRecvd
+	CFaultsInjected = obs.CFaultsInjected
+
+	HTaskBodyNs       = obs.HTaskBodyNs
+	HDiscoveryBatchNs = obs.HDiscoveryBatchNs
+	HReplayCopyNs     = obs.HReplayCopyNs
+	HTaskwaitNs       = obs.HTaskwaitNs
+)
+
+// WriteChromeTrace writes span events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []SpanEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// WriteChromeTasks converts profile task boxes (Profile.Tasks — the
+// Gantt input) to Chrome trace-event JSON, so detail profiles open in
+// Perfetto without enabling span tracing.
+func WriteChromeTasks(w io.Writer, tasks []TaskRecord) error {
+	return trace.WriteChromeTasks(w, tasks)
+}
