@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"go/parser"
 	"go/token"
@@ -9,15 +11,17 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"taskdep/internal/lint"
 )
 
-// TestFixtures lints testdata/ as one package and matches the findings
-// against `// want "rule"` markers: every finding needs a marker on its
-// line, every marker needs a finding.
+// TestFixtures lints the flat testdata/ package and matches the
+// findings against `// want "rule"` markers: every finding needs a
+// marker on its line, every marker needs a finding.
 func TestFixtures(t *testing.T) {
-	finds, err := lintDir("testdata")
+	finds, err := lint.LintDir("testdata", lint.Options{})
 	if err != nil {
-		t.Fatalf("lintDir: %v", err)
+		t.Fatalf("LintDir: %v", err)
 	}
 	wants := collectWants(t, "testdata")
 
@@ -43,7 +47,7 @@ func TestFixtures(t *testing.T) {
 
 var wantRe = regexp.MustCompile(`want "([^"]+)"`)
 
-// collectWants scans testdata files for `// want "..."` markers,
+// collectWants scans a fixture dir for `// want "..."` markers,
 // returning base-filename:line → expected substring.
 func collectWants(t *testing.T, dir string) map[string]string {
 	t.Helper()
@@ -64,8 +68,8 @@ func collectWants(t *testing.T, dir string) map[string]string {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if m := wantRe.FindStringSubmatch(c.Text); m != nil {
-					line := fset.Position(c.Pos()).Line
-					out[fmt.Sprintf("%s:%d", e.Name(), line)] = m[1]
+					pos := fset.Position(c.Pos())
+					out[fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)] = m[1]
 				}
 			}
 		}
@@ -73,38 +77,246 @@ func collectWants(t *testing.T, dir string) map[string]string {
 	return out
 }
 
-// TestRepoIsClean runs the linter over the repository itself — the tree
-// must stay warning-free (CI enforces the same via go run).
+// TestGoldenFixtures lints each dep-coverage fixture package and
+// compares the findings line-for-line against its expect.txt golden
+// file. Run with -update to regenerate the goldens.
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func TestGoldenFixtures(t *testing.T) {
+	dirs := []string{"undeclaredwrite", "undeclaredread", "staledep", "unusedignore"}
+	for _, d := range dirs {
+		d := d
+		t.Run(d, func(t *testing.T) {
+			dir := filepath.Join("testdata", d)
+			finds, err := lint.LintDir(dir, lint.Options{})
+			if err != nil {
+				t.Fatalf("LintDir: %v", err)
+			}
+			var buf strings.Builder
+			for _, f := range finds {
+				fmt.Fprintf(&buf, "%s:%d:%d: %s: %s\n",
+					filepath.Base(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+			}
+			golden := filepath.Join(dir, "expect.txt")
+			if update {
+				if err := os.WriteFile(golden, []byte(buf.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden: %v (set UPDATE_GOLDEN=1 to create)", err)
+			}
+			if buf.String() != string(want) {
+				t.Errorf("findings diverge from %s:\n--- got ---\n%s--- want ---\n%s", golden, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestSeedRemoval applies the documented one-line fix to each seeded
+// fixture in a temp dir and asserts the package then lints clean: the
+// finding tracks the defect, not the surrounding code.
+func TestSeedRemoval(t *testing.T) {
+	cases := []struct {
+		dir, file, needle, repl string
+	}{
+		{
+			"undeclaredwrite", "undeclaredwrite.go",
+			"In:    []taskdep.Key{key(0, i)},\n\t\tBody:",
+			"In:    []taskdep.Key{key(0, i)},\n\t\tOut:   []taskdep.Key{key(1, i)},\n\t\tBody:",
+		},
+		{
+			"undeclaredread", "undeclaredread.go",
+			"Label: \"gather\",\n\t\tOut:",
+			"Label: \"gather\",\n\t\tIn:    []taskdep.Key{key(2, j)},\n\t\tOut:",
+		},
+		{
+			"staledep", "staledep.go",
+			"InOut: []taskdep.Key{key(4, i), key(4, k)}, // seed: key(4, k) stale",
+			"InOut: []taskdep.Key{key(4, i)},",
+		},
+		{
+			"unusedignore", "unusedignore.go",
+			"\t// taskdeplint:ignore stale-dep,undeclared-read\n",
+			"",
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", c.dir, c.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := strings.Count(string(src), c.needle); n != 1 {
+				t.Fatalf("needle occurs %d times, want 1", n)
+			}
+			fixed := strings.Replace(string(src), c.needle, c.repl, 1)
+			tmp := t.TempDir()
+			if err := os.WriteFile(filepath.Join(tmp, c.file), []byte(fixed), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			finds, err := lint.LintDir(tmp, lint.Options{})
+			if err != nil {
+				t.Fatalf("LintDir: %v", err)
+			}
+			for _, f := range finds {
+				t.Errorf("fixed fixture still flagged: %s", f)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean self-lints the whole repository under the full rule
+// set. The expansion must cover the apps, examples, benchmark driver
+// and experiment sources, and every package must come back clean.
 func TestRepoIsClean(t *testing.T) {
-	dirs, err := expandPatterns([]string{"../../..."})
+	dirs, err := lint.ExpandPatterns([]string{"../../..."})
 	if err != nil {
-		t.Fatalf("expand: %v", err)
+		t.Fatalf("ExpandPatterns: %v", err)
 	}
 	if len(dirs) < 10 {
-		t.Fatalf("pattern expansion found only %d package dirs, expected the whole repo", len(dirs))
+		t.Fatalf("pattern expanded to only %d dirs: %v", len(dirs), dirs)
 	}
-	for _, dir := range dirs {
-		finds, err := lintDir(dir)
+	covered := map[string]bool{}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("ExpandPatterns descended into %s", d)
+		}
+		covered[filepath.ToSlash(d)] = true
+	}
+	for _, must := range []string{
+		"../../apps/cholesky", "../../apps/lulesh", "../../apps/hpcg",
+		"../../cmd/tdgbench", "../../examples/quickstart",
+	} {
+		if !covered[must] {
+			t.Errorf("expansion misses %s (got %v)", must, dirs)
+		}
+	}
+	hasExperiments := false
+	for d := range covered {
+		if strings.Contains(d, "experiments") {
+			hasExperiments = true
+		}
+	}
+	if !hasExperiments {
+		t.Error("expansion misses the experiments sources")
+	}
+	for _, d := range dirs {
+		finds, err := lint.LintDir(d, lint.Options{})
 		if err != nil {
-			t.Errorf("%s: %v", dir, err)
+			t.Errorf("LintDir(%s): %v", d, err)
 			continue
 		}
 		for _, f := range finds {
-			t.Errorf("repo finding: %s", f)
+			t.Errorf("repo not clean: %s", f)
 		}
 	}
 }
 
-// TestExpandPatternsSkipsTestdata: the walker must not descend into
-// testdata (fixtures intentionally contain findings).
-func TestExpandPatternsSkipsTestdata(t *testing.T) {
-	dirs, err := expandPatterns([]string{"./..."})
+// TestRuleSelection exercises -enable/-disable plumbing and rule-name
+// validation.
+func TestRuleSelection(t *testing.T) {
+	only, err := lint.LintDir("testdata", lint.Options{Enable: []string{lint.RuleLoopCapture}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range dirs {
-		if strings.Contains(d, "testdata") {
-			t.Errorf("testdata not skipped: %s", d)
+	if len(only) == 0 {
+		t.Fatal("enable=loop-capture found nothing")
+	}
+	for _, f := range only {
+		if f.Rule != lint.RuleLoopCapture {
+			t.Errorf("restricted run leaked rule %s", f.Rule)
 		}
+	}
+
+	all, err := lint.LintDir("testdata", lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := lint.LintDir("testdata", lint.Options{Disable: []string{lint.RuleLoopCapture}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(without) != len(all)-len(only) {
+		t.Errorf("disable=loop-capture: got %d findings, want %d", len(without), len(all)-len(only))
+	}
+
+	if _, err := lint.LintDir("testdata", lint.Options{Enable: []string{"no-such-rule"}}); err == nil {
+		t.Error("unknown rule name accepted")
+	}
+}
+
+// TestOutputFormats pins the JSON and SARIF encoders: valid JSON,
+// stable shape, never null.
+func TestOutputFormats(t *testing.T) {
+	finds, err := lint.LintDir("testdata", lint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finds) == 0 {
+		t.Fatal("fixtures produced no findings")
+	}
+
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty JSON output = %q, want []", buf.String())
+	}
+
+	buf.Reset()
+	if err := lint.WriteJSON(&buf, finds); err != nil {
+		t.Fatal(err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(arr) != len(finds) {
+		t.Errorf("JSON has %d entries, want %d", len(arr), len(finds))
+	}
+	for _, e := range arr {
+		for _, k := range []string{"file", "line", "rule", "message"} {
+			if _, ok := e[k]; !ok {
+				t.Errorf("JSON entry missing %q: %v", k, e)
+			}
+		}
+	}
+
+	buf.Reset()
+	if err := lint.WriteSARIF(&buf, finds); err != nil {
+		t.Fatal(err)
+	}
+	var sarif struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []map[string]any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &sarif); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if sarif.Version != "2.1.0" || len(sarif.Runs) != 1 {
+		t.Fatalf("SARIF shape: version=%q runs=%d", sarif.Version, len(sarif.Runs))
+	}
+	run := sarif.Runs[0]
+	if run.Tool.Driver.Name != "taskdeplint" {
+		t.Errorf("SARIF driver name %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(lint.Rules()) {
+		t.Errorf("SARIF advertises %d rules, registry has %d", len(run.Tool.Driver.Rules), len(lint.Rules()))
+	}
+	if len(run.Results) != len(finds) {
+		t.Errorf("SARIF has %d results, want %d", len(run.Results), len(finds))
 	}
 }

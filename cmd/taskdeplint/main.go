@@ -1,234 +1,116 @@
-// Command taskdeplint is a vet-style static checker for taskdep API
-// misuse. It flags, per package:
-//
-//   - loop-capture: a Spec Body closure capturing a variable the
-//     enclosing loop mutates (the task runs concurrently with later
-//     iterations);
-//   - use-after-close: Submit/Taskwait/Persistent on a runtime after
-//     Close() in the same function;
-//   - fulfill-nil-event: Event.Fulfill on the result of a Submit whose
-//     Spec is not Detached (Submit returns nil);
-//   - missing-out: a Spec whose Body writes package-level state but
-//     declares no Out/InOut/InOutSet keys;
-//   - dropped-error: a Spec Do closure that discards a call result
-//     while every return is `return nil` (the task can never fail);
-//   - span-no-end: a variable holding obs.BeginSpan's result that is
-//     never closed with End(), or leaks past an early return with no
-//     deferred End — the span would never reach the Perfetto export.
+// Command taskdeplint statically checks taskdep API usage: six
+// misuse rules plus the dep-coverage analysis that cross-checks each
+// Spec's declared In/Out/InOut/InOutSet keys against the effect set of
+// its body closure. The engine lives in internal/lint; this is the
+// driver.
 //
 // Usage:
 //
-//	go run ./cmd/taskdeplint [packages]
+//	taskdeplint [flags] [packages]
 //
-// Packages are directories or "dir/..." patterns (default "./...").
-// Findings print as path:line:col: rule: message; the exit status is 1
-// when anything is found. Suppress a finding with a comment containing
-// "taskdeplint:ignore" on the same line or the line above.
+//	taskdeplint ./...                     lint the tree, human output
+//	taskdeplint -json ./...               findings as a JSON array
+//	taskdeplint -sarif out.sarif ./...    also write a SARIF 2.1.0 log
+//	taskdeplint -disable stale-dep ./...  run without one rule
+//	taskdeplint -enable undeclared-write ./apps/...   run only one
+//	taskdeplint -list                     print the rule registry
 //
-// The linter is self-contained: files are parsed with go/parser and
-// type-checked best-effort with a stub importer, so it needs no module
-// resolution and no dependencies beyond the standard library.
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
-	"go/token"
-	"go/types"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
 	"strings"
+
+	"taskdep/internal/lint"
 )
 
 func main() {
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: taskdeplint [packages]\n\npackages are directories or dir/... patterns (default ./...)\n")
-		flag.PrintDefaults()
-	}
+	var (
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		sarifOut = flag.String("sarif", "", "also write a SARIF 2.1.0 log to this `file`")
+		enable   = flag.String("enable", "", "comma-separated rules to run (default: all)")
+		disable  = flag.String("disable", "", "comma-separated rules to skip")
+		list     = flag.Bool("list", false, "print the rule registry and exit")
+	)
 	flag.Parse()
+
+	if *list {
+		for _, r := range lint.Rules() {
+			fmt.Printf("%-18s %s\n", r.Name, r.Doc)
+		}
+		return
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	opts := lint.Options{Enable: splitList(*enable), Disable: splitList(*disable)}
 
-	dirs, err := expandPatterns(patterns)
+	dirs, err := lint.ExpandPatterns(patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "taskdeplint: %v\n", err)
+		fmt.Fprintln(os.Stderr, "taskdeplint:", err)
 		os.Exit(2)
 	}
 
-	total := 0
+	var finds []lint.Finding
 	for _, dir := range dirs {
-		finds, err := lintDir(dir)
+		fs, err := lint.LintDir(dir, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "taskdeplint: %s: %v\n", dir, err)
+			fmt.Fprintln(os.Stderr, "taskdeplint:", err)
 			os.Exit(2)
 		}
+		finds = append(finds, fs...)
+	}
+
+	if *sarifOut != "" {
+		f, err := os.Create(*sarifOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taskdeplint:", err)
+			os.Exit(2)
+		}
+		werr := lint.WriteSARIF(f, finds)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "taskdeplint:", werr)
+			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, finds); err != nil {
+			fmt.Fprintln(os.Stderr, "taskdeplint:", err)
+			os.Exit(2)
+		}
+	} else {
 		for _, f := range finds {
 			fmt.Println(f)
 		}
-		total += len(finds)
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "taskdeplint: %d issue(s)\n", total)
+
+	if len(finds) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "taskdeplint: %d finding(s)\n", len(finds))
+		}
 		os.Exit(1)
 	}
 }
 
-// expandPatterns resolves CLI arguments to a sorted list of directories
-// containing Go files. "dir/..." walks recursively, skipping testdata,
-// vendor, and hidden/underscore directories (the go tool's convention).
-func expandPatterns(patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var dirs []string
-	add := func(d string) {
-		if !seen[d] {
-			seen[d] = true
-			dirs = append(dirs, d)
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
 		}
 	}
-	for _, p := range patterns {
-		if rest, ok := strings.CutSuffix(p, "..."); ok {
-			root := filepath.Clean(rest)
-			if root == "" {
-				root = "."
-			}
-			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
-				if err != nil {
-					return err
-				}
-				if !d.IsDir() {
-					return nil
-				}
-				name := d.Name()
-				if path != root && (name == "testdata" || name == "vendor" ||
-					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-					return filepath.SkipDir
-				}
-				if ok, _ := hasGoFiles(path); ok {
-					add(path)
-				}
-				return nil
-			})
-			if err != nil {
-				return nil, err
-			}
-			continue
-		}
-		info, err := os.Stat(p)
-		if err != nil {
-			return nil, err
-		}
-		if !info.IsDir() {
-			return nil, fmt.Errorf("%s is not a directory", p)
-		}
-		add(filepath.Clean(p))
-	}
-	sort.Strings(dirs)
-	return dirs, nil
-}
-
-func hasGoFiles(dir string) (bool, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return false, err
-	}
-	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			return true, nil
-		}
-	}
-	return false, nil
-}
-
-// lintDir parses every .go file in dir, groups files by package clause
-// (a directory may hold both "foo" and "foo_test"), type-checks each
-// group best-effort, and lints it.
-func lintDir(dir string) ([]Finding, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	fset := token.NewFileSet()
-	groups := map[string][]*ast.File{}
-	var names []string
-	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		path := filepath.Join(dir, e.Name())
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			// A file that does not parse cannot be linted; surface the
-			// error rather than silently reporting the package clean.
-			return nil, err
-		}
-		if f.Name.Name == "" {
-			continue
-		}
-		name := f.Name.Name
-		if _, ok := groups[name]; !ok {
-			names = append(names, name)
-		}
-		groups[name] = append(groups[name], f)
-	}
-	sort.Strings(names)
-
-	var finds []Finding
-	for _, name := range names {
-		files := groups[name]
-		info := &types.Info{
-			Defs: map[*ast.Ident]types.Object{},
-			Uses: map[*ast.Ident]types.Object{},
-		}
-		conf := types.Config{
-			Importer:         stubImporter{fallback: importer.Default()},
-			Error:            func(error) {}, // best-effort: stub imports leave holes
-			FakeImportC:      true,
-			IgnoreFuncBodies: false,
-		}
-		pkg, _ := conf.Check(dir, fset, files, info) // error intentionally ignored
-		finds = append(finds, lintPackage(fset, files, info, pkg)...)
-	}
-	return finds, nil
-}
-
-// stubImporter satisfies imports without loading source: standard-
-// library packages come from the compiler's export data when available;
-// anything else becomes an empty placeholder package. The type checker
-// then reports unresolved selectors through conf.Error, which we drop —
-// the lint rules only need object identity within the linted package
-// plus import paths for qualifiers.
-type stubImporter struct {
-	fallback types.Importer
-}
-
-func (s stubImporter) Import(path string) (*types.Package, error) {
-	if s.fallback != nil && !strings.Contains(path, ".") && isStdlibish(path) {
-		if pkg, err := s.fallback.Import(path); err == nil {
-			return pkg, nil
-		}
-	}
-	name := path
-	if i := strings.LastIndexByte(name, '/'); i >= 0 {
-		name = name[i+1:]
-	}
-	pkg := types.NewPackage(path, name)
-	pkg.MarkComplete()
-	return pkg, nil
-}
-
-// isStdlibish guesses whether path is a standard-library import (no dot
-// in the first element, e.g. "go/types" yes, "github.com/x/y" no).
-func isStdlibish(path string) bool {
-	first := path
-	if i := strings.IndexByte(first, '/'); i >= 0 {
-		first = first[:i]
-	}
-	return !strings.Contains(first, ".")
+	return out
 }

@@ -1,14 +1,19 @@
 package fixtures
 
-import "taskdep"
+import (
+	"example.com/ext"
+
+	"taskdep"
+)
 
 var counter int
 var table [4]float64
 
 // Positive: the body mutates package-level counter with no declared
-// write dependence — nothing orders two of these tasks.
+// write dependence — nothing orders two of these tasks. The effect
+// analysis sees the write, so this is undeclared-write territory.
 func missingOutIncr(rt *taskdep.Runtime) {
-	rt.Submit(taskdep.Spec{ // want "missing-out"
+	rt.Submit(taskdep.Spec{ // want "undeclared-write"
 		Label: "incr",
 		Body:  func(any) { counter++ },
 	})
@@ -16,10 +21,20 @@ func missingOutIncr(rt *taskdep.Runtime) {
 
 // Positive: element writes to package-level state count too.
 func missingOutIndex(rt *taskdep.Runtime) {
-	rt.Submit(taskdep.Spec{ // want "missing-out"
+	rt.Submit(taskdep.Spec{ // want "undeclared-write"
 		Label: "fill",
 		In:    []taskdep.Key{1},
 		Body:  func(any) { table[0] = 1.0 },
+	})
+}
+
+// Positive: a write through another package's qualifier. The stub
+// importer cannot type it, the effect analysis gives up, and the
+// missing-out fallback carries the report.
+func missingOutCrossPackage(rt *taskdep.Runtime) {
+	rt.Submit(taskdep.Spec{ // want "missing-out"
+		Label: "cross",
+		Body:  func(any) { ext.Counter = 1 },
 	})
 }
 

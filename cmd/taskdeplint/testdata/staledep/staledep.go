@@ -1,0 +1,49 @@
+package staledep
+
+import "taskdep"
+
+func key(base, i int) taskdep.Key { return taskdep.Key(base<<8 | i) }
+
+// Seeded defect: the task declares an InOut on key(4, k) but only ever
+// touches row[i] — the k dep serializes against every task keyed on k
+// for nothing. Exactly one stale-dep at the Spec.
+func overDeclared(rt *taskdep.Runtime, row []float64, i, k int) {
+	rt.Submit(taskdep.Spec{
+		Label: "work",
+		InOut: []taskdep.Key{key(4, i), key(4, k)}, // seed: key(4, k) stale
+		Body:  func(any) { row[i] += 1 },
+	})
+}
+
+// Negative twin: only the key the body actually touches.
+func exactlyDeclared(rt *taskdep.Runtime, row []float64, i int) {
+	rt.Submit(taskdep.Spec{
+		Label: "work",
+		InOut: []taskdep.Key{key(4, i)},
+		Body:  func(any) { row[i] += 1 },
+	})
+}
+
+// Negative: scalar keys are ordering tokens, never reported stale.
+func scalarToken(rt *taskdep.Runtime, row []float64, i int) {
+	rt.Submit(taskdep.Spec{
+		Label: "ordered",
+		In:    []taskdep.Key{7},
+		InOut: []taskdep.Key{key(4, i)},
+		Body:  func(any) { row[i] += 1 },
+	})
+}
+
+// Negative: an opaque body (method call on captured state) may touch
+// anything — declared keys are trusted.
+type stage struct{ buf []float64 }
+
+func (s *stage) run(i int) {}
+
+func opaqueBody(rt *taskdep.Runtime, s *stage, i, k int) {
+	rt.Submit(taskdep.Spec{
+		Label: "opaque",
+		InOut: []taskdep.Key{key(4, i), key(4, k)},
+		Body:  func(any) { s.run(i) },
+	})
+}

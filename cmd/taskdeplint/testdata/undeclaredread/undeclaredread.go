@@ -1,0 +1,37 @@
+package undeclaredread
+
+import "taskdep"
+
+func key(base, i int) taskdep.Key { return taskdep.Key(base<<8 | i) }
+
+// Seeded defect: gather reads acc[j], which scatter declares it
+// writes, but gather carries no In/InOut key connecting them — the
+// read can observe the pre-scatter value. Exactly one undeclared-read
+// at the gather Spec.
+func scatterGather(rt *taskdep.Runtime, acc, tmp []float64, j int) {
+	rt.Submit(taskdep.Spec{
+		Label: "scatter",
+		Out:   []taskdep.Key{key(2, j)},
+		Body:  func(any) { acc[j] = 1 },
+	})
+	rt.Submit(taskdep.Spec{
+		Label: "gather",
+		Out:   []taskdep.Key{key(3, 0)},
+		Body:  func(any) { tmp[0] = acc[j] }, // seed: acc[j] read unconnected
+	})
+}
+
+// Negative twin: the connecting In key restores the ordering.
+func scatterGatherFixed(rt *taskdep.Runtime, acc, tmp []float64, j int) {
+	rt.Submit(taskdep.Spec{
+		Label: "scatter",
+		Out:   []taskdep.Key{key(2, j)},
+		Body:  func(any) { acc[j] = 1 },
+	})
+	rt.Submit(taskdep.Spec{
+		Label: "gather",
+		In:    []taskdep.Key{key(2, j)},
+		Out:   []taskdep.Key{key(3, 0)},
+		Body:  func(any) { tmp[0] = acc[j] },
+	})
+}

@@ -1,0 +1,37 @@
+package undeclaredwrite
+
+import "taskdep"
+
+func key(base, i int) taskdep.Key { return taskdep.Key(base<<8 | i) }
+
+// Seeded defect: produce writes out[i] but declares only its read of
+// in[i]; the sibling consumer synchronizes on out's key space, so the
+// write is a latent race. The golden file pins exactly one
+// undeclared-write at the produce Spec.
+func produceConsume(rt *taskdep.Runtime, in, out []float64, i int) {
+	rt.Submit(taskdep.Spec{
+		Label: "produce",
+		In:    []taskdep.Key{key(0, i)},
+		Body:  func(any) { out[i] = in[i] * 2 }, // seed: out[i] write undeclared
+	})
+	rt.Submit(taskdep.Spec{
+		Label: "consume",
+		In:    []taskdep.Key{key(1, i)},
+		Body:  func(any) { _ = out[i] },
+	})
+}
+
+// Negative twin: the same pipeline with the write declared.
+func produceConsumeFixed(rt *taskdep.Runtime, in, out []float64, i int) {
+	rt.Submit(taskdep.Spec{
+		Label: "produce",
+		In:    []taskdep.Key{key(0, i)},
+		Out:   []taskdep.Key{key(1, i)},
+		Body:  func(any) { out[i] = in[i] * 2 },
+	})
+	rt.Submit(taskdep.Spec{
+		Label: "consume",
+		In:    []taskdep.Key{key(1, i)},
+		Body:  func(any) { _ = out[i] },
+	})
+}

@@ -1,0 +1,38 @@
+package unusedignore
+
+import "taskdep"
+
+func key(base, i int) taskdep.Key { return taskdep.Key(base<<8 | i) }
+
+// Seeded defect: the scoped ignore names rules that do not fire here —
+// the comment is dead weight and gets reported. Exactly one
+// unused-ignore at the directive.
+func cleanButIgnored(rt *taskdep.Runtime, row []float64, i int) {
+	// taskdeplint:ignore stale-dep,undeclared-read
+	rt.Submit(taskdep.Spec{ // seed: nothing to suppress
+		Label: "ok",
+		InOut: []taskdep.Key{key(5, i)},
+		Body:  func(any) { row[i] += 1 },
+	})
+}
+
+// Negative: a scoped ignore that earns its keep — stale-dep fires on
+// the extra key and is suppressed, so the directive is used.
+func usedIgnore(rt *taskdep.Runtime, row []float64, i, k int) {
+	// taskdeplint:ignore stale-dep
+	rt.Submit(taskdep.Spec{
+		Label: "work",
+		InOut: []taskdep.Key{key(5, i), key(5, k)},
+		Body:  func(any) { row[i] += 1 },
+	})
+}
+
+// Negative: the bare form still suppresses everything.
+func bareIgnore(rt *taskdep.Runtime, row []float64, i, k int) {
+	// taskdeplint:ignore
+	rt.Submit(taskdep.Spec{
+		Label: "work",
+		InOut: []taskdep.Key{key(5, i), key(5, k)},
+		Body:  func(any) { row[i] += 1 },
+	})
+}

@@ -19,8 +19,10 @@ func main() {
 	const n = 8
 	data := make([]float64, n)
 
-	// Keys: one per array slot, plus one for the final reduction.
+	// Keys: one per array slot (separate namespaces for the raw and
+	// smoothed arrays), plus one for the final reduction.
 	slot := func(i int) taskdep.Key { return taskdep.Key(100 + i) }
+	smoothSlot := func(i int) taskdep.Key { return taskdep.Key(1000 + i) }
 	const sumKey taskdep.Key = 1
 
 	// Stage 1: produce each slot (independent tasks).
@@ -39,7 +41,7 @@ func main() {
 		rt.Submit(taskdep.Spec{
 			Label: fmt.Sprintf("smooth-%d", i),
 			In:    []taskdep.Key{slot(i - 1), slot(i), slot(i + 1)},
-			Out:   []taskdep.Key{slot(1000 + i)},
+			Out:   []taskdep.Key{smoothSlot(i)},
 			Body:  func(any) { smoothed[i] = (data[i-1] + data[i] + data[i+1]) / 3 },
 		})
 	}
@@ -51,7 +53,7 @@ func main() {
 		lo, hi := 1+c*(n-2)/4, 1+(c+1)*(n-2)/4
 		deps := []taskdep.Key{}
 		for i := lo; i < hi; i++ {
-			deps = append(deps, slot(1000+i))
+			deps = append(deps, smoothSlot(i))
 		}
 		rt.Submit(taskdep.Spec{
 			Label:    fmt.Sprintf("accumulate-%d", c),

@@ -1,0 +1,290 @@
+package lint
+
+// keys.go resolves a Spec literal's declared dependence keys into
+// symbolic (expression, index-tuple) form and defines the overlap
+// relation between a key and an effect-set access.
+//
+// App code builds keys through small helpers — `key(hPartAp, c)`,
+// `tileKey(i, k)`, `graph.Key(base + i)` — so a key's useful identity
+// for matching is the tuple of argument expressions, normalized to
+// source text. A body access like `m.Tile(i, k)` or `a[i][j]` carries
+// the same kind of tuple. The two sides are compared structurally: an
+// exact tuple match, or a contiguous prefix/suffix relation (a key
+// `key(base, i, j)` covers the access `a[i][j]`; a key `key(i)` covers
+// `a[i][j]` too — coarser granularity than the access is still
+// coverage). Empty-vs-nonempty never matches: a scalar key is an
+// ordering token, not evidence about indexed state.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// keySym is one declared key in symbolic form.
+type keySym struct {
+	expr string   // normalized source of the key expression
+	idx  []string // argument/index tuple, empty for scalar keys
+	wild bool     // unresolvable: treat as matching everything
+}
+
+// specKeys is the resolved declaration set of one Spec literal.
+type specKeys struct {
+	readers []keySym // In
+	writers []keySym // Out, InOut, InOutSet
+	wild    bool     // some part of the declaration is unresolvable
+}
+
+func (sk *specKeys) all() []keySym {
+	out := make([]keySym, 0, len(sk.readers)+len(sk.writers))
+	out = append(out, sk.readers...)
+	out = append(out, sk.writers...)
+	return out
+}
+
+// concrete reports whether the spec has at least one resolved key.
+func (sk *specKeys) concrete() bool {
+	for _, k := range sk.all() {
+		if !k.wild {
+			return true
+		}
+	}
+	return false
+}
+
+// renderExpr normalizes an expression to comparable source text.
+func renderExpr(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// resolveKeyList resolves one dependence field value (a single key
+// expression or a []graph.Key literal) into symbols. wildAll is set
+// when the field as a whole cannot be resolved.
+func (sc *scopeCtx) resolveKeyList(e ast.Expr, depth int) (syms []keySym, wildAll bool) {
+	if depth > 8 || e == nil {
+		return nil, true
+	}
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			s, w := sc.resolveKeyExpr(el, depth+1)
+			if w {
+				wildAll = true
+				continue
+			}
+			syms = append(syms, s)
+		}
+		return syms, wildAll
+	case *ast.CallExpr:
+		// append(base, more...) unions its arguments' resolutions.
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" && sc.l.objOf(id) == nil {
+			for _, a := range x.Args {
+				s, w := sc.resolveKeyList(a, depth+1)
+				syms = append(syms, s...)
+				wildAll = wildAll || w
+			}
+			return syms, wildAll
+		}
+		s, w := sc.resolveKeyExpr(e, depth+1)
+		if w {
+			return nil, true
+		}
+		return []keySym{s}, false
+	case *ast.Ident:
+		if v := sc.l.varOf(x); v != nil {
+			if ae, ok := sc.aliasOf(v); ok {
+				return sc.resolveKeyList(ae, depth+1)
+			}
+			return nil, true
+		}
+		s, w := sc.resolveKeyExpr(e, depth+1)
+		if w {
+			return nil, true
+		}
+		return []keySym{s}, false
+	default:
+		s, w := sc.resolveKeyExpr(e, depth+1)
+		if w {
+			return nil, true
+		}
+		return []keySym{s}, false
+	}
+}
+
+// resolveKeyExpr resolves a single key-valued expression.
+func (sc *scopeCtx) resolveKeyExpr(e ast.Expr, depth int) (keySym, bool) {
+	if depth > 8 || e == nil {
+		return keySym{wild: true}, true
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		// key(i, j), tileKey(k, k), graph.Key(expr): the callee name
+		// plus normalized argument tuple is the symbol. A zero-arg
+		// call is a scalar symbol.
+		idx := make([]string, 0, len(x.Args))
+		for _, a := range x.Args {
+			idx = append(idx, renderExpr(a))
+		}
+		return keySym{expr: renderExpr(x.Fun), idx: idx}, false
+	case *ast.BasicLit:
+		return keySym{expr: x.Value}, false
+	case *ast.Ident:
+		if v := sc.l.varOf(x); v != nil {
+			if ae, ok := sc.aliasOf(v); ok {
+				return sc.resolveKeyExpr(ae, depth+1)
+			}
+			// A captured variable with no alias: constants and
+			// package-level key names are stable scalar symbols;
+			// anything else is unknown.
+			if _, isConst := sc.l.objOf(x).(*types.Const); isConst {
+				return keySym{expr: x.Name}, false
+			}
+			return keySym{wild: true}, true
+		}
+		if _, isConst := sc.l.objOf(x).(*types.Const); isConst {
+			return keySym{expr: x.Name}, false
+		}
+		return keySym{wild: true}, true
+	case *ast.SelectorExpr:
+		if _, isConst := sc.l.objOf(x.Sel).(*types.Const); isConst {
+			return keySym{expr: renderExpr(x)}, false
+		}
+		return keySym{expr: renderExpr(x)}, false
+	case *ast.BinaryExpr:
+		// base + i style arithmetic: keep the operand expressions as
+		// the tuple so `base + i` can match an access indexed by i.
+		l, lw := sc.resolveKeyExpr(x.X, depth+1)
+		r, rw := sc.resolveKeyExpr(x.Y, depth+1)
+		if lw || rw {
+			return keySym{wild: true}, true
+		}
+		idx := append(append([]string{}, l.idx...), r.idx...)
+		if len(idx) == 0 {
+			idx = []string{renderExpr(x.X), renderExpr(x.Y)}
+		}
+		return keySym{expr: renderExpr(x), idx: idx}, false
+	case *ast.ParenExpr:
+		return sc.resolveKeyExpr(x.X, depth)
+	default:
+		return keySym{wild: true}, true
+	}
+}
+
+// resolveSpecKeys resolves all dependence fields of a Spec literal.
+func (sc *scopeCtx) resolveSpecKeys(lit *ast.CompositeLit) specKeys {
+	var sk specKeys
+	if sc.specFieldsMutated(lit) {
+		sk.wild = true
+		return sk
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		name, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		var dst *[]keySym
+		switch name.Name {
+		case "In":
+			dst = &sk.readers
+		case "Out", "InOut", "InOutSet":
+			dst = &sk.writers
+		default:
+			continue
+		}
+		syms, wild := sc.resolveKeyList(kv.Value, 0)
+		*dst = append(*dst, syms...)
+		if wild {
+			sk.wild = true
+			*dst = append(*dst, keySym{wild: true})
+		}
+	}
+	return sk
+}
+
+// tupleOverlap reports whether two non-empty index tuples denote
+// overlapping state: equal, or one a contiguous prefix or suffix of
+// the other (a coarser key still covers a finer access and vice
+// versa).
+func tupleOverlap(a, b []string) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	short, long := a, b
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	// prefix
+	pre := true
+	for i := range short {
+		if short[i] != long[i] {
+			pre = false
+			break
+		}
+	}
+	if pre {
+		return true
+	}
+	// suffix
+	off := len(long) - len(short)
+	for i := range short {
+		if short[i] != long[off+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// covers reports whether key k covers access a: a wild key covers
+// anything; otherwise both-scalar matches, and both-indexed matches by
+// tuple overlap. Scalar key vs indexed access (or the reverse) is not
+// coverage by tuple — but a scalar key whose symbol text mentions the
+// access's root path is treated as covering, so `Out: doneKey` with a
+// body writing `done = true` lines up when the key is derived from the
+// same name.
+func (k keySym) covers(a access) bool {
+	if k.wild {
+		return true
+	}
+	if len(k.idx) == 0 && len(a.idx) == 0 {
+		return true
+	}
+	if len(k.idx) > 0 && len(a.idx) > 0 {
+		return tupleOverlap(k.idx, a.idx)
+	}
+	return false
+}
+
+// anyCovers reports whether any key in the list covers the access.
+func anyCovers(keys []keySym, a access) bool {
+	for _, k := range keys {
+		if k.covers(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// concreteOverlap reports whether a concrete (non-wild) key in keys
+// has a non-empty tuple overlapping the access's tuple. Used for
+// sibling evidence: wild keys and scalar keys prove nothing about
+// indexed state.
+func concreteOverlap(keys []keySym, a access) bool {
+	if len(a.idx) == 0 {
+		return false
+	}
+	for _, k := range keys {
+		if k.wild || len(k.idx) == 0 {
+			continue
+		}
+		if tupleOverlap(k.idx, a.idx) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package lint
+
+// output.go renders findings as machine-readable JSON and SARIF 2.1.0
+// for CI integration. The JSON form is the tool's own schema (stable,
+// minimal); SARIF is the interchange format GitHub code scanning and
+// most viewers accept.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonFinding is the stable JSON shape of one finding.
+type jsonFinding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	Rule   string `json:"rule"`
+	Msg    string `json:"message"`
+}
+
+// WriteJSON renders findings as a JSON array (never null: an empty run
+// produces []).
+func WriteJSON(w io.Writer, finds []Finding) error {
+	out := make([]jsonFinding, 0, len(finds))
+	for _, f := range finds {
+		out = append(out, jsonFinding{
+			File:   f.Pos.Filename,
+			Line:   f.Pos.Line,
+			Column: f.Pos.Column,
+			Rule:   f.Rule,
+			Msg:    f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// --- SARIF 2.1.0 (minimal subset) ---
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a single-run SARIF 2.1.0 log with the
+// full rule registry attached as driver metadata.
+func WriteSARIF(w io.Writer, finds []Finding) error {
+	drv := sarifDriver{Name: "taskdeplint"}
+	for _, r := range Rules() {
+		drv.Rules = append(drv.Rules, sarifRule{
+			ID:               r.Name,
+			ShortDescription: sarifMessage{Text: r.Doc},
+		})
+	}
+	run := sarifRun{Tool: sarifTool{Driver: drv}, Results: []sarifResult{}}
+	for _, f := range finds {
+		run.Results = append(run.Results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: f.Pos.Filename},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: f.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

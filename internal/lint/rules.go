@@ -1,157 +1,24 @@
-package main
+package lint
 
-// lint.go implements the six taskdep API-misuse rules over go/ast +
-// go/types. Type information is best-effort: imports resolve through a
-// stub importer (no module loading, no new dependencies), which is
-// enough for the rules here — they need object identity and scope for
-// identifiers of the linted package, not cross-package signatures.
-//
-// Rules:
-//
-//	loop-capture     a Spec Body/DetachedBody closure captures a
-//	                 variable that the enclosing loop mutates (declared
-//	                 outside the loop, assigned inside it) — the body
-//	                 runs concurrently with later iterations;
-//	uses-after-close Submit/Taskwait/Persistent on a runtime after
-//	                 Close() in the same function;
-//	fulfill-nil-event calling Fulfill on the result of a Submit whose
-//	                 Spec is not Detached (Submit returns nil);
-//	missing-out      a Spec whose Body/Do writes package-level state but
-//	                 declares no Out/InOut/InOutSet keys;
-//	dropped-error    a Spec Do closure that blank-discards a call result
-//	                 while every return statement is `return nil` — the
-//	                 task can never fail, defeating the point of the
-//	                 error-returning form;
-//	span-no-end      a variable assigned from a BeginSpan call that is
-//	                 never closed with End(), or that leaks past an
-//	                 early return with no deferred End — the span never
-//	                 reaches the trace export, and a later B event on
-//	                 the same lane pairs with the wrong E.
-//
-// A finding is suppressed by a comment containing "taskdeplint:ignore"
-// on the same line or the line above.
+// rules.go implements the six original taskdep API-misuse rules over
+// go/ast + go/types. Type information is best-effort: imports resolve
+// through a stub importer (no module loading, no new dependencies),
+// which is enough for the rules here — they need object identity and
+// scope for identifiers of the linted package, not cross-package
+// signatures. The dep-coverage dataflow rules live in depcoverage.go.
 
 import (
-	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 )
 
-// Finding is one reported misuse.
-type Finding struct {
-	Pos  token.Position
-	Rule string
-	Msg  string
-}
-
-func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
-}
-
-const (
-	ruleLoopCapture   = "loop-capture"
-	ruleUseAfterClose = "use-after-close"
-	ruleFulfillNil    = "fulfill-nil-event"
-	ruleMissingOut    = "missing-out"
-	ruleDroppedError  = "dropped-error"
-	ruleSpanNoEnd     = "span-no-end"
-)
-
-// taskdepPaths are the import paths whose New() produces a runtime the
-// use-after-close rule tracks.
+// isTaskdepPath reports whether path imports the taskdep module root
+// (whose New() produces a runtime the use-after-close rule tracks).
 func isTaskdepPath(path string) bool {
 	return path == "taskdep" || path == "taskdep/internal/rt" ||
 		strings.HasSuffix(path, "/taskdep")
-}
-
-type pkgLint struct {
-	fset  *token.FileSet
-	info  *types.Info
-	pkg   *types.Package
-	finds []Finding
-}
-
-// lintPackage analyzes one type-checked package (possibly with ignored
-// type errors) and returns its findings sorted by position.
-func lintPackage(fset *token.FileSet, files []*ast.File, info *types.Info, pkg *types.Package) []Finding {
-	l := &pkgLint{fset: fset, info: info, pkg: pkg}
-	for _, f := range files {
-		l.lintFile(f)
-	}
-	sort.Slice(l.finds, func(i, j int) bool {
-		a, b := l.finds[i].Pos, l.finds[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
-	return l.finds
-}
-
-func (l *pkgLint) lintFile(f *ast.File) {
-	ignore := ignoredLines(l.fset, f)
-	before := len(l.finds)
-
-	// Spec-literal rules, with the enclosing-node stack for loop context.
-	var stack []ast.Node
-	ast.Inspect(f, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		if lit, ok := n.(*ast.CompositeLit); ok && isSpecLit(lit) {
-			l.checkLoopCapture(lit, stack)
-			l.checkMissingOut(lit)
-			l.checkDroppedError(lit)
-		}
-		stack = append(stack, n)
-		return true
-	})
-
-	// Sequential rules, one context per function body.
-	for _, decl := range f.Decls {
-		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-			l.seqLint(fd.Body, map[types.Object]bool{})
-			l.checkSpanNoEnd(fd.Body)
-		}
-	}
-
-	// Suppression.
-	kept := l.finds[:before]
-	for _, fd := range l.finds[before:] {
-		if ignore[fd.Pos.Line] || ignore[fd.Pos.Line-1] {
-			continue
-		}
-		kept = append(kept, fd)
-	}
-	l.finds = kept
-}
-
-// ignoredLines returns the lines carrying a "taskdeplint:ignore" comment.
-func ignoredLines(fset *token.FileSet, f *ast.File) map[int]bool {
-	out := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, "taskdeplint:ignore") {
-				out[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return out
-}
-
-func (l *pkgLint) report(pos token.Pos, rule, format string, args ...any) {
-	l.finds = append(l.finds, Finding{
-		Pos:  l.fset.Position(pos),
-		Rule: rule,
-		Msg:  fmt.Sprintf(format, args...),
-	})
 }
 
 // --- Spec literal helpers ---
@@ -216,6 +83,9 @@ func (l *pkgLint) varOf(id *ast.Ident) *types.Var {
 // variable declared OUTSIDE the loop and assigned inside it: the task
 // body runs concurrently with later iterations overwriting it.
 func (l *pkgLint) checkLoopCapture(lit *ast.CompositeLit, stack []ast.Node) {
+	if !l.on(RuleLoopCapture) {
+		return
+	}
 	fields := specFields(lit)
 	for _, name := range []string{"Body", "Do", "DetachedBody"} {
 		fn, ok := fields[name].(*ast.FuncLit)
@@ -234,7 +104,7 @@ func (l *pkgLint) checkLoopCapture(lit *ast.CompositeLit, stack []ast.Node) {
 					continue // declared inside the loop: per-iteration since Go 1.22
 				}
 				if l.mutatedIn(loop, obj, fn) {
-					l.report(lit.Pos(), ruleLoopCapture,
+					l.report(lit.Pos(), RuleLoopCapture,
 						"task %s captures %q, which the enclosing loop mutates; the body runs concurrently with later iterations (copy it into a loop-local first)",
 						name, obj.Name())
 					break
@@ -310,7 +180,19 @@ func (l *pkgLint) mutatedIn(loop ast.Node, obj *types.Var, exclude *ast.FuncLit)
 // checkMissingOut flags a Spec whose Body writes package-level state
 // while declaring no writer dependence: two such tasks (or the task and
 // any reader) race with nothing ordering them.
+//
+// The rule is demoted to a fallback: when dep-coverage analyzed the
+// same literal with adequate type information, its undeclared-write
+// check subsumes this one (with symbolic index precision), so
+// missing-out only fires for literals the effect analysis had to give
+// up on.
 func (l *pkgLint) checkMissingOut(lit *ast.CompositeLit) {
+	if !l.on(RuleMissingOut) {
+		return
+	}
+	if l.analyzed[lit] && l.on(RuleUndeclaredWrite) {
+		return
+	}
 	fields := specFields(lit)
 	fn, ok := fields["Body"].(*ast.FuncLit)
 	if !ok {
@@ -348,7 +230,7 @@ func (l *pkgLint) checkMissingOut(lit *ast.CompositeLit) {
 			flagged = map[string]bool{}
 		}
 		flagged[name] = true
-		l.report(lit.Pos(), ruleMissingOut,
+		l.report(lit.Pos(), RuleMissingOut,
 			"task body writes package-level %s but the Spec declares no Out/InOut/InOutSet keys — nothing orders this write against other tasks", name)
 	}
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -376,6 +258,9 @@ func (l *pkgLint) checkMissingOut(lit *ast.CompositeLit) {
 // return the discarded error (so a failure poisons the task's cone) —
 // or to use Body, the zero-overhead form for work that cannot fail.
 func (l *pkgLint) checkDroppedError(lit *ast.CompositeLit) {
+	if !l.on(RuleDroppedError) {
+		return
+	}
 	fn, ok := specFields(lit)["Do"].(*ast.FuncLit)
 	if !ok {
 		return
@@ -414,7 +299,7 @@ func (l *pkgLint) checkDroppedError(lit *ast.CompositeLit) {
 		return true
 	})
 	if alwaysNil && discards > 0 {
-		l.report(lit.Pos(), ruleDroppedError,
+		l.report(lit.Pos(), RuleDroppedError,
 			"Do body blank-discards a call result but every return is nil — the task can never fail; return the error so the failure poisons the cone, or use Body for work that cannot fail")
 	}
 }
@@ -448,6 +333,9 @@ func rootIdent(e ast.Expr) *ast.Ident {
 // closures get their own close/event context (they execute at a
 // different time) but share the runtime set.
 func (l *pkgLint) seqLint(body *ast.BlockStmt, runtimes map[types.Object]bool) {
+	if !l.on(RuleUseAfterClose) && !l.on(RuleFulfillNil) {
+		return
+	}
 	closed := map[types.Object]token.Pos{}
 	nilEv := map[types.Object]token.Pos{}
 
@@ -499,14 +387,14 @@ func (l *pkgLint) seqLint(body *ast.BlockStmt, runtimes map[types.Object]bool) {
 			// Chained rt.Submit(Spec{...}).Fulfill().
 			if sel.Sel.Name == "Fulfill" {
 				if inner, ok := sel.X.(*ast.CallExpr); ok && l.isNonDetachedSubmit(inner) {
-					l.report(s.Pos(), ruleFulfillNil,
+					l.report(s.Pos(), RuleFulfillNil,
 						"Fulfill on the result of a non-detached Submit — Submit returns a nil *Event unless the Spec sets Detached: true")
 					return true
 				}
 				if id, ok := sel.X.(*ast.Ident); ok {
 					if obj := l.objOf(id); obj != nil {
 						if _, bad := nilEv[obj]; bad {
-							l.report(s.Pos(), ruleFulfillNil,
+							l.report(s.Pos(), RuleFulfillNil,
 								"Fulfill on %q, which holds the nil *Event of a non-detached Submit (set Detached: true in the Spec)", id.Name)
 						}
 					}
@@ -529,7 +417,7 @@ func (l *pkgLint) seqLint(body *ast.BlockStmt, runtimes map[types.Object]bool) {
 			case "Submit", "SubmitBatch", "TaskLoop", "Taskwait", "Abort",
 				"Persistent", "PersistentFrozen", "PersistentAdaptive":
 				if pos, bad := closed[obj]; bad {
-					l.report(s.Pos(), ruleUseAfterClose,
+					l.report(s.Pos(), RuleUseAfterClose,
 						"%s on %q after its Close at %s — the workers are gone; move the Close after the last use (or defer it)",
 						sel.Sel.Name, id.Name, l.fset.Position(pos))
 				}
@@ -558,6 +446,9 @@ type spanState struct {
 // unconditional End closes the sampled case. Nested closures get their
 // own context — they execute at a different time.
 func (l *pkgLint) checkSpanNoEnd(body *ast.BlockStmt) {
+	if !l.on(RuleSpanNoEnd) {
+		return
+	}
 	spans := map[types.Object]*spanState{}
 
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -595,7 +486,7 @@ func (l *pkgLint) checkSpanNoEnd(body *ast.BlockStmt) {
 				isBegin = isBegin && isBeginSpanCall(call)
 				if st := spans[obj]; st != nil && !st.ended && !st.deferred {
 					// Overwritten while open: the old span is lost.
-					l.report(st.begin, ruleSpanNoEnd,
+					l.report(st.begin, RuleSpanNoEnd,
 						"span %q is reassigned before End() — the open span never reaches the trace", id.Name)
 					delete(spans, obj)
 				}
@@ -628,10 +519,10 @@ func (l *pkgLint) checkSpanNoEnd(body *ast.BlockStmt) {
 		switch {
 		case st.deferred:
 		case !st.ended:
-			l.report(st.begin, ruleSpanNoEnd,
+			l.report(st.begin, RuleSpanNoEnd,
 				"BeginSpan result is never End()ed — the span never reaches the trace export (call End, or defer it)")
 		case st.hasLeak:
-			l.report(st.leakyRet, ruleSpanNoEnd,
+			l.report(st.leakyRet, RuleSpanNoEnd,
 				"return between BeginSpan and End() — the span leaks on this path (defer sp.End() instead)")
 		}
 	}
