@@ -33,6 +33,13 @@
 // fresh disabled-hook cost (<= 2 ns/task) and the committed enabled
 // overhead (<= 10% on the optimized engine) against BENCH_obs.json.
 //
+// -exp replay measures persistent-region replay: tiled-Cholesky and
+// LULESH-like iteration loops with empty bodies under adaptive,
+// frozen-generic (compiler disabled) and frozen-compiled replay,
+// reporting steady-state ns/task and allocations per iteration. -check
+// gates the committed compiled-vs-adaptive speedup (>= 5x) and the
+// fresh compiled allocation count (0/task) against BENCH_replay.json.
+//
 // -exp faults drives the failure-domain subsystem: a synthetic
 // poison-cone graph plus LULESH/HPCG/Cholesky under deterministic
 // fault injection on both engines, checking that the failed task is
@@ -232,9 +239,55 @@ func runObs(smoke bool, jsonPath, checkPath string) int {
 	return 0
 }
 
+// runReplay executes the persistent-replay mode; returns the process
+// exit code. The -check gate holds the committed compiled-vs-adaptive
+// speedup at >= 5x and the fresh compiled path at 0 allocs/task.
+func runReplay(smoke bool, jsonPath, checkPath string) int {
+	p := experiments.DefaultReplayParams()
+	if smoke {
+		p = experiments.SmokeReplayParams()
+	}
+	res, err := experiments.RunReplay(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "replay benchmark FAILED: %v\n", err)
+		return 1
+	}
+	experiments.PrintReplay(os.Stdout, &res)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		committed, err := experiments.ReadReplayJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", checkPath, err)
+			return 1
+		}
+		if err := experiments.CheckReplay(&res, committed, 5.0, 0.01); err != nil {
+			fmt.Fprintf(os.Stderr, "replay check FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("replay check OK (committed compiled >= 5x adaptive, fresh compiled 0 allocs/task vs %s)\n", checkPath)
+	}
+	return 0
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs | replay")
 		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
 		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
 		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
@@ -260,6 +313,8 @@ func main() {
 		os.Exit(runFaults(*smoke, *jsonOut, *check))
 	case "obs":
 		os.Exit(runObs(*smoke, *jsonOut, *check))
+	case "replay":
+		os.Exit(runReplay(*smoke, *jsonOut, *check))
 	case "table1":
 		res := experiments.RunTable1(c, *tpl, *fine)
 		res.Print(os.Stdout)

@@ -75,6 +75,39 @@ func ExampleRuntime_Persistent() {
 	// Output: x = 8 after 3 iterations, body ran 1 time
 }
 
+// Adaptive re-records the graph only when the application signals a
+// shape change; unchanged iterations replay the recorded structure
+// with the body re-run (so firstprivate data can evolve). Here the
+// task count changes at iteration 2 and only that iteration pays
+// re-recording.
+func ExampleRuntime_Persistent_adaptive() {
+	r := taskdep.New(taskdep.Config{Workers: 2})
+	defer r.Close()
+	var executed atomic.Int64
+	tasksFor := func(iter int) int {
+		if iter >= 2 {
+			return 3 // "mesh refined": shape changes once
+		}
+		return 2
+	}
+	err := r.Persistent(4, func(iter int) {
+		for c := 0; c < tasksFor(iter); c++ {
+			r.Submit(taskdep.Spec{
+				Label: "cell", InOut: []taskdep.Key{taskdep.Key(c)},
+				Body: func(any) { executed.Add(1) },
+			})
+		}
+	}, taskdep.Adaptive(func(iter int) bool {
+		return tasksFor(iter) != tasksFor(iter-1)
+	}))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("tasks executed:", executed.Load())
+	// Output: tasks executed: 10
+}
+
 // Abort cancels the window cooperatively: pending tasks are skipped,
 // the graph drains, and the next Taskwait returns the cause.
 func ExampleRuntime_Abort() {

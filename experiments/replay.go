@@ -1,0 +1,479 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"taskdep/internal/graph"
+	"taskdep/internal/obs"
+	"taskdep/internal/rt"
+)
+
+// Persistent-replay benchmark for the frozen-graph compiler. It runs
+// the two iteration-loop shapes the paper's optimization (p) targets —
+// a tiled Cholesky factorization sweep and a LULESH-like staged stencil
+// with an inoutset timestep reduction — with empty task bodies, so the
+// measured time is pure runtime machinery, and compares three replay
+// strategies:
+//
+//	adaptive        — Adaptive(never-changed): the body re-runs every
+//	                  iteration and each Submit degenerates to the
+//	                  recorded task's firstprivate update
+//	frozen-generic  — Frozen() with NoCompiledReplay: captured-closure
+//	                  replay through per-task sentinel releases
+//	frozen-compiled — Frozen(): the compiled flat schedule (CSR
+//	                  successors, one-copy predecessor reset)
+//
+// Replay cost is isolated by differencing two region lengths: the wall
+// time of Persistent(WarmIters) — which contains the recording and the
+// pool/deque warm-up — is subtracted from Persistent(Iters), leaving
+// (Iters-WarmIters) steady-state replay iterations. Allocations are
+// differenced the same way from runtime.MemStats.Mallocs, which is how
+// the committed "0 allocs/task in steady-state replay" claim is gated.
+
+// ReplaySchemaVersion identifies the BENCH_replay.json layout; bump on
+// incompatible changes so stale baselines fail loudly.
+const ReplaySchemaVersion = 1
+
+// ReplayParams sizes the two workloads and the measurement.
+type ReplayParams struct {
+	// CholTiles is the Cholesky tile count T: one iteration submits the
+	// full right-looking sweep (T potrf + T(T-1)/2 trsm + T(T-1)/2 syrk
+	// + C(T,3) gemm tasks).
+	CholTiles int `json:"chol_tiles"`
+	// LuleshChunks/LuleshStages size the staged stencil: per iteration,
+	// Stages x Chunks neighbor-dependent chunk tasks, then a Chunks-wide
+	// inoutset dt reduction and one dt apply.
+	LuleshChunks int `json:"lulesh_chunks"`
+	LuleshStages int `json:"lulesh_stages"`
+	// WarmIters/Iters are the two differenced region lengths.
+	WarmIters int `json:"warm_iters"`
+	Iters     int `json:"iters"`
+	Repeats   int `json:"repeats"` // interleaved; best delta wins
+	Workers   int `json:"workers"`
+}
+
+// DefaultReplayParams is the committed-baseline configuration. One
+// worker: the replay machinery cost per task is maximally visible when
+// no parallel slack hides it.
+func DefaultReplayParams() ReplayParams {
+	return ReplayParams{
+		CholTiles: 16, LuleshChunks: 32, LuleshStages: 8,
+		WarmIters: 3, Iters: 35, Repeats: 5, Workers: 1,
+	}
+}
+
+// SmokeReplayParams is the CI configuration: same shape, small enough
+// for a gate.
+func SmokeReplayParams() ReplayParams {
+	return ReplayParams{
+		CholTiles: 8, LuleshChunks: 12, LuleshStages: 4,
+		WarmIters: 2, Iters: 10, Repeats: 3, Workers: 1,
+	}
+}
+
+// choleskyTasks is the per-iteration task count of the tiled sweep.
+func choleskyTasks(tiles int) int {
+	n := 0
+	for k := 0; k < tiles; k++ {
+		m := tiles - k - 1
+		n += 1 + m + m + m*(m-1)/2 // potrf + trsm + syrk + gemm
+	}
+	return n
+}
+
+// luleshTasks is the per-iteration task count of the staged stencil.
+func luleshTasks(chunks, stages int) int {
+	return stages*chunks + chunks + 1 // stages + dt reduction + dt apply
+}
+
+// TasksPerIter returns the per-workload per-iteration task counts.
+func (p ReplayParams) TasksPerIter(workload string) int {
+	switch workload {
+	case "cholesky":
+		return choleskyTasks(p.CholTiles)
+	case "lulesh":
+		return luleshTasks(p.LuleshChunks, p.LuleshStages)
+	}
+	return 0
+}
+
+// replayTile keys the Cholesky tiles (distinct from the lulesh key
+// space; runtimes are per-measurement anyway).
+func replayTile(i, j int) graph.Key {
+	return graph.Key(1<<40 | uint64(i)<<20 | uint64(j))
+}
+
+// choleskyReplayBody is apps/cholesky's single-rank taskFactor loop
+// with no-op kernels: per-task Submit with literal key slices, exactly
+// the submission idiom the adaptive path pays every iteration.
+func choleskyReplayBody(r *rt.Runtime, tiles int) func(int) {
+	nop := func(any) {}
+	return func(int) {
+		for k := 0; k < tiles; k++ {
+			r.Submit(rt.Spec{
+				Label: "potrf",
+				InOut: []graph.Key{replayTile(k, k)},
+				Body:  nop,
+			})
+			for i := k + 1; i < tiles; i++ {
+				r.Submit(rt.Spec{
+					Label: "trsm",
+					In:    []graph.Key{replayTile(k, k)},
+					InOut: []graph.Key{replayTile(i, k)},
+					Body:  nop,
+				})
+			}
+			for j := k + 1; j < tiles; j++ {
+				r.Submit(rt.Spec{
+					Label: "syrk",
+					In:    []graph.Key{replayTile(j, k)},
+					InOut: []graph.Key{replayTile(j, j)},
+					Body:  nop,
+				})
+				for i := j + 1; i < tiles; i++ {
+					r.Submit(rt.Spec{
+						Label: "gemm",
+						In:    []graph.Key{replayTile(i, k), replayTile(j, k)},
+						InOut: []graph.Key{replayTile(i, j)},
+						Body:  nop,
+					})
+				}
+			}
+		}
+	}
+}
+
+// luleshReplayBody mirrors apps/lulesh's per-chunk driver: staged
+// neighbor stencils over field keys submitted one task at a time, then
+// an inoutset dt reduction and a single consumer — the shape that
+// exercises redirect nodes on the replay path.
+func luleshReplayBody(r *rt.Runtime, chunks, stages int) func(int) {
+	nop := func(any) {}
+	key := func(stage, c int) graph.Key { return graph.Key(2<<40 | uint64(stage)<<20 | uint64(c)) }
+	const dtKey = graph.Key(3 << 40)
+	return func(int) {
+		for s := 0; s < stages; s++ {
+			for c := 0; c < chunks; c++ {
+				sp := rt.Spec{Label: "stage", Out: []graph.Key{key(s, c)}, Body: nop}
+				if s > 0 {
+					sp.In = append(sp.In, key(s-1, c))
+					if c > 0 {
+						sp.In = append(sp.In, key(s-1, c-1))
+					}
+					if c < chunks-1 {
+						sp.In = append(sp.In, key(s-1, c+1))
+					}
+				}
+				r.Submit(sp)
+			}
+		}
+		for c := 0; c < chunks; c++ {
+			r.Submit(rt.Spec{
+				Label:    "dtred",
+				In:       []graph.Key{key(stages-1, c)},
+				InOutSet: []graph.Key{dtKey},
+				Body:     nop,
+			})
+		}
+		r.Submit(rt.Spec{Label: "dtapply", InOut: []graph.Key{dtKey}, Body: nop})
+	}
+}
+
+// replayModes enumerates the swept strategies.
+var replayModes = []struct {
+	name      string
+	frozen    bool
+	noCompile bool
+}{
+	{"adaptive", false, false},
+	{"frozen-generic", true, true},
+	{"frozen-compiled", true, false},
+}
+
+// runReplayOnce runs one Persistent region of the given length and
+// returns its wall time and heap allocation count.
+func runReplayOnce(p ReplayParams, workload, mode string, noCompile, frozen bool, iters int) (wall float64, mallocs uint64, err error) {
+	r, err := rt.NewRuntime(rt.Config{
+		Workers:          p.Workers,
+		Opts:             graph.OptAll,
+		Obs:              obs.Options{Disable: true},
+		NoCompiledReplay: noCompile,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.Close()
+	var body func(int)
+	switch workload {
+	case "cholesky":
+		body = choleskyReplayBody(r, p.CholTiles)
+	case "lulesh":
+		body = luleshReplayBody(r, p.LuleshChunks, p.LuleshStages)
+	default:
+		return 0, 0, fmt.Errorf("unknown workload %q", workload)
+	}
+	var opts []rt.PersistentOption
+	if frozen {
+		opts = append(opts, rt.Frozen())
+	} else {
+		opts = append(opts, rt.Adaptive(func(int) bool { return false }))
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	perr := r.Persistent(iters, body, opts...)
+	wall = time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	if perr != nil {
+		return 0, 0, fmt.Errorf("%s/%s: %w", workload, mode, perr)
+	}
+	return wall, m1.Mallocs - m0.Mallocs, nil
+}
+
+// ReplayRow is one workload/mode steady-state measurement.
+type ReplayRow struct {
+	Workload     string `json:"workload"`
+	Mode         string `json:"mode"`
+	TasksPerIter int    `json:"tasks_per_iter"`
+	// ReplayNsPerTask is the differenced steady-state cost: (wall(Iters)
+	// - wall(WarmIters)) / ((Iters-WarmIters) * TasksPerIter).
+	ReplayNsPerTask float64 `json:"replay_ns_per_task"`
+	AllocsPerIter   float64 `json:"allocs_per_iter"`
+	AllocsPerTask   float64 `json:"allocs_per_task"`
+}
+
+// ReplaySpeedup is the compiled path's throughput ratio per workload.
+type ReplaySpeedup struct {
+	Workload           string  `json:"workload"`
+	CompiledVsAdaptive float64 `json:"compiled_vs_adaptive"`
+	CompiledVsGeneric  float64 `json:"compiled_vs_generic"`
+}
+
+// ReplayResult is the benchmark output committed as BENCH_replay.json.
+type ReplayResult struct {
+	Schema   int             `json:"schema"`
+	Params   ReplayParams    `json:"params"`
+	Rows     []ReplayRow     `json:"rows"`
+	Speedups []ReplaySpeedup `json:"speedups"`
+}
+
+// replayWorkloads is the swept workload list.
+var replayWorkloads = []string{"cholesky", "lulesh"}
+
+// RunReplay measures every workload/mode pair. Repeats are interleaved
+// — each round runs all pairs at both region lengths back to back — so
+// machine drift hits every mode alike; the per-pair minimum wall (and
+// minimum alloc delta) is the reported steady-state cost.
+func RunReplay(p ReplayParams) (ReplayResult, error) {
+	res := ReplayResult{Schema: ReplaySchemaVersion, Params: p}
+	if p.Iters <= p.WarmIters || p.WarmIters < 1 {
+		return res, fmt.Errorf("need Iters > WarmIters >= 1 (got %d, %d)", p.Iters, p.WarmIters)
+	}
+	reps := p.Repeats
+	if reps < 1 {
+		reps = 1
+	}
+	type cell struct {
+		warm, full     []float64
+		warmAl, fullAl []uint64
+	}
+	cells := map[string]*cell{}
+	for _, w := range replayWorkloads {
+		for _, m := range replayModes {
+			cells[w+"/"+m.name] = &cell{}
+		}
+	}
+	for rep := 0; rep < reps; rep++ {
+		for _, w := range replayWorkloads {
+			for _, m := range replayModes {
+				c := cells[w+"/"+m.name]
+				wallW, alW, err := runReplayOnce(p, w, m.name, m.noCompile, m.frozen, p.WarmIters)
+				if err != nil {
+					return res, err
+				}
+				wallF, alF, err := runReplayOnce(p, w, m.name, m.noCompile, m.frozen, p.Iters)
+				if err != nil {
+					return res, err
+				}
+				c.warm = append(c.warm, wallW)
+				c.full = append(c.full, wallF)
+				c.warmAl = append(c.warmAl, alW)
+				c.fullAl = append(c.fullAl, alF)
+			}
+		}
+	}
+	steady := float64(p.Iters - p.WarmIters)
+	nsPerTask := map[string]float64{}
+	for _, w := range replayWorkloads {
+		tasks := float64(p.TasksPerIter(w))
+		for _, m := range replayModes {
+			c := cells[w+"/"+m.name]
+			dWall := minOf(c.full) - minOf(c.warm)
+			if dWall < 0 {
+				dWall = 0
+			}
+			dAllocs := float64(minOfU64(c.fullAl)) - float64(minOfU64(c.warmAl))
+			if dAllocs < 0 {
+				dAllocs = 0
+			}
+			row := ReplayRow{
+				Workload:        w,
+				Mode:            m.name,
+				TasksPerIter:    int(tasks),
+				ReplayNsPerTask: dWall * 1e9 / (steady * tasks),
+				AllocsPerIter:   dAllocs / steady,
+				AllocsPerTask:   dAllocs / (steady * tasks),
+			}
+			nsPerTask[w+"/"+m.name] = row.ReplayNsPerTask
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	for _, w := range replayWorkloads {
+		compiled := nsPerTask[w+"/frozen-compiled"]
+		sp := ReplaySpeedup{Workload: w}
+		if compiled > 0 {
+			sp.CompiledVsAdaptive = nsPerTask[w+"/adaptive"] / compiled
+			sp.CompiledVsGeneric = nsPerTask[w+"/frozen-generic"] / compiled
+		}
+		res.Speedups = append(res.Speedups, sp)
+	}
+	return res, nil
+}
+
+func minOfU64(xs []uint64) uint64 {
+	best := xs[0]
+	for _, x := range xs[1:] {
+		if x < best {
+			best = x
+		}
+	}
+	return best
+}
+
+// Validate checks a result's schema and structural invariants.
+func (r *ReplayResult) Validate() error {
+	if r.Schema != ReplaySchemaVersion {
+		return fmt.Errorf("schema %d, tool expects %d", r.Schema, ReplaySchemaVersion)
+	}
+	if len(r.Rows) != len(replayWorkloads)*len(replayModes) {
+		return fmt.Errorf("%d rows, want %d (2 workloads x 3 modes)", len(r.Rows), len(replayWorkloads)*len(replayModes))
+	}
+	seen := map[string]bool{}
+	for i, row := range r.Rows {
+		if r.Params.TasksPerIter(row.Workload) == 0 {
+			return fmt.Errorf("row %d: unknown workload %q", i, row.Workload)
+		}
+		ok := false
+		for _, m := range replayModes {
+			ok = ok || m.name == row.Mode
+		}
+		if !ok {
+			return fmt.Errorf("row %d: unknown mode %q", i, row.Mode)
+		}
+		if row.TasksPerIter != r.Params.TasksPerIter(row.Workload) {
+			return fmt.Errorf("row %d: %d tasks/iter, params imply %d", i, row.TasksPerIter, r.Params.TasksPerIter(row.Workload))
+		}
+		if row.ReplayNsPerTask <= 0 {
+			return fmt.Errorf("row %d (%s/%s): non-positive replay timing", i, row.Workload, row.Mode)
+		}
+		if row.AllocsPerIter < 0 || row.AllocsPerTask < 0 {
+			return fmt.Errorf("row %d: negative alloc count", i)
+		}
+		seen[row.Workload+"/"+row.Mode] = true
+	}
+	if len(seen) != len(r.Rows) {
+		return fmt.Errorf("duplicate workload/mode rows: %v", seen)
+	}
+	if len(r.Speedups) != len(replayWorkloads) {
+		return fmt.Errorf("%d speedup entries, want %d", len(r.Speedups), len(replayWorkloads))
+	}
+	for _, sp := range r.Speedups {
+		if sp.CompiledVsAdaptive <= 0 || sp.CompiledVsGeneric <= 0 {
+			return fmt.Errorf("workload %s: non-positive speedup", sp.Workload)
+		}
+	}
+	return nil
+}
+
+// CheckReplay gates a fresh run against the committed baseline: both
+// must validate, the committed compiled-vs-adaptive speedup must meet
+// minSpeedup on every workload (the paper-level >= 5x claim), and the
+// FRESH compiled rows must stay allocation-free (<= maxAllocsPerTask —
+// allocation counts are deterministic enough to gate on a noisy CI
+// machine, unlike relative wall clock on a sub-millisecond delta).
+func CheckReplay(fresh, committed *ReplayResult, minSpeedup, maxAllocsPerTask float64) error {
+	if err := fresh.Validate(); err != nil {
+		return fmt.Errorf("fresh result: %w", err)
+	}
+	if err := committed.Validate(); err != nil {
+		return fmt.Errorf("committed baseline: %w", err)
+	}
+	for _, sp := range committed.Speedups {
+		if sp.CompiledVsAdaptive < minSpeedup {
+			return fmt.Errorf("committed %s compiled-vs-adaptive speedup is %.2fx, gate is %.1fx",
+				sp.Workload, sp.CompiledVsAdaptive, minSpeedup)
+		}
+	}
+	for _, res := range []*ReplayResult{fresh, committed} {
+		for _, row := range res.Rows {
+			if row.Mode == "frozen-compiled" && row.AllocsPerTask > maxAllocsPerTask {
+				return fmt.Errorf("%s steady-state compiled replay allocates %.4f/task (%.1f/iteration), gate is %.2f/task",
+					row.Workload, row.AllocsPerTask, row.AllocsPerIter, maxAllocsPerTask)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the result (stable row order).
+func (r *ReplayResult) WriteJSON(w io.Writer) error {
+	order := map[string]int{}
+	for i, m := range replayModes {
+		order[m.name] = i
+	}
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i], r.Rows[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return order[a.Mode] < order[b.Mode]
+	})
+	sort.SliceStable(r.Speedups, func(i, j int) bool {
+		return r.Speedups[i].Workload < r.Speedups[j].Workload
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReplayJSON parses a committed result.
+func ReadReplayJSON(data []byte) (*ReplayResult, error) {
+	var r ReplayResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// PrintReplay renders the result as the EXPERIMENTS.md table.
+func PrintReplay(w io.Writer, r *ReplayResult) {
+	fmt.Fprintf(w, "== persistent replay (steady state, %d workers, %d measured iterations) ==\n",
+		r.Params.Workers, r.Params.Iters-r.Params.WarmIters)
+	fmt.Fprintf(w, "%-10s %-16s %11s %12s %12s %12s\n",
+		"workload", "mode", "tasks/iter", "ns/task", "allocs/iter", "allocs/task")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10s %-16s %11d %12.1f %12.1f %12.4f\n",
+			row.Workload, row.Mode, row.TasksPerIter, row.ReplayNsPerTask,
+			row.AllocsPerIter, row.AllocsPerTask)
+	}
+	for _, sp := range r.Speedups {
+		fmt.Fprintf(w, "speedup %s: compiled %.2fx vs adaptive, %.2fx vs frozen-generic\n",
+			sp.Workload, sp.CompiledVsAdaptive, sp.CompiledVsGeneric)
+	}
+}

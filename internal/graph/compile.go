@@ -1,0 +1,256 @@
+package graph
+
+// Frozen-graph compilation: a recorded persistent sub-graph is lowered
+// into a flat, immutable replay schedule so frozen iterations touch no
+// key table, no pools, and no hashing. The recording's tasks become
+// positions 0..n-1 (their order in g.recorded); the dependence
+// structure becomes a CSR successor array over those positions; and the
+// per-iteration mutable state shrinks to one dense predecessor-count
+// vector, reset with a single copy from a pristine template. A replay
+// iteration is then: copy(preds, template); seed the indegree-0
+// positions into the scheduler; count completions down to zero.
+//
+// Memory ordering. Workers decrement preds entries with atomic adds and
+// decrement remaining (the iteration's completion countdown) LAST in
+// FinishInto, after every successor-counter write of that completion.
+// The producer begins the next iteration only after loading
+// remaining == 0, so that acquire load — through the release sequence
+// formed by the atomic decrements — happens-after every worker write of
+// the previous iteration: the plain copy in BeginIteration can never
+// race a straggling decrement. Poison is stored on a successor BEFORE
+// the decrement that could make it ready (the same argument as
+// Graph.finishInto), so abort cones drain deterministically as Skipped
+// on the compiled path too.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrCompileDetached reports a recording that contains detached tasks.
+// Frozen replay re-releases captured closures, including the captured
+// completion Event a detached task already fired — no iteration after
+// the first could ever complete it. Use Adaptive or plain Persistent
+// for detached work.
+var ErrCompileDetached = errors.New("graph: recording contains detached tasks, which frozen replay cannot re-release")
+
+// Compiled is the flat replay schedule of one recording: an immutable
+// CSR view of the recorded structure plus the single mutable vector an
+// iteration needs. Built by Compile after the recording iteration's
+// barrier; valid until the next BeginRecording reuses the recording.
+//
+// All slices except preds are written at compile time and read-only
+// afterwards. preds is written by the producer (BeginIteration's copy)
+// and decremented by workers (FinishInto); remaining orders the two
+// (see the package comment above).
+type Compiled struct {
+	g *Graph
+
+	// tasks are the recorded instances, by position. Task.slot holds
+	// the inverse mapping so FinishInto finds a finished task's CSR row
+	// without any lookup structure.
+	tasks []*Task
+
+	// succOff/succs is the CSR successor structure: position p's
+	// successors are succs[succOff[p]:succOff[p+1]], each a position.
+	// Only same-recording edges are compiled — edges to tasks outside
+	// the recording were one-time constraints, dead after iteration 0.
+	succOff []int32
+	succs   []int32
+
+	// template[p] is position p's recorded indegree; preds is the live
+	// countdown vector, reset from template in one copy per iteration.
+	template []int32
+	preds    []int32
+
+	// roots are the positions with recorded indegree 0, ready the
+	// moment an iteration begins. Reused read-only every iteration.
+	roots []*Task
+
+	// remaining counts tasks not yet terminal this iteration; the
+	// producer's barrier and reset safety both key off it.
+	remaining atomic.Int64
+
+	// dirty is set when an iteration poisoned any task (abort or body
+	// failure), so the next BeginIteration scrubs poison flags; clean
+	// iterations skip the O(n) pass.
+	dirty atomic.Bool
+}
+
+// Compile lowers the current recording into a flat replay schedule.
+// Called by the single producer at a quiescent point: after the
+// recording iteration's barrier, before any replay. The graph must be
+// inside a persistent region with recording closed.
+//
+// Recordings containing detached tasks are rejected with
+// ErrCompileDetached (frozen replay cannot re-fire their events); any
+// other error reports an internal indegree mismatch, in which case the
+// caller should fall back to the generic replay path.
+func (g *Graph) Compile() (*Compiled, error) {
+	if !g.persistent || g.recording {
+		return nil, fmt.Errorf("graph: Compile outside a persistent region (or recording still open)")
+	}
+	rec := g.recorded
+	n := len(rec)
+	for i, t := range rec {
+		if t.Detached {
+			return nil, fmt.Errorf("%w (task %d %q)", ErrCompileDetached, t.ID, t.Label)
+		}
+		t.slot = int32(i)
+	}
+	c := &Compiled{
+		g: g,
+		// Snapshot the recording: g.recorded's backing array is reused
+		// by the next BeginRecording.
+		tasks:    append([]*Task(nil), rec...),
+		succOff:  make([]int32, n+1),
+		template: make([]int32, n),
+		preds:    make([]int32, n),
+	}
+	// The graph is quiescent (recording barrier passed, single
+	// producer), so successor lists are stable and read without locks.
+	inRecording := func(s *Task) bool {
+		return s.Persistent && s.recordEpoch == g.epoch
+	}
+	total := 0
+	for _, t := range rec {
+		for _, s := range t.succs {
+			if inRecording(s) {
+				total++
+			}
+		}
+	}
+	c.succs = make([]int32, 0, total)
+	for i, t := range rec {
+		c.succOff[i] = int32(len(c.succs))
+		for _, s := range t.succs {
+			if inRecording(s) {
+				c.succs = append(c.succs, s.slot)
+				c.template[s.slot]++
+			}
+		}
+	}
+	c.succOff[n] = int32(len(c.succs))
+	for i, t := range rec {
+		// Cross-check the CSR column counts against the indegrees the
+		// recording accumulated; a mismatch means the recorded structure
+		// was mutated and the schedule would deadlock or double-release.
+		if c.template[i] != t.recordedIndegree {
+			return nil, fmt.Errorf("graph: compiled indegree %d for task %d (%q) disagrees with recorded %d",
+				c.template[i], t.ID, t.Label, t.recordedIndegree)
+		}
+		if c.template[i] == 0 {
+			c.roots = append(c.roots, t)
+		}
+	}
+	return c, nil
+}
+
+// Len returns the number of tasks in the schedule.
+func (c *Compiled) Len() int { return len(c.tasks) }
+
+// Roots returns the tasks ready at the start of every iteration
+// (recorded indegree 0), in recorded order. Read-only; the same slice
+// is reused each iteration.
+func (c *Compiled) Roots() []*Task { return c.roots }
+
+// Remaining returns the number of tasks not yet terminal in the current
+// iteration; 0 means the iteration's barrier may pass.
+func (c *Compiled) Remaining() int64 { return c.remaining.Load() }
+
+// BeginIteration resets the schedule for one replay iteration: scrub
+// poison if a previous iteration failed, then restore every predecessor
+// count with a single copy from the pristine template. Producer-only,
+// and only once the previous iteration fully drained (Remaining == 0 —
+// which also makes the plain copy race-free, see the package comment).
+//
+// The per-task work of the generic BeginReplay (state validation and
+// three atomic stores per task) is gone: nothing on the compiled path
+// reads a recorded task's pre-execution state, so stale terminal states
+// from the previous iteration are simply overwritten by Start.
+func (c *Compiled) BeginIteration() error {
+	if r := c.remaining.Load(); r != 0 {
+		return fmt.Errorf("graph: compiled replay iteration started with %d tasks still outstanding", r)
+	}
+	if c.dirty.Load() {
+		for _, t := range c.tasks {
+			t.poisoned.Store(false)
+		}
+		c.dirty.Store(false)
+	}
+	copy(c.preds, c.template)
+	n := int64(len(c.tasks))
+	c.remaining.Store(n)
+	c.g.replayed.Add(n)
+	c.g.live.Add(n)
+	return nil
+}
+
+// EndIteration retires the iteration's live count. Producer-only, after
+// the barrier observed Remaining == 0.
+func (c *Compiled) EndIteration() {
+	c.g.live.Add(-int64(len(c.tasks)))
+}
+
+// FinishInto is the compiled path's terminal transition, replacing
+// Graph.CompleteInto/SkipInto/AbortInto during replay: store the final
+// state, walk the task's CSR successor row, propagate poison, decrement
+// counters, and append newly ready tasks into buf[:0] (same buffer
+// contract as CompleteInto). The iteration countdown is decremented
+// last — FinishInto's only ordering obligation to the producer's reset.
+//
+// No task mutex, no global ready/live updates, no Ready-state stores:
+// the successor structure is immutable, iteration liveness is tracked
+// in bulk by Begin/EndIteration, and nothing observes a Ready state
+// between the counter hitting zero and the worker's Start.
+func (c *Compiled) FinishInto(t *Task, buf []*Task, final State) []*Task {
+	released := c.FinishIntoDeferred(t, buf, final)
+	c.remaining.Add(-1)
+	return released
+}
+
+// FinishIntoDeferred is FinishInto minus the countdown decrement, for
+// executors that batch decrements over a task-chaining run and settle
+// them with one Retire at the chain's end. Deferral only ever delays
+// the countdown — a finished-but-unsettled task still holds Remaining
+// above zero — so the barrier and the reset-safety argument are
+// unaffected: the producer can observe zero only after every executor's
+// Retire, and each Retire release-publishes all of that executor's
+// prior counter and state writes.
+func (c *Compiled) FinishIntoDeferred(t *Task, buf []*Task, final State) []*Task {
+	poison := final != Completed || t.Poisoned()
+	if poison {
+		// Same publication order as finishInto: stamp the failure
+		// window, then the terminal state that publishes it.
+		t.failEpoch = c.g.failEpoch.Load()
+		c.dirty.Store(true)
+	}
+	// A recorded task's state is terminal from the previous iteration
+	// (nothing on the compiled path stores Ready or Running), so in
+	// steady clean-iteration state this store is elided entirely: the
+	// value is already Completed, and an atomic store is a full barrier
+	// worth skipping. Failure iterations still publish their transitions
+	// (Completed -> Skipped and back), and the poison flag above — not
+	// the state — is what release decisions key off.
+	if st := int32(final); t.state.Load() != st {
+		t.state.Store(st)
+	}
+	released := buf[:0]
+	row := c.succs[c.succOff[t.slot]:c.succOff[t.slot+1]]
+	for _, p := range row {
+		if poison {
+			c.tasks[p].poisoned.Store(true)
+		}
+		if atomic.AddInt32(&c.preds[p], -1) == 0 {
+			released = append(released, c.tasks[p])
+		}
+	}
+	return released
+}
+
+// Retire settles n deferred finishes against the iteration countdown
+// and returns the new value; 0 means the iteration drained.
+func (c *Compiled) Retire(n int64) int64 {
+	return c.remaining.Add(-n)
+}

@@ -11,6 +11,20 @@ import "fmt"
 // counters in place, Replay reuses the recorded Task objects (same
 // chunks, same successor slices), and the recorded sequence buffer
 // keeps its capacity across re-recordings.
+//
+// Two replay grades share the recording. The generic grade in this
+// file re-releases each recorded task through the normal sentinel
+// machinery — BeginReplay resets per-task counters, then either the
+// producer resubmits and Replay maps each submission to its recorded
+// instance (plain/adaptive regions, firstprivate updatable per
+// iteration), or ReplayAll re-releases every captured closure in one
+// sweep (frozen regions). The compiled grade (compile.go) lowers a
+// frozen recording further, into a flat CSR schedule whose only
+// per-iteration mutable state is one predecessor-count vector reset
+// with a single copy; rt drives it when a Frozen region compiles
+// cleanly. The grades are behaviorally identical — same barrier, same
+// failure/poison semantics, same divergence detection — differing
+// only in replay cost.
 
 // BeginRecording enters persistent discovery: tasks submitted until
 // EndRecording are recorded, never pruned (every edge is materialized so

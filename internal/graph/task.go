@@ -156,7 +156,13 @@ type Task struct {
 	// edges from earlier recordings (or from outside any recording)
 	// never count toward replay indegrees.
 	recordEpoch int
-	state       atomic.Int32
+	// slot is the task's position in the compiled replay schedule of
+	// its recording (see compile.go): the row index of its CSR
+	// successor range and predecessor-count cell. Written by the
+	// producer at compile time (graph quiescent), read by workers
+	// during compiled replay.
+	slot  int32
+	state atomic.Int32
 	// poisoned marks the task as lying in a failed task's successor cone
 	// (or cancelled by a runtime abort): executors complete it as Skipped
 	// without running the body. Set before the poisoning predecessor's

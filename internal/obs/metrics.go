@@ -18,6 +18,7 @@ const (
 	CTasksSkipped
 	CTasksAborted
 	CReplayHits
+	CReplayCompiled
 	CDequePush
 	CDequePop
 	CDequeSteal
@@ -42,6 +43,7 @@ var counterNames = [NumCounters]string{
 	CTasksSkipped:   "taskdep_tasks_skipped_total",
 	CTasksAborted:   "taskdep_tasks_aborted_total",
 	CReplayHits:     "taskdep_replay_hits_total",
+	CReplayCompiled: "taskdep_replay_compiled_iterations_total",
 	CDequePush:      "taskdep_deque_pushes_total",
 	CDequePop:       "taskdep_deque_pops_total",
 	CDequeSteal:     "taskdep_deque_steals_total",

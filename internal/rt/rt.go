@@ -68,6 +68,12 @@ type Config struct {
 	// latency histograms, Obs.Addr to serve /metrics, /graphz, /spans
 	// and /debug/pprof/, and Obs.Disable to turn everything off.
 	Obs obs.Options
+	// NoCompiledReplay disables the frozen-graph compiler: Frozen
+	// persistent regions replay through the generic recorded-sequence
+	// machinery (per-task sentinel releases) instead of a compiled flat
+	// schedule. Benchmark baseline knob (tdgbench -exp replay compares
+	// the two); leave false in production.
+	NoCompiledReplay bool
 }
 
 // Runtime executes dependent tasks discovered by a single producer.
@@ -89,6 +95,11 @@ type Runtime struct {
 	replay bool
 	// persistentDepth guards against nested Persistent calls.
 	inPersistent bool
+	// compiled is the active frozen-replay schedule, non-nil only while
+	// replayCompiled runs a Frozen region. Workers load it in finish to
+	// route recorded tasks' terminal transitions through the compiled
+	// CSR release instead of the generic graph walk.
+	compiled atomic.Pointer[graph.Compiled]
 
 	iter atomic.Int32 // current persistent iteration, for trace records
 
@@ -121,6 +132,32 @@ type Runtime struct {
 	// (completions from other non-worker contexts — detach events —
 	// allocate).
 	relBufs [][]*graph.Task
+
+	// chained[slot] is the slot's direct-handoff successor on the
+	// compiled replay path: a finishing executor keeps the first task it
+	// released for its own next loop turn instead of round-tripping it
+	// through the deque (LIFO task chaining). Written and read only by
+	// the owning goroutine; always consumed before the slot can park,
+	// because a chained task is unfinished and therefore holds the
+	// iteration countdown above zero.
+	chained []*graph.Task
+
+	// chainFin[slot] counts the slot's deferred compiled-path finishes
+	// (graph.Compiled.FinishIntoDeferred) not yet settled against the
+	// iteration countdown; settled in one Retire when the chain breaks.
+	// Owner-private, like chained.
+	chainFin []int64
+
+	// spill[slot] holds compiled-replay releases beyond the chained one,
+	// up to spillCap, so burst releases stay on the owner instead of
+	// round-tripping through the deque (a push and a pop are two full
+	// barriers each on amd64). Overflow past the cap is published for
+	// thieves — wide releases spill to the shared deque exactly when
+	// there is enough slack to be worth stealing. Owner-private, and
+	// like chained always drained before the slot can park: a spilled
+	// task is unfinished, so it holds the iteration countdown above
+	// zero and the compiled barrier open.
+	spill [][]*graph.Task
 
 	// Failure-domain state, scoped to one wait window: Taskwait drains
 	// the graph, composes these into the returned *fault.TaskError and
@@ -234,6 +271,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		},
 	})
 	rt.relBufs = make([][]*graph.Task, cfg.Workers+1)
+	rt.chained = make([]*graph.Task, cfg.Workers+1)
+	rt.chainFin = make([]int64, cfg.Workers+1)
+	rt.spill = make([][]*graph.Task, cfg.Workers+1)
 	if cfg.Obs.Addr != "" {
 		srv, err := obs.Serve(cfg.Obs.Addr, rt.obs.Handler(func() any { return rt.Introspect() }))
 		if err != nil {
@@ -691,14 +731,34 @@ func (rt *Runtime) overThrottle() bool {
 	return (tot > 0 && rt.g.Live() >= tot) || (rdy > 0 && rt.g.ReadyCount() >= rdy)
 }
 
+// takeChained claims the slot's direct-handoff successor (compiled
+// replay's deque bypass), if any. Single-goroutine per slot: the owner
+// is the only writer and the only reader.
+func (rt *Runtime) takeChained(slot int) *graph.Task {
+	if t := rt.chained[slot]; t != nil {
+		rt.chained[slot] = nil
+		return t
+	}
+	if sp := rt.spill[slot]; len(sp) > 0 {
+		t := sp[len(sp)-1]
+		rt.spill[slot] = sp[:len(sp)-1]
+		return t
+	}
+	return nil
+}
+
 // produceConsumeOne lets the producer execute one ready task; reports
 // whether it ran something.
 func (rt *Runtime) produceConsumeOne() bool {
-	t := rt.s.Pop(rt.producerID())
+	id := rt.producerID()
+	t := rt.takeChained(id)
+	if t == nil {
+		t = rt.s.Pop(id)
+	}
 	if t == nil {
 		return false
 	}
-	rt.execute(rt.producerID(), t)
+	rt.execute(id, t)
 	return true
 }
 
@@ -926,6 +986,15 @@ func (rt *Runtime) LastVerifyReport() *verify.Report { return rt.lastAudit.Load(
 // never run their body: they are terminally Skipped, still releasing
 // their successors so the graph drains.
 func (rt *Runtime) execute(w int, t *graph.Task) {
+	// Compiled replay fast path: recorded tasks during a compiled frozen
+	// region run through a stripped executor — no Running store, no
+	// profiler state transitions, no span sampling — unless the heavier
+	// instrumentation is actually on.
+	if cs := rt.compiled.Load(); cs != nil && t.Persistent &&
+		rt.cfg.Profile == nil && !rt.obs.TimingOn() {
+		rt.executeCompiled(w, t, cs)
+		return
+	}
 	if t.Poisoned() || rt.aborted.Load() {
 		rt.skip(w, t)
 		return
@@ -946,7 +1015,13 @@ func (rt *Runtime) execute(w int, t *graph.Task) {
 	if !t.Redirect && rt.obs.Sampled(slot) {
 		sp = rt.obs.BeginSpan(slot, obs.SpanTaskBody, t.ID, depHash(t), int(rt.iter.Load()))
 	}
-	rt.g.Start(t)
+	// Compiled replay leaves states terminal between transitions (see
+	// graph.Compiled.FinishIntoDeferred): nothing reads Running there,
+	// and skipping the store keeps an atomic full barrier off the
+	// steady-state path.
+	if rt.compiled.Load() == nil || !t.Persistent {
+		rt.g.Start(t)
+	}
 	err := rt.runBody(t)
 	sp.End()
 	if p != nil {
@@ -970,6 +1045,25 @@ func (rt *Runtime) execute(w int, t *graph.Task) {
 		return
 	}
 	rt.complete(w, t)
+}
+
+// executeCompiled is execute for recorded tasks on the compiled replay
+// path with profiling and span timing off: poison/abort skips, panic
+// recovery and fault injection behave exactly as in execute, but the
+// Running store, profiler transitions and sampling checks — all
+// invisible with that instrumentation disabled — are gone, and the
+// schedule handle rides along instead of being re-loaded at finish.
+// Detached tasks cannot appear here (Compile rejects them).
+func (rt *Runtime) executeCompiled(w int, t *graph.Task, cs *graph.Compiled) {
+	if t.Poisoned() || rt.aborted.Load() {
+		rt.finishCompiled(w, t, cs, graph.Skipped)
+		return
+	}
+	if err := rt.runBody(t); err != nil {
+		rt.fail(w, t, err)
+		return
+	}
+	rt.finishCompiled(w, t, cs, graph.Completed)
 }
 
 // runBody executes t's closure under panic recovery, applying the
@@ -1054,6 +1148,15 @@ func (rt *Runtime) complete(w int, t *graph.Task) {
 // operation; other contexts (detach events, abort cancellation, which
 // may run concurrently) allocate per call.
 func (rt *Runtime) finish(w int, t *graph.Task, final graph.State) {
+	// Compiled frozen replay: recorded tasks retire through the flat
+	// schedule — no task mutex, no key table, no global counters. The
+	// branch sits here (not in execute) so skip/fail funnel through it
+	// too: poison cones and aborts drain on the compiled path with the
+	// exact generic semantics.
+	if cs := rt.compiled.Load(); cs != nil && t.Persistent {
+		rt.finishCompiled(w, t, cs, final)
+		return
+	}
 	var buf []*graph.Task
 	slotted := w >= 0 && w < len(rt.relBufs)
 	if slotted {
@@ -1096,6 +1199,89 @@ func (rt *Runtime) finish(w int, t *graph.Task, final graph.State) {
 	}
 }
 
+// spillCap bounds how many released tasks a slot may keep on its
+// private spill stack instead of publishing them. The cap is the
+// fairness knob: while an owner chains through its spill, at most
+// spillCap tasks are invisible to thieves, and the owner is actively
+// consuming them — the same bounded-hiding argument as the single
+// chained slot, widened because burst releases (a panel factorization
+// freeing a whole row of updates) otherwise pay a deque round trip
+// per task.
+const spillCap = 16
+
+// finishCompiled retires one recorded task through the compiled
+// schedule (graph.Compiled.FinishInto) and pushes the released
+// successors exactly as finish does: per-slot buffer reuse, one batch
+// publication, terminal-transition counters on the finisher's shard.
+// The producer waits on the iteration countdown, so it is woken on the
+// transitions it watches: a completion releasing nothing, or the
+// countdown reaching zero.
+func (rt *Runtime) finishCompiled(w int, t *graph.Task, cs *graph.Compiled, final graph.State) {
+	slotted := w >= 0 && w < len(rt.relBufs)
+	if !slotted {
+		// Unowned context (detach cancellation, external completion):
+		// settle the countdown immediately and publish everything.
+		released := cs.FinishInto(t, nil, final)
+		rt.s.PushBatch(w, released)
+		if len(released) == 0 || cs.Remaining() == 0 {
+			rt.s.WakeProducer()
+		}
+		return
+	}
+	released := cs.FinishIntoDeferred(t, rt.relBufs[w], final)
+	switch {
+	case t.Redirect: // graph machinery, uncounted
+	case final == graph.Aborted:
+		rt.obs.IncSlot(w, obs.CTasksAborted)
+	case final == graph.Skipped:
+		rt.obs.IncSlot(w, obs.CTasksSkipped)
+	default:
+		rt.obs.IncSlot(w, obs.CTasksExecuted)
+	}
+	rt.relBufs[w] = released
+	if len(released) > 0 {
+		// Task chaining: the finisher claims the first released successor
+		// for its own next loop turn — no deque publication, no wake —
+		// and defers this finish's countdown decrement to the end of the
+		// chain. The producer needs no wake while a chain runs: the
+		// chained successor is unfinished, so the countdown it waits on
+		// stays above zero until the chain's Retire.
+		rt.chained[w] = released[0]
+		rt.chainFin[w]++
+		if len(released) > 1 {
+			// Burst release: spill the surplus onto the owner's private
+			// stack up to spillCap; anything past the cap is published
+			// for thieves.
+			sp := rt.spill[w]
+			if room := spillCap - len(sp); room >= len(released)-1 {
+				rt.spill[w] = append(sp, released[1:]...)
+			} else {
+				rt.spill[w] = append(sp, released[1:1+room]...)
+				rt.s.PushBatch(w, released[1+room:])
+			}
+		}
+		return
+	}
+	if len(rt.spill[w]) > 0 {
+		// Released nothing, but private work remains: the chain continues
+		// from the spill stack, so the countdown settlement stays
+		// deferred (the spilled tasks are unfinished and hold it open).
+		rt.chainFin[w]++
+		return
+	}
+	// Chain's end (a sink, or a finish that released nothing, with the
+	// spill stack dry): settle the whole run's countdown with one
+	// atomic. The producer parks in compiledBarrier on exactly one
+	// transition — the countdown reaching zero — and the Retire that
+	// crosses it delivers the wake. The producer settling its own chain
+	// needs no wake: its loop re-checks the countdown next turn.
+	n := rt.chainFin[w] + 1
+	rt.chainFin[w] = 0
+	if cs.Retire(n) == 0 && w != rt.producerID() {
+		rt.s.WakeProducer()
+	}
+}
+
 // worker is the main loop of worker w.
 func (rt *Runtime) worker(w int) {
 	defer rt.wg.Done()
@@ -1104,7 +1290,10 @@ func (rt *Runtime) worker(w int) {
 		p.SetState(w, trace.Idle, rt.now())
 	}
 	for {
-		t := rt.s.Pop(w)
+		t := rt.takeChained(w)
+		if t == nil {
+			t = rt.s.Pop(w)
+		}
 		if t == nil {
 			// Exit on shutdown once no queued work remains. Close()
 			// drains the graph via Taskwait first, so not-yet-ready
@@ -1181,7 +1370,13 @@ type persistentOpts struct {
 	changed func(iter int) bool
 }
 
-// PersistentOption configures Persistent's replay strategy.
+// PersistentOption configures Persistent's replay strategy. With no
+// option every iteration re-runs the body against the recorded
+// structure (per-task cost: one firstprivate copy); Frozen and
+// Adaptive trade flexibility for cheaper iterations in opposite
+// directions — Frozen gives up per-iteration updates entirely,
+// Adaptive keeps them and amortizes re-recording over unchanged
+// stretches.
 type PersistentOption func(*persistentOpts)
 
 // Frozen selects frozen replay: body runs only at iteration 0 to record
@@ -1190,6 +1385,21 @@ type PersistentOption func(*persistentOpts)
 // semantics of the OpenMP `taskgraph` proposal the paper contrasts with
 // its own extension (§3.2, §6) — cheaper per iteration, but nothing can
 // be updated between iterations. Mutually exclusive with Adaptive.
+//
+// Because nothing can change, the runtime compiles the recording into
+// a flat replay schedule (graph.Compile) and replays that: per
+// iteration the producer restores the predecessor counts with one
+// copy, publishes the root set, and waits on a countdown — no key
+// table, no pools, no hashing, no allocation (see
+// docs/architecture.md, "Frozen-graph compilation"). Recordings with
+// detached tasks cannot be compiled or frozen (their captured
+// completion events cannot re-fire) and are rejected with
+// graph.ErrCompileDetached; Config.NoCompiledReplay falls back to the
+// generic sentinel-release frozen replay for comparison. Task bodies
+// still run under the full failure domain: panics, Abort and poison
+// cones behave exactly as on the generic path, and structural
+// divergence is still surfaced as ErrReplayDivergence when
+// Config.Verify is on.
 func Frozen() PersistentOption {
 	return func(o *persistentOpts) { o.frozen = true }
 }
@@ -1327,6 +1537,25 @@ func (rt *Runtime) persistentFrozen(iters int, body func(iter int)) error {
 		rt.g.EndPersistent()
 		return err
 	}
+	if !rt.cfg.NoCompiledReplay {
+		// Compile the recording into a flat replay schedule — the
+		// frozen fast path (see internal/graph/compile.go). Detached
+		// recordings are rejected outright: frozen replay re-releases
+		// captured closures, including an already-fired completion
+		// event, so no later iteration could ever finish. Any other
+		// compile error is an internal indegree mismatch; the generic
+		// sentinel-release replay below still works, so take it.
+		cs, err := rt.g.Compile()
+		switch {
+		case err == nil:
+			werr := rt.replayCompiled(cs, iters)
+			rt.g.EndPersistent()
+			return werr
+		case errors.Is(err, graph.ErrCompileDetached):
+			rt.g.EndPersistent()
+			return fmt.Errorf("rt: Persistent(Frozen()): %w", err)
+		}
+	}
 	for it := 1; it < iters; it++ {
 		if err := rt.g.BeginReplay(); err != nil {
 			rt.g.EndPersistent()
@@ -1359,6 +1588,75 @@ func (rt *Runtime) persistentFrozen(iters int, body func(iter int)) error {
 	}
 	rt.g.EndPersistent()
 	return nil
+}
+
+// replayCompiled runs iterations 1..iters-1 of a Frozen region through
+// the compiled schedule cs. Per iteration the producer does exactly:
+// one copy (predecessor template), one batch publication (the root
+// set, straight into its work-stealing deque with a fan-out wake), and
+// the countdown barrier — no key table, no pools, no hashing, no
+// per-task sentinel releases. Divergence checking, failure windows and
+// the abort protocol are the generic path's, verbatim.
+func (rt *Runtime) replayCompiled(cs *graph.Compiled, iters int) error {
+	rt.compiled.Store(cs)
+	defer rt.compiled.Store(nil)
+	n := int64(cs.Len())
+	for it := 1; it < iters; it++ {
+		if err := cs.BeginIteration(); err != nil {
+			return err
+		}
+		if rt.ver != nil {
+			// As in generic frozen replay: captured closures are
+			// re-released, not resubmitted; only the end-of-iteration
+			// structural signature is checked.
+			rt.ver.BeginReplay(it, false)
+		}
+		rt.iter.Store(int32(it))
+		var sp obs.Span
+		if rt.obs.Sampled(rt.producerID()) {
+			sp = rt.obs.BeginSpan(rt.producerID(), obs.SpanReplayCopy, n, 0, it)
+		}
+		rt.s.SeedReplay(rt.producerID(), cs.Roots())
+		sp.End()
+		rt.obs.AddSlot(rt.producerID(), obs.CReplayHits, n)
+		rt.obs.IncSlot(rt.producerID(), obs.CReplayCompiled)
+		werr := rt.compiledBarrier(cs)
+		if p := rt.cfg.Profile; p != nil {
+			p.IterationEnd(rt.now())
+		}
+		if werr != nil {
+			return werr
+		}
+		if err := rt.checkReplayDivergence(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compiledBarrier is the compiled iteration's implicit Taskwait: the
+// producer executes ready tasks (popping its own deque first, then the
+// shared queues) until the iteration countdown reaches zero, then
+// settles the usual quiescent-point bookkeeping — counter flush,
+// Full-mode audit, the window's failure state. No open inoutset groups
+// can exist mid-replay (the recording barrier flushed them), so no
+// Flush is needed.
+func (rt *Runtime) compiledBarrier(cs *graph.Compiled) error {
+	if rt.obs.TimingOn() {
+		sp := rt.obs.BeginSpan(rt.producerID(), obs.SpanTaskwait, cs.Remaining(), 0, int(rt.iter.Load()))
+		defer sp.End()
+	}
+	for cs.Remaining() > 0 {
+		if !rt.produceConsumeOne() {
+			rt.producerIdle(func() bool { return cs.Remaining() == 0 })
+		}
+	}
+	cs.EndIteration()
+	rt.obs.FlushSlot(rt.producerID())
+	if rt.ver != nil && rt.cfg.Verify == verify.Full {
+		rt.lastAudit.Store(rt.ver.Audit(rt.g.RedirectNodes()))
+	}
+	return rt.takeFailure()
 }
 
 func (rt *Runtime) persistentAdaptive(iters int, body func(iter int), changed func(iter int) bool) error {

@@ -417,6 +417,62 @@ func (s *Scheduler) PushBatch(worker int, ts []*graph.Task) {
 	}
 }
 
+// SeedReplay publishes a compiled replay iteration's root set (see
+// graph.Compiled): one queue publication, then a fan-out wake of up to
+// len(ts) parked slots. PushBatch's wake-one + cascade ramp-up is right
+// for discovery, where readiness trickles in; a replay iteration
+// instead starts with its whole ready frontier known at once, so the
+// pool is woken to its width in one pass instead of over a cascade
+// chain. owner must be the calling goroutine's slot (the producer,
+// during Persistent replay): depth-first seeds land on its own deque
+// and are stolen FIFO — recorded order — by the woken workers.
+func (s *Scheduler) SeedReplay(owner int, ts []*graph.Task) {
+	if len(ts) == 0 {
+		return
+	}
+	s.obs.AddSlot(owner, obs.CDequePush, int64(len(ts)))
+	if s.engine == EngineMutex {
+		if s.ownDeque(owner) {
+			s.mworkers[owner].PushTopAll(ts)
+		} else {
+			s.global.PushTopAll(ts)
+		}
+		s.bump()
+		s.wake.Broadcast()
+		return
+	}
+	if s.ownDeque(owner) {
+		s.ws[owner].deque.PushTopAll(ts)
+	} else {
+		s.global.PushTopAll(ts)
+	}
+	s.bump()
+	s.wakeN(len(ts))
+}
+
+// wakeN wakes up to n parked slots, scanning from the rotating hint —
+// WakeOne generalized to a known burst of available work.
+func (s *Scheduler) wakeN(n int) {
+	if n <= 0 || s.nIdle.Load() == 0 {
+		return
+	}
+	total := len(s.stat)
+	if n > total {
+		n = total
+	}
+	start := int(s.wakeHint.Add(1)) % total
+	woken := 0
+	for i := 0; i < total && woken < n; i++ {
+		sl := start + i
+		if sl >= total {
+			sl -= total
+		}
+		if s.wakeSlot(sl) {
+			woken++
+		}
+	}
+}
+
 // xorshift64 advances a victim-selection RNG state.
 func xorshift64(x uint64) uint64 {
 	x ^= x << 13

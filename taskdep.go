@@ -147,11 +147,18 @@ type PersistentOption = rt.PersistentOption
 
 // Frozen selects frozen replay for Runtime.Persistent: the body runs
 // only at iteration 0 and later iterations re-release the captured
-// closures (the OpenMP `taskgraph` proposal's semantics).
+// closures (the OpenMP `taskgraph` proposal's semantics). The
+// recording is compiled into a flat replay schedule, making steady-
+// state iterations allocation-free with no key-table or discovery
+// work at all (docs/architecture.md, "Frozen-graph compilation").
+// Recordings containing detached tasks cannot be frozen.
 func Frozen() PersistentOption { return rt.Frozen() }
 
 // Adaptive selects adaptive re-recording for Runtime.Persistent: the
-// graph is re-recorded whenever changed(iter) reports a shape change.
+// graph is re-recorded whenever changed(iter) reports a shape change,
+// and replayed (body re-run, per-task cost one firstprivate copy)
+// over the unchanged stretches — the paper's AMR amortization
+// argument (§3.2).
 func Adaptive(changed func(iter int) bool) PersistentOption { return rt.Adaptive(changed) }
 
 // Dep is one dependence declaration (key + access type), as carried by
@@ -344,6 +351,7 @@ const (
 	CTasksSkipped   = obs.CTasksSkipped
 	CTasksAborted   = obs.CTasksAborted
 	CReplayHits     = obs.CReplayHits
+	CReplayCompiled = obs.CReplayCompiled
 	CDequePush      = obs.CDequePush
 	CDequePop       = obs.CDequePop
 	CDequeSteal     = obs.CDequeSteal
