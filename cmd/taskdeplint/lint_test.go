@@ -83,7 +83,7 @@ func collectWants(t *testing.T, dir string) map[string]string {
 var update = os.Getenv("UPDATE_GOLDEN") != ""
 
 func TestGoldenFixtures(t *testing.T) {
-	dirs := []string{"undeclaredwrite", "undeclaredread", "staledep", "unusedignore"}
+	dirs := []string{"undeclaredwrite", "undeclaredread", "staledep", "unusedignore", "fusedcapture"}
 	for _, d := range dirs {
 		d := d
 		t.Run(d, func(t *testing.T) {
@@ -141,6 +141,11 @@ func TestSeedRemoval(t *testing.T) {
 			"unusedignore", "unusedignore.go",
 			"\t// taskdeplint:ignore stale-dep,undeclared-read\n",
 			"",
+		},
+		{
+			"fusedcapture", "fusedcapture.go",
+			"\t\t})\n\t\tres = res * 2\n\t\tres = res + 1\n\t}",
+			"\t\t})\n\t}",
 		},
 	}
 	for _, c := range cases {

@@ -1,0 +1,36 @@
+package fusedcapture
+
+import "taskdep"
+
+// Seeded defect: res is per-iteration (so the classic loop-capture rule
+// stays quiet) but the iteration keeps writing to it after the Submit.
+// With task fusion the finishing worker may execute the body inline
+// before, between, or after those writes and observe any of the three
+// values. Exactly one fused-capture at the Spec.
+func pipeline(rt *taskdep.Runtime, xs []float64) {
+	for i := range xs {
+		res := xs[i]
+		rt.Submit(taskdep.Spec{
+			Label: "stage",
+			Out:   []taskdep.Key{taskdep.Key(i)},
+			Body:  func(any) { xs[i] = res },
+		})
+		res = res * 2
+		res = res + 1
+	}
+}
+
+// Negative twin: the writes are hoisted before the Spec, so the
+// captured value is settled by submission time.
+func pipelineFixed(rt *taskdep.Runtime, xs []float64) {
+	for i := range xs {
+		res := xs[i]
+		res = res * 2
+		res = res + 1
+		rt.Submit(taskdep.Spec{
+			Label: "stage",
+			Out:   []taskdep.Key{taskdep.Key(i)},
+			Body:  func(any) { xs[i] = res },
+		})
+	}
+}

@@ -46,6 +46,15 @@
 // named, its cone is skipped, disjoint work completes, the runtime
 // closes cleanly and no goroutines leak. -check validates invariants
 // and coverage against BENCH_faults.json; there is no timing gate.
+//
+// -exp tune measures the self-tuning scheduler against three
+// pathological graph shapes (fine-grain chains, a tight throttle
+// window, serial/burst starvation waves), each under the untuned
+// defaults, a hand-tuned actuator setting and the closed control loop
+// (Config.Tune). -check gates the committed per-pathology recovery
+// (adaptive >= 80% of hand-tuned throughput), proof the loop actuated,
+// and the fusion fast path's allocation count (0/task, fresh and
+// committed) against BENCH_tune.json.
 package main
 
 import (
@@ -285,9 +294,56 @@ func runReplay(smoke bool, jsonPath, checkPath string) int {
 	return 0
 }
 
+// runTune executes the self-tuning scheduler mode; returns the process
+// exit code. The -check gate holds the committed closed-loop recovery
+// at >= 80% of hand-tuned throughput per pathology and the fusion fast
+// path at 0 allocs/task (fresh and committed).
+func runTune(smoke bool, jsonPath, checkPath string) int {
+	p := experiments.DefaultTuneParams()
+	if smoke {
+		p = experiments.SmokeTuneParams()
+	}
+	res, err := experiments.RunTune(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tune benchmark FAILED: %v\n", err)
+		return 1
+	}
+	experiments.PrintTune(os.Stdout, &res)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		committed, err := experiments.ReadTuneJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", checkPath, err)
+			return 1
+		}
+		if err := experiments.CheckTune(&res, committed, 0.80, 0.01); err != nil {
+			fmt.Fprintf(os.Stderr, "tune check FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("tune check OK (committed adaptive >= 80%% of hand-tuned per pathology, fusion 0 allocs/task vs %s)\n", checkPath)
+	}
+	return 0
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs | replay")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs | replay | tune")
 		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
 		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
 		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
@@ -315,6 +371,8 @@ func main() {
 		os.Exit(runObs(*smoke, *jsonOut, *check))
 	case "replay":
 		os.Exit(runReplay(*smoke, *jsonOut, *check))
+	case "tune":
+		os.Exit(runTune(*smoke, *jsonOut, *check))
 	case "table1":
 		res := experiments.RunTable1(c, *tpl, *fine)
 		res.Print(os.Stdout)

@@ -47,7 +47,7 @@ func (g *Graph) SubmitBatch(descs []TaskDesc, out []*Task) []*Task {
 	out = g.allocTasks(n, out)
 	firstID := g.nextID.Add(int64(n)) - int64(n)
 	g.tasks.Add(int64(n))
-	g.live.Add(int64(n))
+	g.lrAdd(int64(n), 0)
 
 	var ready []*Task
 	for i := range descs {

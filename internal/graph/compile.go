@@ -183,14 +183,14 @@ func (c *Compiled) BeginIteration() error {
 	n := int64(len(c.tasks))
 	c.remaining.Store(n)
 	c.g.replayed.Add(n)
-	c.g.live.Add(n)
+	c.g.lrAdd(n, 0)
 	return nil
 }
 
 // EndIteration retires the iteration's live count. Producer-only, after
 // the barrier observed Remaining == 0.
 func (c *Compiled) EndIteration() {
-	c.g.live.Add(-int64(len(c.tasks)))
+	c.g.lrAdd(-int64(len(c.tasks)), 0)
 }
 
 // FinishInto is the compiled path's terminal transition, replacing

@@ -166,8 +166,16 @@ type Graph struct {
 	// Atomic counters (see Stats for the consistency model).
 	tasks, redirects, replayed atomic.Int64
 
-	live  atomic.Int64 // created but not completed
-	ready atomic.Int64 // ready or running but not completed
+	// lr packs the live (high 32 bits) and ready (low 32 bits) gauges
+	// into one word so the release path settles both with a single
+	// wait-free fetch-add — the generic terminal transition used to pay
+	// two contended LOCK XADDs on two global cache lines, one per
+	// gauge. Packed two's-complement addition decomposes exactly as
+	// long as the low half never under- or overflows, which the task
+	// lifecycle guarantees: every task is marked ready (low +1) before
+	// it can finish (low -1), and both gauges are bounded by the live
+	// task count, far below 2^31. See lrAdd.
+	lr atomic.Uint64
 
 	// failEpoch is the current failure window. A task that drains
 	// non-Completed stamps the window it failed in; discovery-time
@@ -240,17 +248,28 @@ func (g *Graph) NumShards() int { return len(g.shards) }
 // Opts returns the optimization mask the graph was created with.
 func (g *Graph) Opts() Opt { return g.opts }
 
+// lrAdd adjusts the packed live/ready gauges with one fetch-add.
+// Negative deltas rely on two's-complement wraparound: adding
+// live<<32 + ready modulo 2^64 yields exactly (live+Δlive, ready+Δready)
+// in the two halves provided the new ready value stays in [0, 2^32) —
+// callers only ever decrement ready together with live for a task that
+// was previously marked ready, so the low half never borrows.
+func (g *Graph) lrAdd(live, ready int64) {
+	g.lr.Add(uint64(live<<32 + ready))
+}
+
 // Live returns the number of discovered-but-uncompleted tasks, the
 // quantity bounded by MPC-OMP's total-tasks throttling threshold.
 // Under striped submission it is exact up to in-flight transitions: a
 // task is counted from before it becomes visible to any other
 // goroutine until its Complete returns.
-func (g *Graph) Live() int64 { return g.live.Load() }
+func (g *Graph) Live() int64 { return int64(g.lr.Load() >> 32) }
 
 // ReadyCount returns the number of ready-or-running tasks, the quantity
 // bounded by classic ready-task throttling. Same consistency model as
-// Live.
-func (g *Graph) ReadyCount() int64 { return g.ready.Load() }
+// Live. Read from the same packed word as Live, so a single load gives
+// a mutually consistent (live, ready) pair.
+func (g *Graph) ReadyCount() int64 { return int64(uint32(g.lr.Load())) }
 
 // Stats returns a snapshot of the discovery counters; see the Stats
 // type for the consistency model under concurrent producers.
@@ -303,7 +322,7 @@ func (g *Graph) submit(label string, deps []Dep, body func(fp any), do func(fp a
 	t.Attach = attach
 	t.captureDeps(deps)
 	g.tasks.Add(1)
-	g.live.Add(1)
+	g.lrAdd(1, 0)
 	t.preds.Store(1) // producer sentinel
 	t.Persistent = g.recording
 	if g.recording {
@@ -446,7 +465,7 @@ func (g *Graph) newRedirect() *Task {
 	r.Redirect = true
 	g.tasks.Add(1)
 	g.redirects.Add(1)
-	g.live.Add(1)
+	g.lrAdd(1, 0)
 	r.preds.Store(1)
 	r.Persistent = g.recording
 	if g.recording {
@@ -552,7 +571,7 @@ func (g *Graph) releaseSentinel(t *Task, readyBuf *[]*Task) {
 // on the completion path where the caller receives the task instead.
 func (g *Graph) markReadyQuiet(t *Task) {
 	t.state.Store(int32(Ready))
-	g.ready.Add(1)
+	g.lrAdd(0, 1)
 }
 
 // notifyReady delivers a producer-side ready batch through OnReadyBatch
@@ -624,12 +643,25 @@ func (g *Graph) finishInto(t *Task, buf []*Task, final State) []*Task {
 		// addEdge reads failEpoch only after observing a Done state.
 		t.failEpoch = g.failEpoch.Load()
 	}
+	// A task that never transitioned through Ready was never counted in
+	// the ready gauge and must not decrement it: a detached task may be
+	// completed by an external Fulfill while still Created (its release
+	// blocked behind an unfinished predecessor, or its queue publication
+	// not yet consumed). The separate-gauge era tolerated the resulting
+	// -1 drift; the packed word must not, since a low-half borrow
+	// corrupts the live count.
+	wasCounted := State(t.state.Load()) != Created
 	t.state.Store(int32(final))
 	succs := t.succs
 	t.mu.Unlock()
 
-	g.ready.Add(-1)
-	g.live.Add(-1)
+	// Both gauges settle in one wait-free fetch-add on the shared word
+	// (this is the release path's hottest global synchronization).
+	if wasCounted {
+		g.lrAdd(-1, -1)
+	} else {
+		g.lrAdd(-1, 0)
+	}
 	released := buf[:0]
 	for _, s := range succs {
 		if poison {

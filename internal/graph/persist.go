@@ -69,7 +69,7 @@ func (g *Graph) BeginReplay() error {
 		t.state.Store(int32(Created))
 		t.poisoned.Store(false)
 	}
-	g.live.Add(int64(len(g.recorded)))
+	g.lrAdd(int64(len(g.recorded)), 0)
 	g.replayIndex = 0
 	return nil
 }

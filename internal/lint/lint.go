@@ -38,6 +38,7 @@ func (f Finding) String() string {
 // ignore comments refer to these names.
 const (
 	RuleLoopCapture     = "loop-capture"
+	RuleFusedCapture    = "fused-capture"
 	RuleUseAfterClose   = "use-after-close"
 	RuleFulfillNil      = "fulfill-nil-event"
 	RuleMissingOut      = "missing-out"
@@ -59,6 +60,7 @@ type RuleInfo struct {
 func Rules() []RuleInfo {
 	return []RuleInfo{
 		{RuleLoopCapture, "a Spec Body/DetachedBody closure captures a variable the enclosing loop mutates; the body runs concurrently with later iterations"},
+		{RuleFusedCapture, "a Spec body closure captures a loop-local variable the same iteration reassigns after the Spec is built; a fused body may run inline before or after that write and observe either value"},
 		{RuleUseAfterClose, "Submit/Taskwait/Persistent on a runtime after Close() in the same function"},
 		{RuleFulfillNil, "Fulfill on the result of a Submit whose Spec is not Detached (Submit returns nil)"},
 		{RuleMissingOut, "a Spec whose body writes package-level state but declares no Out/InOut/InOutSet keys, when type information is too incomplete for effect analysis"},
@@ -415,6 +417,7 @@ func (l *pkgLint) lintFile(f *ast.File, restricted bool) {
 		}
 		if lit, ok := n.(*ast.CompositeLit); ok && isSpecLit(lit) {
 			l.checkLoopCapture(lit, stack)
+			l.checkFusedCapture(lit, stack)
 			l.checkMissingOut(lit)
 			l.checkDroppedError(lit)
 		}

@@ -175,6 +175,80 @@ func (l *pkgLint) mutatedIn(loop ast.Node, obj *types.Var, exclude *ast.FuncLit)
 	return found
 }
 
+// --- rule: fused-capture ---
+
+// checkFusedCapture flags Body/Do/DetachedBody closures that capture a
+// loop-LOCAL variable the same iteration reassigns after the Spec is
+// built. Per-iteration variables are immune to the classic loop-capture
+// hazard, but a write that follows the Submit still races with the
+// body: the runtime may execute it at any point after submission — and
+// task fusion makes "immediately, inline on the finishing worker" a
+// common schedule — so the closure observes either the pre- or
+// post-write value nondeterministically. A batch-submitted Spec is no
+// better off: there the body always sees the final value, which the
+// capture-at-build-time shape suggests the author did not intend.
+func (l *pkgLint) checkFusedCapture(lit *ast.CompositeLit, stack []ast.Node) {
+	if !l.on(RuleFusedCapture) {
+		return
+	}
+	fields := specFields(lit)
+	for _, name := range []string{"Body", "Do", "DetachedBody"} {
+		fn, ok := fields[name].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		for _, obj := range l.capturedVars(fn) {
+			for i := len(stack) - 1; i >= 0; i-- {
+				loop := stack[i]
+				switch loop.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+				default:
+					continue
+				}
+				if obj.Pos() < loop.Pos() || obj.Pos() >= loop.End() {
+					continue // declared outside: loop-capture territory
+				}
+				if l.mutatedAfter(loop, obj, lit.End(), fn) {
+					l.report(lit.Pos(), RuleFusedCapture,
+						"task %s captures loop-local %q, which the iteration reassigns after the Spec is built; the body may run (inline, when fused) before or after that write and observe either value — finish the writes first, or copy the value",
+						name, obj.Name())
+					break
+				}
+			}
+		}
+	}
+}
+
+// mutatedAfter reports whether obj is assigned at a source position
+// after `after` within the loop node, excluding the submitted closure
+// itself. Loop-header post statements (i++) sit before the body in
+// source order, so a per-iteration index never trips this.
+func (l *pkgLint) mutatedAfter(loop ast.Node, obj *types.Var, after token.Pos, exclude *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if found || n == exclude {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true // := declares new objects, never mutates obj
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && l.varOf(id) == obj && id.Pos() > after {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok && l.varOf(id) == obj && id.Pos() > after {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
 // --- rule: missing-out ---
 
 // checkMissingOut flags a Spec whose Body writes package-level state

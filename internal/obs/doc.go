@@ -48,6 +48,12 @@
 // after Taskwait), and may lag a busy worker by at most ~256 events
 // in a live /metrics scrape.
 //
+// Monotonicity is also what makes windowed deltas free: Window
+// (NewWindow/Advance) remembers the previous merged read and returns
+// element-wise differences, giving rates without any coordination with
+// concurrent owners or flushes. The self-tuning control loop
+// (internal/tune) runs entirely off these deltas.
+//
 // # Pre-registered series (exposed on /metrics, Prometheus text format)
 //
 // Counters backed by registry shards:
@@ -71,6 +77,10 @@
 //	taskdep_mpi_bytes_sent_total     send+collective payload bytes
 //	taskdep_mpi_bytes_recvd_total    receive payload bytes
 //	taskdep_faults_injected_total    faults manufactured by fault.Inject
+//	taskdep_tasks_fused_total        successors executed inline via task fusion
+//	taskdep_tune_fusion_adjust_total    tuner changes to the fusion run limit
+//	taskdep_tune_throttle_adjust_total  tuner resizes of the throttle windows
+//	taskdep_tune_wake_adjust_total      tuner changes to the wake policy
 //
 // Counters backed by graph collectors (registered by rt, values from
 // the graph's own striped discovery counters — zero added hot-path

@@ -32,6 +32,10 @@ const (
 	CMPIBytesSent
 	CMPIBytesRecvd
 	CFaultsInjected
+	CTasksFused
+	CTuneFusion
+	CTuneThrottle
+	CTuneWake
 	NumCounters // sentinel, not a counter
 )
 
@@ -57,6 +61,10 @@ var counterNames = [NumCounters]string{
 	CMPIBytesSent:   "taskdep_mpi_bytes_sent_total",
 	CMPIBytesRecvd:  "taskdep_mpi_bytes_recvd_total",
 	CFaultsInjected: "taskdep_faults_injected_total",
+	CTasksFused:     "taskdep_tasks_fused_total",
+	CTuneFusion:     "taskdep_tune_fusion_adjust_total",
+	CTuneThrottle:   "taskdep_tune_throttle_adjust_total",
+	CTuneWake:       "taskdep_tune_wake_adjust_total",
 }
 
 // Name returns the Prometheus series name for c.

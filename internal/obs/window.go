@@ -1,0 +1,108 @@
+package obs
+
+import "time"
+
+// Windowed-delta snapshots: the cheap way to turn the registry's
+// monotone merged counters into rates. A Window remembers the previous
+// merged read; Advance re-reads and returns the element-wise
+// difference. Because every shard counter is monotone and readers
+// merge only the atomic arrays, each merged read is a torn-free
+// consistent-past snapshot — so the difference of two reads is
+// non-negative per counter and needs no coordination with concurrent
+// owners or flushes. The self-tuning control loop (internal/tune) and
+// /metrics scrapers both consume this instead of re-deriving rates
+// from full shard state each tick.
+//
+// A Window is owned by a single reader goroutine; concurrent Advance
+// calls on the same Window need external synchronization (the
+// registry itself needs none).
+
+// Delta is the change observed between two Window advances.
+type Delta struct {
+	// Elapsed is the wall time between the two reads.
+	Elapsed time.Duration
+	// Counters holds the per-counter increments, index-aligned with the
+	// Counter constants. Non-negative (shards are monotone).
+	Counters [NumCounters]int64
+	// Hists holds the per-histogram increments (bucket counts, Count,
+	// Sum), index-aligned with the Histo constants. All-zero while the
+	// timing tier is off.
+	Hists [NumHistos]HistSnapshot
+}
+
+// Rate returns counter c's increment per second over the window, or 0
+// for an empty window.
+func (d *Delta) Rate(c Counter) float64 {
+	if d.Elapsed <= 0 {
+		return 0
+	}
+	return float64(d.Counters[c]) / d.Elapsed.Seconds()
+}
+
+// Window tracks the previous merged read for delta snapshots.
+type Window struct {
+	r        *Registry
+	last     time.Time
+	counters [NumCounters]int64
+	hists    [NumHistos]HistSnapshot
+}
+
+// NewWindow creates a delta window primed with the registry's current
+// merged state, so the first Advance reports only increments from now
+// on. Safe on a nil registry (Advance then returns zero deltas).
+func (r *Registry) NewWindow() *Window {
+	w := &Window{r: r, last: time.Now()}
+	if r != nil {
+		w.counters = r.Counters()
+		for h := Histo(0); h < NumHistos; h++ {
+			w.hists[h] = r.Histogram(h)
+		}
+	}
+	return w
+}
+
+// Advance re-reads the merged registry state and returns the change
+// since the previous Advance (or NewWindow). Each call is two merged
+// reads' worth of loads — no locks, no shard coordination; owners keep
+// writing concurrently. Deltas are clamped at zero so a re-created or
+// re-enabled registry can never yield a negative rate.
+func (w *Window) Advance() Delta {
+	now := time.Now()
+	d := Delta{Elapsed: now.Sub(w.last)}
+	w.last = now
+	if w.r == nil {
+		return d
+	}
+	cur := w.r.Counters()
+	for c := Counter(0); c < NumCounters; c++ {
+		if dc := cur[c] - w.counters[c]; dc > 0 {
+			d.Counters[c] = dc
+		}
+	}
+	w.counters = cur
+	for h := Histo(0); h < NumHistos; h++ {
+		curH := w.r.Histogram(h)
+		d.Hists[h] = curH.DeltaFrom(w.hists[h])
+		w.hists[h] = curH
+	}
+	return d
+}
+
+// DeltaFrom returns the element-wise difference s - prev, clamped at
+// zero. Valid for snapshots of the same (monotone) source: the result
+// is the histogram of values observed between the two snapshots.
+func (s HistSnapshot) DeltaFrom(prev HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	for i := range s.Buckets {
+		if d := s.Buckets[i] - prev.Buckets[i]; d > 0 {
+			out.Buckets[i] = d
+		}
+	}
+	if d := s.Count - prev.Count; d > 0 {
+		out.Count = d
+	}
+	if d := s.Sum - prev.Sum; d > 0 {
+		out.Sum = d
+	}
+	return out
+}

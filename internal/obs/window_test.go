@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWindowDeltaExact checks that a sequence of Advance calls sums to
+// the total once the registry is quiescent and flushed.
+func TestWindowDeltaExact(t *testing.T) {
+	r := New(2, Options{})
+	w := r.NewWindow()
+
+	r.IncSlot(0, CTasksExecuted)
+	r.IncSlot(0, CTasksExecuted)
+	r.FlushSlot(0)
+	d := w.Advance()
+	if d.Counters[CTasksExecuted] != 2 {
+		t.Fatalf("first delta = %d, want 2", d.Counters[CTasksExecuted])
+	}
+
+	r.AddSlot(1, CTasksExecuted, 5)
+	r.Add(CWakes, 3) // external shard, immediately visible
+	r.FlushSlot(1)
+	d = w.Advance()
+	if d.Counters[CTasksExecuted] != 5 || d.Counters[CWakes] != 3 {
+		t.Fatalf("second delta = %d/%d, want 5/3",
+			d.Counters[CTasksExecuted], d.Counters[CWakes])
+	}
+
+	// Nothing happened: zero delta.
+	d = w.Advance()
+	for c := Counter(0); c < NumCounters; c++ {
+		if d.Counters[c] != 0 {
+			t.Fatalf("idle delta for %s = %d, want 0", c.Name(), d.Counters[c])
+		}
+	}
+}
+
+// TestWindowHistDelta checks histogram deltas through the timing tier.
+func TestWindowHistDelta(t *testing.T) {
+	r := New(1, Options{Spans: true})
+	w := r.NewWindow()
+	r.ObserveSlot(0, HTaskBodyNs, 100)
+	r.ObserveSlot(0, HTaskBodyNs, 300)
+	d := w.Advance()
+	h := d.Hists[HTaskBodyNs]
+	if h.Count != 2 || h.Sum != 400 {
+		t.Fatalf("hist delta count/sum = %d/%d, want 2/400", h.Count, h.Sum)
+	}
+	if got := h.Mean(); got != 200 {
+		t.Fatalf("hist delta mean = %v, want 200", got)
+	}
+	if d2 := w.Advance(); d2.Hists[HTaskBodyNs].Count != 0 {
+		t.Fatalf("idle hist delta count = %d, want 0", d2.Hists[HTaskBodyNs].Count)
+	}
+}
+
+// TestWindowConcurrentFlush advances windows while owners increment and
+// flush concurrently: every delta must be non-negative and the deltas
+// must sum to the exact total after the writers quiesce.
+func TestWindowConcurrentFlush(t *testing.T) {
+	const (
+		slots   = 4
+		perSlot = 20000
+	)
+	r := New(slots, Options{})
+	w := r.NewWindow()
+
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSlot; i++ {
+				r.IncSlot(s, CDequePush)
+				if i%128 == 0 {
+					r.FlushSlot(s)
+				}
+			}
+			r.FlushSlot(s)
+		}(s)
+	}
+
+	var sum int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			d := w.Advance()
+			if d.Counters[CDequePush] < 0 {
+				t.Error("negative delta under concurrent flush")
+				return
+			}
+			sum += d.Counters[CDequePush]
+			time.Sleep(50 * time.Microsecond)
+		}
+		sum += w.Advance().Counters[CDequePush]
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	<-done
+	if want := int64(slots * perSlot); sum != want {
+		t.Fatalf("summed deltas = %d, want %d", sum, want)
+	}
+}
+
+// TestWindowNilRegistry: nil-safety of the window constructor.
+func TestWindowNilRegistry(t *testing.T) {
+	var r *Registry
+	w := r.NewWindow()
+	d := w.Advance()
+	if d.Counters[CTasksExecuted] != 0 {
+		t.Fatal("nil registry window must yield zero deltas")
+	}
+}

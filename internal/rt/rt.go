@@ -14,6 +14,7 @@ import (
 	"taskdep/internal/obs"
 	"taskdep/internal/sched"
 	"taskdep/internal/trace"
+	"taskdep/internal/tune"
 	"taskdep/internal/verify"
 )
 
@@ -68,6 +69,12 @@ type Config struct {
 	// latency histograms, Obs.Addr to serve /metrics, /graphz, /spans
 	// and /debug/pprof/, and Obs.Disable to turn everything off.
 	Obs obs.Options
+	// Tune configures the self-tuning control loop (internal/tune): a
+	// low-frequency controller that snapshots windowed deltas from the
+	// metrics registry and steers task fusion, the throttle windows and
+	// the scheduler's wake policy against detrimental task patterns.
+	// Zero value: off. See docs/architecture.md, "Self-tuning".
+	Tune tune.Options
 	// NoCompiledReplay disables the frozen-graph compiler: Frozen
 	// persistent regions replay through the generic recorded-sequence
 	// machinery (per-task sentinel releases) instead of a compiled flat
@@ -105,10 +112,29 @@ type Runtime struct {
 
 	detached atomic.Int64 // detached tasks awaiting Fulfill
 
-	// throttleOn caches whether any throttle threshold is configured, so
+	// thrReady/thrTotal are the live throttle windows, seeded from
+	// Config and resized at runtime by SetThrottle (the tuner's throttle
+	// actuator). throttleOn caches whether either window is nonzero, so
 	// completions know the producer may be parked on a counter
-	// transition rather than a queue publication.
-	throttleOn bool
+	// transition rather than a queue publication. All three are single
+	// atomic words: the hot paths re-read them, so a resize needs no
+	// coordination beyond the producer wake in SetThrottle.
+	thrReady   atomic.Int64
+	thrTotal   atomic.Int64
+	throttleOn atomic.Bool
+
+	// fuseLimit is the task-fusion run limit (0 = fusion off): how many
+	// consecutive chain successors a finishing executor may keep and run
+	// inline (via chained) before the run is forced back through the
+	// deque. Set by SetFuseLimit (the tuner's fusion actuator), read on
+	// every generic-path finish. fuseRun[slot] is the owner's current
+	// run length, owner-private like chained.
+	fuseLimit atomic.Int32
+	fuseRun   []int32
+
+	// tuner is the self-tuning control loop; non-nil only when
+	// Config.Tune.Enable, stopped first in Close.
+	tuner *tune.Tuner
 
 	// ver records dependence declarations for the TDG verifier; nil
 	// unless Config.Verify != verify.Off.
@@ -237,6 +263,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Inject != nil && cfg.Inject.Every < 0 {
 		return nil, fmt.Errorf("rt: Inject.Every is %d; want >= 0 (0 disables injection)", cfg.Inject.Every)
 	}
+	if err := cfg.Tune.Validate(); err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
 	gopts := cfg.Opts
 	if cfg.Verify != verify.Off {
 		// Materialize edges to already-completed predecessors so the
@@ -247,9 +276,11 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		cfg:        cfg,
 		s:          sched.NewEngine(cfg.Policy, cfg.Workers, cfg.Engine),
 		start:      time.Now(),
-		throttleOn: cfg.ThrottleTotal > 0 || cfg.ThrottleReady > 0,
 		detachLive: make(map[*graph.Task]*Event),
 	}
+	rt.thrReady.Store(cfg.ThrottleReady)
+	rt.thrTotal.Store(cfg.ThrottleTotal)
+	rt.throttleOn.Store(cfg.ThrottleTotal > 0 || cfg.ThrottleReady > 0)
 	// Registry slots mirror the scheduler's: workers 0..W-1 plus the
 	// producer-as-consumer at W (the external shard is implicit).
 	rt.obs = obs.New(cfg.Workers+1, cfg.Obs)
@@ -274,6 +305,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	rt.chained = make([]*graph.Task, cfg.Workers+1)
 	rt.chainFin = make([]int64, cfg.Workers+1)
 	rt.spill = make([][]*graph.Task, cfg.Workers+1)
+	rt.fuseRun = make([]int32, cfg.Workers+1)
 	if cfg.Obs.Addr != "" {
 		srv, err := obs.Serve(cfg.Obs.Addr, rt.obs.Handler(func() any { return rt.Introspect() }))
 		if err != nil {
@@ -285,8 +317,28 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		rt.wg.Add(1)
 		go rt.worker(w)
 	}
+	if cfg.Tune.Enable {
+		rt.tuner = tune.New(tune.Target{
+			Obs:           rt.obs,
+			Workers:       cfg.Workers,
+			Ready:         rt.g.ReadyCount,
+			Live:          rt.g.Live,
+			Pending:       rt.s.Pending,
+			FuseLimit:     rt.FuseLimit,
+			SetFuseLimit:  rt.SetFuseLimit,
+			Throttle:      rt.ThrottleLimits,
+			SetThrottle:   rt.SetThrottle,
+			WakePolicy:    rt.s.WakePolicy,
+			SetWakePolicy: rt.s.SetWakePolicy,
+		}, cfg.Tune)
+		rt.tuner.Start()
+	}
 	return rt, nil
 }
+
+// Tuner returns the self-tuning control loop, or nil when
+// Config.Tune.Enable is false (introspection/tests).
+func (rt *Runtime) Tuner() *tune.Tuner { return rt.tuner }
 
 // registerCollectors wires the callback-backed /metrics series: edge
 // counters read from the graph's own striped discovery stats, and the
@@ -303,6 +355,12 @@ func (rt *Runtime) registerCollectors() {
 	reg.RegisterGauge("taskdep_sched_pending_tasks", func() float64 { return float64(rt.s.Pending()) })
 	reg.RegisterGauge("taskdep_detached_tasks", func() float64 { return float64(rt.detached.Load()) })
 	reg.RegisterGauge("taskdep_failure_epoch", func() float64 { return float64(rt.g.FailEpoch()) })
+	// Live knob values, not Config echoes: the tuner resizes these at
+	// runtime, and /metrics must report what the hot paths actually read
+	// (the static-config gauges drifted the moment a window was resized).
+	reg.RegisterGauge("taskdep_throttle_ready_limit", func() float64 { return float64(rt.thrReady.Load()) })
+	reg.RegisterGauge("taskdep_throttle_total_limit", func() float64 { return float64(rt.thrTotal.Load()) })
+	reg.RegisterGauge("taskdep_fuse_limit", func() float64 { return float64(rt.fuseLimit.Load()) })
 }
 
 // Obs returns the runtime's metrics registry (always non-nil; its
@@ -439,8 +497,12 @@ type Event struct {
 	t  atomic.Pointer[graph.Task]
 	// fired makes completion exactly-once under races between Fulfill
 	// and the failure domain (abort cancellation, poison skip, a body
-	// that fulfilled synchronously and then panicked): whichever path
-	// wins the CAS completes the task; the others are no-ops.
+	// that fulfilled synchronously and then panicked): whichever path's
+	// Swap(true) reads false completes the task; the others are no-ops.
+	// The claim is an unconditional XCHG, not a CAS loop — with only two
+	// states and a monotone transition, exactly one of any set of
+	// concurrent swappers observes false, and losers store the value
+	// already present.
 	fired atomic.Bool
 	// armed records that the task's body ran and returned: the task is
 	// in no scheduler queue, waiting only on external fulfillment, so
@@ -460,7 +522,7 @@ func (e *Event) Fulfill() {
 		runtime.Gosched()
 		t = e.t.Load()
 	}
-	if !e.fired.CompareAndSwap(false, true) {
+	if e.fired.Swap(true) {
 		return
 	}
 	rt := e.rt
@@ -709,7 +771,7 @@ func (rt *Runtime) TaskLoop(n, numTasks int, depsFor func(c, lo, hi int) Spec, b
 // thresholds, executing tasks meanwhile ("producer threads stop producing
 // and start consuming").
 func (rt *Runtime) throttle() {
-	if !rt.throttleOn {
+	if !rt.throttleOn.Load() {
 		return
 	}
 	for {
@@ -727,8 +789,52 @@ func (rt *Runtime) throttle() {
 }
 
 func (rt *Runtime) overThrottle() bool {
-	tot, rdy := rt.cfg.ThrottleTotal, rt.cfg.ThrottleReady
+	tot, rdy := rt.thrTotal.Load(), rt.thrReady.Load()
 	return (tot > 0 && rt.g.Live() >= tot) || (rdy > 0 && rt.g.ReadyCount() >= rdy)
+}
+
+// ThrottleLimits returns the live throttle windows (ready, total) —
+// the values the producer actually checks, which the tuner may have
+// resized away from the Config seeds. 0 = that window unbounded.
+func (rt *Runtime) ThrottleLimits() (ready, total int64) {
+	return rt.thrReady.Load(), rt.thrTotal.Load()
+}
+
+// SetThrottle resizes the producer throttle windows at runtime
+// (negative values clamp to 0 = unbounded). Safe from any goroutine:
+// the windows are single atomic words re-read on every throttle check.
+// The unconditional producer wake closes the resize race — a producer
+// parked against the old windows re-evaluates overThrottle against the
+// new ones, so widening can never strand it on thresholds that no
+// longer exist (the drift the old static-config accounting baked in:
+// throttle() read Config while a resize had nowhere to land).
+func (rt *Runtime) SetThrottle(ready, total int64) {
+	if ready < 0 {
+		ready = 0
+	}
+	if total < 0 {
+		total = 0
+	}
+	rt.thrReady.Store(ready)
+	rt.thrTotal.Store(total)
+	rt.throttleOn.Store(ready > 0 || total > 0)
+	rt.s.WakeProducer()
+}
+
+// FuseLimit returns the current task-fusion run limit (0 = off).
+func (rt *Runtime) FuseLimit() int { return int(rt.fuseLimit.Load()) }
+
+// SetFuseLimit sets the task-fusion run limit: how many consecutive
+// chain successors a finishing executor may keep and execute inline
+// before the run is forced back through the deque (0 disables fusion;
+// negative clamps to 0). Safe from any goroutine — the limit is a
+// single atomic word read per finish, and lowering it only shortens
+// runs already in flight at their next finish.
+func (rt *Runtime) SetFuseLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	rt.fuseLimit.Store(int32(n))
 }
 
 // takeChained claims the slot's direct-handoff successor (compiled
@@ -933,7 +1039,7 @@ func (rt *Runtime) cancelDetached() {
 		if !ev.armed.Load() {
 			continue
 		}
-		if ev.fired.CompareAndSwap(false, true) {
+		if !ev.fired.Swap(true) {
 			victims = append(victims, victim{t, ev})
 		}
 		delete(rt.detachLive, t)
@@ -997,6 +1103,14 @@ func (rt *Runtime) execute(w int, t *graph.Task) {
 	}
 	if t.Poisoned() || rt.aborted.Load() {
 		rt.skip(w, t)
+		return
+	}
+	// A detached task can be completed by an external Fulfill while its
+	// queue publication is still in flight; the event's fired claim is
+	// the authority. Running the body anyway would store Running over
+	// the terminal state, leaving a ghost-live task that silently blocks
+	// every later successor discovered against its keys.
+	if t.Detached && rt.detachEvent(t).fired.Load() {
 		return
 	}
 	p := rt.cfg.Profile
@@ -1102,14 +1216,14 @@ func (rt *Runtime) skip(w int, t *graph.Task) {
 	rt.obs.Instant(w, obs.InstSkip, t.ID, 0, int(rt.iter.Load()))
 	if !t.Detached {
 		rt.finish(w, t, graph.Skipped)
-	} else if ev := rt.detachEvent(t); ev.fired.CompareAndSwap(false, true) {
+	} else if ev := rt.detachEvent(t); !ev.fired.Swap(true) {
 		rt.detachMu.Lock()
 		delete(rt.detachLive, t)
 		rt.detachMu.Unlock()
 		rt.detached.Add(-1)
 		rt.finish(w, t, graph.Skipped)
 	}
-	// A lost CAS means an external Fulfill already completed the task.
+	// A lost claim means an external Fulfill already completed the task.
 	if p != nil {
 		p.SetState(slot, trace.Overhead, rt.now())
 	}
@@ -1122,7 +1236,7 @@ func (rt *Runtime) fail(w int, t *graph.Task, cause error) {
 	rt.recordFailure(t, cause)
 	if t.Detached {
 		ev := rt.detachEvent(t)
-		if !ev.fired.CompareAndSwap(false, true) {
+		if ev.fired.Swap(true) {
 			// The body fulfilled its own event synchronously and then
 			// failed: the fulfillment completed the task and wins; the
 			// failure is still reported by the next Taskwait.
@@ -1187,14 +1301,42 @@ func (rt *Runtime) finish(w int, t *graph.Task, final graph.State) {
 	if slotted {
 		rt.relBufs[w] = released
 	}
-	rt.s.PushBatch(w, released)
+	publish := released
+	if slotted && len(released) > 0 {
+		// Task fusion (tuner actuator): within the run limit, the
+		// finishing executor keeps the first released successor and runs
+		// it inline on its next loop turn (rt.chained — every consumer
+		// drains it before popping) instead of round-tripping it through
+		// the deque. No allocation, no queue operation, no wake. The
+		// task is hidden from thieves for at most one body execution,
+		// and an executor never parks with a chained task, so fusion
+		// delays work at most one run. Lifecycle is untouched: the fused
+		// task still goes through execute(), so poison cones, aborts and
+		// panics behave exactly as if it had queued.
+		if lim := rt.fuseLimit.Load(); lim > 0 && rt.fuseRun[w] < lim && rt.chained[w] == nil {
+			rt.fuseRun[w]++
+			rt.chained[w] = released[0]
+			publish = released[1:]
+			if !released[0].Redirect {
+				rt.obs.IncSlot(w, obs.CTasksFused)
+			}
+		} else {
+			rt.fuseRun[w] = 0 // limit hit or fusion off: break the run
+		}
+	} else if slotted {
+		rt.fuseRun[w] = 0 // sink released nothing: the chain ends here
+	}
+	rt.s.PushBatch(w, publish)
 	// PushBatch already wakes (at most) one worker for the published
 	// batch. The producer additionally waits on counter transitions that
 	// carry no queue entries: a completion releasing nothing (taskwait
 	// counts Live down), the graph draining to empty, or — with a
 	// throttle configured — any completion dropping Live/ReadyCount back
-	// under a threshold.
-	if len(released) == 0 || rt.throttleOn || rt.g.Live() == 0 {
+	// under a threshold. The decision keys off the original release set,
+	// not the published remainder: a fused successor is live and
+	// unfinished, so none of the producer's predicates can have turned
+	// on it.
+	if len(released) == 0 || rt.throttleOn.Load() || rt.g.Live() == 0 {
 		rt.s.WakeProducer()
 	}
 }
@@ -1710,6 +1852,12 @@ func (rt *Runtime) persistentAdaptive(iters int, body func(iter int), changed fu
 // the final implicit Taskwait returned. The runtime must not be used
 // afterwards.
 func (rt *Runtime) Close() error {
+	if rt.tuner != nil {
+		// Quiesce the control loop before draining: knobs freeze at
+		// their last values (always safe) and the final drain runs
+		// without concurrent actuation.
+		rt.tuner.Stop()
+	}
 	if rt.obs.TimingOn() {
 		sp := rt.obs.BeginSpan(rt.producerID(), obs.SpanClose, rt.g.Live(), 0, int(rt.iter.Load()))
 		defer sp.End()

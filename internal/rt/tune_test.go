@@ -1,0 +1,358 @@
+package rt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"taskdep/internal/fault"
+	"taskdep/internal/graph"
+	"taskdep/internal/obs"
+	"taskdep/internal/tune"
+)
+
+func TestFusionChainExecutesInOrder(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	rt.SetFuseLimit(8)
+	const n = 500
+	var order []int
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		i := i
+		rt.Submit(Spec{
+			Label: fmt.Sprintf("c%d", i),
+			InOut: []graph.Key{1},
+			Body: func(any) {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			},
+		})
+	}
+	rt.Close()
+	if len(order) != n {
+		t.Fatalf("ran %d of %d", len(order), n)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order[%d] = %d", i, order[i])
+		}
+	}
+	if fused := rt.Obs().Counter(obs.CTasksFused); fused == 0 {
+		t.Fatal("a serial chain with fusion on must fuse some successors")
+	}
+}
+
+// TestFusionRunLimit: a serial chain fuses at most lim consecutive
+// successors before round-tripping through the deque — the counter
+// can never exceed the chain length, and with a limit of 1 at most
+// every other task may have been fused.
+func TestFusionRunLimit(t *testing.T) {
+	rt := New(Config{Workers: 1})
+	rt.SetFuseLimit(1)
+	const n = 200
+	var ran atomic.Int64
+	for i := 0; i < n; i++ {
+		rt.Submit(Spec{InOut: []graph.Key{7}, Body: func(any) { ran.Add(1) }})
+	}
+	rt.Close()
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d", ran.Load(), n)
+	}
+	fused := rt.Obs().Counter(obs.CTasksFused)
+	if fused > n/2+1 {
+		t.Fatalf("fused %d tasks with run limit 1 over a %d-chain; want <= %d", fused, n, n/2+1)
+	}
+}
+
+// TestFusionAbortConePreserved: a failing task mid-chain poisons its
+// fused successors exactly as queued ones — the cone drains Skipped
+// and the accounting (executed + skipped + aborted == submitted) holds.
+func TestFusionAbortConePreserved(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	rt.SetFuseLimit(16)
+	const n = 100
+	boom := errors.New("boom")
+	var after atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		switch {
+		case i == n/2:
+			rt.Submit(Spec{Label: "boom", InOut: []graph.Key{1}, Do: func(any) error { return boom }})
+		default:
+			rt.Submit(Spec{InOut: []graph.Key{1}, Body: func(any) {
+				if i > n/2 {
+					after.Add(1)
+				}
+			}})
+		}
+	}
+	err := rt.Taskwait()
+	var te *fault.TaskError
+	if !errors.As(err, &te) || !errors.Is(te.Cause, boom) {
+		t.Fatalf("Taskwait = %v, want TaskError wrapping boom", err)
+	}
+	if after.Load() != 0 {
+		t.Fatalf("%d poisoned successors ran their body", after.Load())
+	}
+	rt.Close()
+	c := func(i obs.Counter) int64 { return rt.Obs().Counter(i) }
+	exec, skip, abrt := c(obs.CTasksExecuted), c(obs.CTasksSkipped), c(obs.CTasksAborted)
+	if exec+skip+abrt != n {
+		t.Fatalf("executed %d + skipped %d + aborted %d != submitted %d", exec, skip, abrt, n)
+	}
+	if skip != n/2-1 || abrt != 1 {
+		t.Fatalf("skipped %d aborted %d; want %d and 1", skip, abrt, n/2-1)
+	}
+}
+
+// TestFusionPanicMidChain: a panicking fused task is recovered and its
+// cone skipped, like on the queued path.
+func TestFusionPanicMidChain(t *testing.T) {
+	rt := New(Config{Workers: 2})
+	rt.SetFuseLimit(8)
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		rt.Submit(Spec{InOut: []graph.Key{1}, Body: func(any) {
+			if i == 10 {
+				panic("mid-chain")
+			}
+		}})
+	}
+	err := rt.Close()
+	var pe *fault.PanicError
+	var te *fault.TaskError
+	if !errors.As(err, &te) || !errors.As(te.Cause, &pe) {
+		t.Fatalf("Close = %v, want TaskError wrapping PanicError", err)
+	}
+}
+
+// TestFusionUnderConcurrentSubmitBatch exercises fusion while two
+// producers feed disjoint-key chains through the batch path (-race).
+func TestFusionUnderConcurrentSubmitBatch(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	rt.SetFuseLimit(8)
+	const producers, chain = 2, 300
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			specs := make([]Spec, chain)
+			for i := range specs {
+				specs[i] = Spec{
+					InOut: []graph.Key{graph.Key(100 + p)},
+					Body:  func(any) { ran.Add(1) },
+				}
+			}
+			rt.SubmitBatch(specs)
+		}()
+	}
+	wg.Wait()
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ran.Load() != producers*chain {
+		t.Fatalf("ran %d of %d", ran.Load(), producers*chain)
+	}
+}
+
+// TestSetFuseLimitRacesExecution flips the fusion knob while workers
+// chew through chains (-race): the limit is a single atomic word, so
+// every interleaving must drain completely.
+func TestSetFuseLimitRacesExecution(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	stop := make(chan struct{})
+	var flips sync.WaitGroup
+	flips.Add(1)
+	go func() {
+		defer flips.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.SetFuseLimit(i % 17)
+		}
+	}()
+	var ran atomic.Int64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		rt.Submit(Spec{InOut: []graph.Key{graph.Key(i % 8)}, Body: func(any) { ran.Add(1) }})
+	}
+	err := rt.Close()
+	close(stop)
+	flips.Wait()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d", ran.Load(), n)
+	}
+}
+
+// TestSetThrottleRacesBlockedProducer resizes the throttle windows
+// while the producer stalls against them (-race): the unconditional
+// wake in SetThrottle must re-evaluate a parked producer against the
+// new windows, so no interleaving may wedge.
+func TestSetThrottleRacesBlockedProducer(t *testing.T) {
+	rt := New(Config{Workers: 2, ThrottleReady: 2, ThrottleTotal: 4})
+	stop := make(chan struct{})
+	var resizer sync.WaitGroup
+	resizer.Add(1)
+	go func() {
+		defer resizer.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rt.SetThrottle(2+i%64, 4+2*(i%64))
+		}
+	}()
+	var ran atomic.Int64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		rt.Submit(Spec{Body: func(any) { ran.Add(1) }})
+	}
+	err := rt.Close()
+	close(stop)
+	resizer.Wait()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d", ran.Load(), n)
+	}
+	if r, tot := rt.ThrottleLimits(); r < 2 || tot < 4 {
+		t.Fatalf("throttle limits drifted below the floor: (%d,%d)", r, tot)
+	}
+}
+
+// TestSetThrottleUnblocksParkedProducer: the producer parks against a
+// tiny window that only a resize (not a completion) can open — the
+// regression the unconditional WakeProducer in SetThrottle fixes.
+func TestSetThrottleUnblocksParkedProducer(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	rt := New(Config{Workers: 1, ThrottleTotal: 1})
+	// Occupies the whole window; started guarantees the worker (not the
+	// throttled producer) holds it.
+	rt.Submit(Spec{Body: func(any) { close(started); <-release }})
+	<-started
+	go func() {
+		time.Sleep(20 * time.Millisecond) // let the producer park on the throttle
+		rt.SetThrottle(0, 8)
+	}()
+	done := make(chan struct{})
+	go func() {
+		// Blocks until the resize widens the window; the running task
+		// cannot complete (it waits on release below).
+		rt.Submit(Spec{Body: func(any) { close(release) }})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still parked after SetThrottle widened the window")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestThrottleValidationUnchanged: config validation still rejects
+// negative seeds, and SetThrottle clamps instead.
+func TestThrottleSetClamps(t *testing.T) {
+	rt := New(Config{Workers: 1, ThrottleReady: 4})
+	rt.SetThrottle(-1, -5)
+	r, tot := rt.ThrottleLimits()
+	if r != 0 || tot != 0 {
+		t.Fatalf("SetThrottle(-1,-5) = (%d,%d), want (0,0)", r, tot)
+	}
+	rt.SetFuseLimit(-3)
+	if rt.FuseLimit() != 0 {
+		t.Fatalf("SetFuseLimit(-3) = %d, want 0", rt.FuseLimit())
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestTuneConfigValidation: bad Tune options surface from NewRuntime.
+func TestTuneConfigValidation(t *testing.T) {
+	_, err := NewRuntime(Config{Tune: tune.Options{Interval: -time.Second}})
+	if err == nil {
+		t.Fatal("negative Tune.Interval must fail NewRuntime validation")
+	}
+}
+
+// TestTunerEndToEnd runs a fine-grain workload under the live control
+// loop (-race): the tuner races real executions, parks and throttle
+// checks, and everything must drain. Actuation itself is timing
+// dependent, so only invariants are asserted.
+func TestTunerEndToEnd(t *testing.T) {
+	rt := New(Config{
+		Workers:       4,
+		ThrottleReady: 64,
+		Tune:          tune.Options{Enable: true, Interval: 100 * time.Microsecond, MaxFuse: 8},
+	})
+	if rt.Tuner() == nil {
+		t.Fatal("Tune.Enable did not start a tuner")
+	}
+	var ran atomic.Int64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		rt.Submit(Spec{InOut: []graph.Key{graph.Key(i % 16)}, Body: func(any) { ran.Add(1) }})
+	}
+	if err := rt.Taskwait(); err != nil {
+		t.Fatalf("Taskwait: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d of %d", ran.Load(), n)
+	}
+	if rt.FuseLimit() < 0 || rt.FuseLimit() > 8 {
+		t.Fatalf("fuse limit out of range: %d", rt.FuseLimit())
+	}
+	if rt.Obs().TimingOn() {
+		t.Fatal("tuner left its grain probe open after Close")
+	}
+}
+
+// TestTunerWithCompiledReplay: the control loop runs across a Frozen
+// persistent region (-race) — compiled-path chaining and generic
+// fusion share the chained slots, and the tuner must not disturb the
+// iteration barrier.
+func TestTunerWithCompiledReplay(t *testing.T) {
+	rt := New(Config{
+		Workers: 4,
+		Tune:    tune.Options{Enable: true, Interval: 100 * time.Microsecond},
+	})
+	var ran atomic.Int64
+	const tasks, iters = 64, 30
+	err := rt.Persistent(iters, func(int) {
+		for i := 0; i < tasks; i++ {
+			rt.Submit(Spec{InOut: []graph.Key{graph.Key(i % 8)}, Body: func(any) { ran.Add(1) }})
+		}
+	}, Frozen())
+	if err != nil {
+		t.Fatalf("Persistent: %v", err)
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ran.Load() != tasks*iters {
+		t.Fatalf("ran %d of %d", ran.Load(), tasks*iters)
+	}
+}

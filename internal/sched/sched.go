@@ -233,8 +233,17 @@ type Scheduler struct {
 	// timers are the per-slot reusable park timeouts (ParkTimeout);
 	// created lazily, touched only by the slot's own goroutine.
 	timers []*time.Timer
-	// wakeHint rotates WakeOne's scan start for fairness.
-	wakeHint atomic.Uint32
+	// wakeHint rotates WakeOne's scan start for fairness; wakeStride is
+	// how far each wake advances it (the rotating-hint aggressiveness —
+	// a stride above 1 spreads consecutive wakes across distant slots
+	// instead of re-probing recent ones). Tuned live via SetWakePolicy.
+	wakeHint   atomic.Uint32
+	wakeStride atomic.Uint32
+	// wakeFanout is how many parked slots a surplus publication or
+	// cascade step may wake (default 1 — the wake-one + cascade policy).
+	// The self-tuning layer raises it when measured park/wake churn
+	// shows the cascade chain ramping too slowly for bursty frontiers.
+	wakeFanout atomic.Int32
 
 	// Mutex-baseline engine state (also used by EngineMutex parking).
 	mworkers []*Deque
@@ -277,6 +286,8 @@ func NewEngine(policy Policy, nWorkers int, engine Engine) *Scheduler {
 	for i := range s.parks {
 		s.parks[i] = make(chan struct{}, 1)
 	}
+	s.wakeStride.Store(1)
+	s.wakeFanout.Store(1)
 	if engine == EngineMutex {
 		s.mworkers = make([]*Deque, nWorkers)
 		for i := range s.mworkers {
@@ -296,6 +307,37 @@ func NewEngine(policy Policy, nWorkers int, engine Engine) *Scheduler {
 // before workers start; the field is read without synchronization on
 // the hot path.
 func (s *Scheduler) SetObs(r *obs.Registry) { s.obs = r }
+
+// SetWakePolicy adjusts the wake aggressiveness live (safe from any
+// goroutine, racing parks and wakes freely — both knobs are single
+// atomic words read at wake time). fanout is how many parked slots a
+// surplus publication or cascade step may wake; stride is how far each
+// wake advances the rotating scan hint. Values are clamped to
+// [1, slots]; the default policy is (1, 1) — wake-one with a unit
+// rotation. The mutex baseline engine broadcasts regardless and
+// ignores both.
+func (s *Scheduler) SetWakePolicy(fanout, stride int) {
+	n := len(s.stat)
+	if fanout < 1 {
+		fanout = 1
+	}
+	if fanout > n {
+		fanout = n
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	if stride > n {
+		stride = n
+	}
+	s.wakeFanout.Store(int32(fanout))
+	s.wakeStride.Store(uint32(stride))
+}
+
+// WakePolicy returns the current (fanout, stride) wake policy.
+func (s *Scheduler) WakePolicy() (fanout, stride int) {
+	return int(s.wakeFanout.Load()), int(s.wakeStride.Load())
+}
 
 // Policy returns the scheduling policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
@@ -411,9 +453,18 @@ func (s *Scheduler) PushBatch(worker int, ts []*graph.Task) {
 	}
 	s.bump()
 	// An owner batch of one needs no help — the owner pops it next.
-	// Anything beyond that is stealable surplus worth one wake.
+	// Anything beyond that is stealable surplus worth a wake: one by
+	// default, up to the configured fanout (bounded by the surplus) when
+	// the wake policy has been raised for bursty frontiers.
 	if !own || len(ts) > 1 {
-		s.WakeOne()
+		if f := int(s.wakeFanout.Load()); f > 1 {
+			if f > len(ts) {
+				f = len(ts)
+			}
+			s.wakeN(f)
+		} else {
+			s.WakeOne()
+		}
 	}
 }
 
@@ -460,7 +511,7 @@ func (s *Scheduler) wakeN(n int) {
 	if n > total {
 		n = total
 	}
-	start := int(s.wakeHint.Add(1)) % total
+	start := int(s.wakeHint.Add(s.wakeStride.Load())) % total
 	woken := 0
 	for i := 0; i < total && woken < n; i++ {
 		sl := start + i
@@ -557,11 +608,18 @@ func (s *Scheduler) steal(worker int) *graph.Task {
 	return nil
 }
 
-// cascade wakes one more slot when surplus work remains and someone is
-// parked — the ramp-up half of the wake-one policy.
+// cascade wakes more slots when surplus work remains and someone is
+// parked — the ramp-up half of the wake-one policy. The fanout knob
+// widens each cascade step: a chain that doubles per step instead of
+// growing by one reaches pool width in log time, which is what the
+// tuner buys when starvation waves make linear ramp-up the bottleneck.
 func (s *Scheduler) cascade() {
 	if s.nIdle.Load() > 0 && s.Pending() > 0 {
-		s.WakeOne()
+		if f := int(s.wakeFanout.Load()); f > 1 {
+			s.wakeN(f)
+		} else {
+			s.WakeOne()
+		}
 	}
 }
 
@@ -614,12 +672,18 @@ func (s *Scheduler) PrePark(worker int) uint64 {
 }
 
 // CancelPark retracts a PrePark announcement without blocking.
+//
+// The status word is a two-state protocol (active/parked), so the
+// retraction needs no compare: an unconditional swap to active is a
+// single wait-free XCHG, and observing parked as the old value IS the
+// claim — exactly one of a retracting owner and any number of
+// concurrent wakers can read it.
 func (s *Scheduler) CancelPark(worker int) {
 	if s.engine == EngineMutex {
 		return
 	}
 	sl := s.slot(worker)
-	if s.stat[sl].v.CompareAndSwap(slotParked, slotActive) {
+	if s.stat[sl].v.Swap(slotActive) == slotParked {
 		s.nIdle.Add(-1)
 		return
 	}
@@ -635,9 +699,9 @@ func (s *Scheduler) CancelPark(worker int) {
 
 // unparkSelf restores a slot to active after Park/ParkTimeout returns,
 // covering wakes that arrived without a claiming waker (stale tokens,
-// timeouts).
+// timeouts). Same wait-free swap-claim as CancelPark.
 func (s *Scheduler) unparkSelf(sl int) {
-	if s.stat[sl].v.CompareAndSwap(slotParked, slotActive) {
+	if s.stat[sl].v.Swap(slotActive) == slotParked {
 		s.nIdle.Add(-1)
 	}
 }
@@ -703,9 +767,16 @@ func (s *Scheduler) ParkTimeout(worker int, d time.Duration) bool {
 }
 
 // wakeSlot claims one parked slot and delivers its token; reports
-// whether it woke anybody.
+// whether it woke anybody. The claim is a single unconditional XCHG,
+// not a compare-and-swap: the target state is always active, so the
+// swapped-out value alone decides the winner (old == parked), and the
+// transition is wait-free — no failure path, no retry, and losing
+// swappers have merely stored the value already there. The ordering
+// argument of the parking protocol is unchanged: a swap is a full
+// read-modify-write in the seq-cst total order, exactly like the CAS
+// it replaces.
 func (s *Scheduler) wakeSlot(sl int) bool {
-	if s.stat[sl].v.CompareAndSwap(slotParked, slotActive) {
+	if s.stat[sl].v.Swap(slotActive) == slotParked {
 		s.nIdle.Add(-1)
 		select {
 		case s.parks[sl] <- struct{}{}:
@@ -731,7 +802,7 @@ func (s *Scheduler) WakeOne() {
 		return
 	}
 	n := len(s.stat)
-	start := int(s.wakeHint.Add(1)) % n
+	start := int(s.wakeHint.Add(s.wakeStride.Load())) % n
 	for i := 0; i < n; i++ {
 		sl := start + i
 		if sl >= n {

@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"taskdep/internal/graph"
+)
+
+func TestWakePolicyClamps(t *testing.T) {
+	s := New(DepthFirst, 4) // 5 slots
+	if f, st := s.WakePolicy(); f != 1 || st != 1 {
+		t.Fatalf("default policy = (%d,%d), want (1,1)", f, st)
+	}
+	s.SetWakePolicy(100, 100)
+	if f, st := s.WakePolicy(); f != 5 || st != 5 {
+		t.Fatalf("clamped policy = (%d,%d), want (5,5)", f, st)
+	}
+	s.SetWakePolicy(0, -3)
+	if f, st := s.WakePolicy(); f != 1 || st != 1 {
+		t.Fatalf("floored policy = (%d,%d), want (1,1)", f, st)
+	}
+}
+
+// TestWakePolicyFanout checks that a batch publication with a raised
+// fanout wakes multiple parked slots at once.
+func TestWakePolicyFanout(t *testing.T) {
+	const workers = 4
+	s := New(DepthFirst, workers)
+	s.SetWakePolicy(workers, 1)
+
+	var parked sync.WaitGroup
+	var woken atomic.Int32
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		parked.Add(1)
+		go func(w int) {
+			snap := s.PrePark(w)
+			parked.Done()
+			if s.Seq() != snap {
+				s.CancelPark(w)
+			} else {
+				s.Park(w)
+			}
+			woken.Add(1)
+			<-done
+		}(w)
+	}
+	parked.Wait()
+	// Publish a burst from the producer context; fanout should wake all
+	// parked workers in one pass (some may have raced past PrePark and
+	// self-cancelled — they count as woken too).
+	ts := make([]*graph.Task, workers)
+	for i := range ts {
+		ts[i] = &graph.Task{}
+	}
+	s.PushBatch(-1, ts)
+	for i := 0; i < 1_000_000 && woken.Load() < workers; i++ {
+		runtime.Gosched()
+	}
+	if woken.Load() != workers {
+		t.Fatalf("woke %d of %d workers", woken.Load(), workers)
+	}
+	close(done)
+}
+
+// TestSetWakePolicyRacesParkWake hammers SetWakePolicy from a side
+// goroutine while workers park and publications wake them (-race
+// coverage for the wake-policy actuator).
+func TestSetWakePolicyRacesParkWake(t *testing.T) {
+	const workers = 3
+	s := New(DepthFirst, workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			s.SetWakePolicy(1+i%workers, 1+i%2)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				if tsk := s.Pop(w); tsk != nil {
+					continue
+				}
+				snap := s.PrePark(w)
+				if s.Pending() > 0 || stop.Load() || s.Seq() != snap {
+					s.CancelPark(w)
+					continue
+				}
+				s.Park(w)
+			}
+		}(w)
+	}
+	for i := 0; i < 2000; i++ {
+		s.Push(-1, &graph.Task{})
+		if i%7 == 0 {
+			s.PushBatch(-1, []*graph.Task{{}, {}, {}})
+		}
+	}
+	stop.Store(true)
+	s.Kick()
+	wg.Wait()
+}

@@ -68,6 +68,7 @@ import (
 	"taskdep/internal/rt"
 	"taskdep/internal/sched"
 	"taskdep/internal/trace"
+	"taskdep/internal/tune"
 	"taskdep/internal/verify"
 )
 
@@ -317,6 +318,17 @@ const (
 // execute a function per rank.
 func NewWorld(n int) *World { return mpi.NewWorld(n) }
 
+// TuneOptions configures the self-tuning control loop via Config.Tune:
+// set Enable and the runtime snapshots windowed metric deltas on a
+// low-frequency ticker and steers three live actuators against
+// detrimental task patterns — task fusion (consecutive chain successors
+// executed inline when the measured grain is fine, see
+// Runtime.SetFuseLimit), producer-throttle window resizing (see
+// Runtime.SetThrottle), and the scheduler's wake fanout. Every
+// actuation increments CTuneFusion/CTuneThrottle/CTuneWake. See
+// docs/architecture.md, "Self-tuning".
+type TuneOptions = tune.Options
+
 // ObsOptions configures the always-on observability layer via
 // Config.Obs: the zero value keeps the sharded counters on, spans off
 // and no HTTP endpoint; set Spans for span tracing + latency
@@ -359,6 +371,9 @@ const (
 	CParks          = obs.CParks
 	CWakes          = obs.CWakes
 	CThrottleStalls = obs.CThrottleStalls
+	CTuneFusion     = obs.CTuneFusion
+	CTuneThrottle   = obs.CTuneThrottle
+	CTuneWake       = obs.CTuneWake
 	CMPISends       = obs.CMPISends
 	CMPIRecvs       = obs.CMPIRecvs
 	CMPICollectives = obs.CMPICollectives
