@@ -256,7 +256,7 @@ func taskFactorInto(m *Matrix, r *rt.Runtime) {
 				Label: "trsm",
 				In:    []graph.Key{tileKey(k, k)},
 				InOut: []graph.Key{tileKey(i, k)},
-				Body:  func(any) { Trsm(m.Tile(k, k), m.Tile(i, k), b) },
+				Do:    func(any) error { Trsm(m.Tile(k, k), m.Tile(i, k), b); return nil },
 			})
 		}
 		for i := k + 1; i < t; i++ {
@@ -265,7 +265,7 @@ func taskFactorInto(m *Matrix, r *rt.Runtime) {
 				Label: "syrk",
 				In:    []graph.Key{tileKey(i, k)},
 				InOut: []graph.Key{tileKey(i, i)},
-				Body:  func(any) { Syrk(m.Tile(i, k), m.Tile(i, i), b) },
+				Do:    func(any) error { Syrk(m.Tile(i, k), m.Tile(i, i), b); return nil },
 			})
 			for j := k + 1; j < i; j++ {
 				j := j
@@ -273,7 +273,7 @@ func taskFactorInto(m *Matrix, r *rt.Runtime) {
 					Label: "gemm",
 					In:    []graph.Key{tileKey(i, k), tileKey(j, k)},
 					InOut: []graph.Key{tileKey(i, j)},
-					Body:  func(any) { Gemm(m.Tile(i, k), m.Tile(j, k), m.Tile(i, j), b) },
+					Do:    func(any) error { Gemm(m.Tile(i, k), m.Tile(j, k), m.Tile(i, j), b); return nil },
 				})
 			}
 		}
@@ -348,7 +348,7 @@ func TaskFactorDist(dm *DistMatrix, r *rt.Runtime, comm *mpi.Comm) error {
 					Label: "trsm",
 					In:    []graph.Key{tileKey(k, k)},
 					InOut: []graph.Key{tileKey(i, k)},
-					Body:  func(any) { Trsm(dm.Tile(k, k), dm.Tile(i, k), b) },
+					Do:    func(any) error { Trsm(dm.Tile(k, k), dm.Tile(i, k), b); return nil },
 				})
 			}
 			// Send each sub-diagonal panel tile to every other rank
@@ -397,7 +397,7 @@ func TaskFactorDist(dm *DistMatrix, r *rt.Runtime, comm *mpi.Comm) error {
 				Label: "syrk",
 				In:    []graph.Key{jkKey},
 				InOut: []graph.Key{tileKey(j, j)},
-				Body:  func(any) { Syrk(jkBuf, dm.Tile(j, j), b) },
+				Do:    func(any) error { Syrk(jkBuf, dm.Tile(j, j), b); return nil },
 			})
 			for i := j + 1; i < t; i++ {
 				i := i
@@ -406,7 +406,7 @@ func TaskFactorDist(dm *DistMatrix, r *rt.Runtime, comm *mpi.Comm) error {
 					Label: "gemm",
 					In:    []graph.Key{ikKey, jkKey},
 					InOut: []graph.Key{tileKey(i, j)},
-					Body:  func(any) { Gemm(ikBuf, jkBuf, dm.Tile(i, j), b) },
+					Do:    func(any) error { Gemm(ikBuf, jkBuf, dm.Tile(i, j), b); return nil },
 				})
 			}
 		}

@@ -282,7 +282,7 @@ func (pr *Problem) RunParallelFor(r *rt.Runtime, comm *mpi.Comm) {
 		specs = specs[:0]
 		for c := 0; c < nw; c++ {
 			lo2, hi2 := c*n/nw, (c+1)*n/nw
-			specs = append(specs, rt.Spec{Label: "parfor", Body: func(any) { body(lo2, hi2) }})
+			specs = append(specs, rt.Spec{Label: "parfor", Do: func(any) error { body(lo2, hi2); return nil }})
 		}
 		r.SubmitBatch(specs)
 		r.Taskwait()
@@ -291,7 +291,7 @@ func (pr *Problem) RunParallelFor(r *rt.Runtime, comm *mpi.Comm) {
 		specs = specs[:0]
 		for c := 0; c < nw; c++ {
 			c, lo2, hi2 := c, c*n/nw, (c+1)*n/nw
-			specs = append(specs, rt.Spec{Label: "dot", Body: func(any) { parts[c] = Dot(x, y, lo2, hi2) }})
+			specs = append(specs, rt.Spec{Label: "dot", Do: func(any) error { parts[c] = Dot(x, y, lo2, hi2); return nil }})
 		}
 		r.SubmitBatch(specs)
 		r.Taskwait()
@@ -499,7 +499,7 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 			deps := rt.Spec{
 				Label: "spmv",
 				In:    in,
-				Body:  func(any) { pr.SpMV(pr.Ap, pr.Pv, pr.GhostLo, pr.GhostHi, slo2, shi2) },
+				Do:    func(any) error { pr.SpMV(pr.Ap, pr.Pv, pr.GhostLo, pr.GhostHi, slo2, shi2); return nil },
 			}
 			if sub > 1 {
 				deps.InOutSet = []graph.Key{key(hAp, c)}
@@ -517,7 +517,7 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 			Label: "dot-pAp",
 			In:    []graph.Key{key(hAp, c), key(hP, c)},
 			Out:   []graph.Key{key(hPartAp, c)},
-			Body:  func(any) { pr.partAp[c2] = Dot(pr.Pv, pr.Ap, lo2, hi2) },
+			Do:    func(any) error { pr.partAp[c2] = Dot(pr.Pv, pr.Ap, lo2, hi2); return nil },
 		})
 	}
 	// Scalar stage: merge + allreduce + alpha (a communication task).
@@ -525,9 +525,10 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 		Label: "alpha",
 		In:    keysRange(hPartAp, 0, tpl-1),
 		Out:   []graph.Key{key(hScalarAlpha, 0)},
-		Body: func(any) {
+		Do: func(any) error {
 			pAp := allreduceSum(comm, mergeParts(pr.partAp))
 			pr.Alpha = pr.RtzOld / pAp
+			return nil
 		},
 	})
 	// x += alpha*p
@@ -538,7 +539,7 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 			Label: "waxpby-x",
 			In:    []graph.Key{key(hScalarAlpha, 0), key(hP, c)},
 			InOut: []graph.Key{key(hX, c)},
-			Body:  func(any) { Waxpby(pr.X, pr.X, pr.Pv, 1, pr.Alpha, lo2, hi2) },
+			Do:    func(any) error { Waxpby(pr.X, pr.X, pr.Pv, 1, pr.Alpha, lo2, hi2); return nil },
 		})
 	}
 	// r -= alpha*Ap ; partial rz
@@ -549,13 +550,13 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 			Label: "waxpby-r",
 			In:    []graph.Key{key(hScalarAlpha, 0), key(hAp, c)},
 			InOut: []graph.Key{key(hR, c)},
-			Body:  func(any) { Waxpby(pr.R, pr.R, pr.Ap, 1, -pr.Alpha, lo2, hi2) },
+			Do:    func(any) error { Waxpby(pr.R, pr.R, pr.Ap, 1, -pr.Alpha, lo2, hi2); return nil },
 		})
 		specs = append(specs, rt.Spec{
 			Label: "dot-rz",
 			In:    []graph.Key{key(hR, c)},
 			Out:   []graph.Key{key(hPartRz, c)},
-			Body:  func(any) { pr.partRz[c2] = Dot(pr.R, pr.R, lo2, hi2) },
+			Do:    func(any) error { pr.partRz[c2] = Dot(pr.R, pr.R, lo2, hi2); return nil },
 		})
 	}
 	// Scalar stage: rtz, beta (collective).
@@ -563,11 +564,12 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 		Label: "beta",
 		In:    keysRange(hPartRz, 0, tpl-1),
 		InOut: []graph.Key{key(hScalarAlpha, 0)},
-		Body: func(any) {
+		Do: func(any) error {
 			pr.Rtz = allreduceSum(comm, mergeParts(pr.partRz))
 			pr.Beta = pr.Rtz / pr.RtzOld
 			pr.RtzOld = pr.Rtz
 			pr.Rnorm = append(pr.Rnorm, math.Sqrt(pr.Rtz))
+			return nil
 		},
 	})
 	// p = r + beta*p
@@ -578,7 +580,7 @@ func (pr *Problem) submitIteration(r *rt.Runtime, comm *mpi.Comm, cfg TaskConfig
 			Label: "waxpby-p",
 			In:    []graph.Key{key(hScalarAlpha, 0), key(hR, c)},
 			InOut: []graph.Key{key(hP, c)},
-			Body:  func(any) { Waxpby(pr.Pv, pr.R, pr.Pv, 1, pr.Beta, lo2, hi2) },
+			Do:    func(any) error { Waxpby(pr.Pv, pr.R, pr.Pv, 1, pr.Beta, lo2, hi2); return nil },
 		})
 	}
 

@@ -293,8 +293,9 @@ func RunParallelFor(d *Domain, r *rt.Runtime, comm *mpi.Comm) {
 		for c := 0; c < nw; c++ {
 			lo, hi := chunkBounds(ne, nw, c)
 			c := c
-			r.Submit(rt.Spec{Label: "dtc", Body: func(any) {
+			r.Submit(rt.Spec{Label: "dtc", Do: func(any) error {
 				cands[c] = d.ChunkTimeConstraint(lo, hi)
+				return nil
 			}})
 		}
 		r.Taskwait()
@@ -412,7 +413,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 		Label: "dt",
 		In:    []graph.Key{key(fDtCand, 0)},
 		Out:   []graph.Key{key(fDt, 0)},
-		Body:  func(any) { d.reduceDt(comm) },
+		Do:    func(any) error { d.reduceDt(comm); return nil },
 	})
 
 	nodeChunkKeys := func(fields []int, lo, hi int) []graph.Key {
@@ -440,7 +441,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 			Label: "force",
 			In:    in,
 			Out:   keysForChunks(g.nodeForce, c, c),
-			Body:  func(any) { d.CalcForceForNodes(lo2, hi2) },
+			Do:    func(any) error { d.CalcForceForNodes(lo2, hi2); return nil },
 		})
 	}
 
@@ -458,7 +459,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 		specs = append(specs, rt.Spec{
 			Label: "accel",
 			InOut: keysForChunks(g.nodeForce, c, c),
-			Body:  func(any) { d.CalcAccelAndBC(lo2, hi2) },
+			Do:    func(any) error { d.CalcAccelAndBC(lo2, hi2); return nil },
 		})
 	}
 	// Velocity.
@@ -469,7 +470,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 			Label: "vel",
 			In:    append([]graph.Key{key(fDt, 0)}, keysForChunks(g.nodeForce, c, c)...),
 			InOut: keysForChunks(g.nodeState, c, c),
-			Body:  func(any) { d.CalcVelocityForNodes(lo2, hi2) },
+			Do:    func(any) error { d.CalcVelocityForNodes(lo2, hi2); return nil },
 		})
 	}
 	// Position.
@@ -480,7 +481,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 			Label: "pos",
 			In:    []graph.Key{key(fDt, 0)},
 			InOut: keysForChunks(g.nodeState, c, c),
-			Body:  func(any) { d.CalcPositionForNodes(lo2, hi2) },
+			Do:    func(any) error { d.CalcPositionForNodes(lo2, hi2); return nil },
 		})
 	}
 	// Kinematics (element-chunked): reads adjacent node positions.
@@ -492,7 +493,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 			Label: "kin",
 			In:    append([]graph.Key{key(fDt, 0)}, nodeChunkKeys(g.nodeState, nlo, nhi)...),
 			InOut: keysForChunks(g.elemKin, c, c),
-			Body:  func(any) { d.CalcLagrangeElements(lo2, hi2) },
+			Do:    func(any) error { d.CalcLagrangeElements(lo2, hi2); return nil },
 		})
 	}
 	// Q.
@@ -503,7 +504,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 			Label: "q",
 			In:    append(keysForChunks(g.elemKin, c, c), keysForChunks(g.elemEOS, c, c)...),
 			Out:   []graph.Key{key(fElemQ, c)},
-			Body:  func(any) { d.CalcQForElems(lo2, hi2) },
+			Do:    func(any) error { d.CalcQForElems(lo2, hi2); return nil },
 		})
 	}
 	// EOS.
@@ -514,7 +515,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 			Label: "eos",
 			In:    append([]graph.Key{key(fElemQ, c)}, keysForChunks(g.elemKin, c, c)...),
 			InOut: keysForChunks(g.elemEOS, c, c),
-			Body:  func(any) { d.ApplyMaterialProperties(lo2, hi2) },
+			Do:    func(any) error { d.ApplyMaterialProperties(lo2, hi2); return nil },
 		})
 	}
 	// Volume update.
@@ -524,7 +525,7 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 		specs = append(specs, rt.Spec{
 			Label: "vol",
 			InOut: keysForChunks(g.elemKin, c, c),
-			Body:  func(any) { d.UpdateVolumesForElems(lo2, hi2) },
+			Do:    func(any) error { d.UpdateVolumesForElems(lo2, hi2); return nil },
 		})
 	}
 	// Time constraints: concurrent min-reduction via inoutset.
@@ -535,13 +536,14 @@ func (d *Domain) submitIteration(r *rt.Runtime, comm *mpi.Comm, ex *exchanger, c
 			Label:    "dtc",
 			In:       append(keysForChunks(g.elemKin, c, c), keysForChunks(g.elemEOS, c, c)...),
 			InOutSet: []graph.Key{key(fDtCand, 0)},
-			Body: func(any) {
+			Do: func(any) error {
 				v := d.ChunkTimeConstraint(lo2, hi2)
 				dtMu.Lock()
 				if v < d.DtCand {
 					d.DtCand = v
 				}
 				dtMu.Unlock()
+				return nil
 			},
 		})
 	}
@@ -603,7 +605,7 @@ func (d *Domain) submitForceExchange(r *rt.Runtime, ex *exchanger, cfg TaskConfi
 			Label: "pack",
 			In:    frontierForce,
 			Out:   []graph.Key{s.sKey},
-			Body:  func(any) { s.pack(d) },
+			Do:    func(any) error { s.pack(d); return nil },
 		})
 		// Isend (detached).
 		r.Submit(rt.Spec{
@@ -619,7 +621,7 @@ func (d *Domain) submitForceExchange(r *rt.Runtime, ex *exchanger, cfg TaskConfi
 			Label: "unpack",
 			In:    []graph.Key{s.rKey},
 			InOut: frontierForce,
-			Body:  func(any) { s.unpack(d) },
+			Do:    func(any) error { s.unpack(d); return nil },
 		})
 	}
 }

@@ -83,7 +83,7 @@ func collectWants(t *testing.T, dir string) map[string]string {
 var update = os.Getenv("UPDATE_GOLDEN") != ""
 
 func TestGoldenFixtures(t *testing.T) {
-	dirs := []string{"undeclaredwrite", "undeclaredread", "staledep", "unusedignore", "fusedcapture"}
+	dirs := []string{"undeclaredwrite", "undeclaredread", "staledep", "unusedignore", "fusedcapture", "unprovidedconsume"}
 	for _, d := range dirs {
 		d := d
 		t.Run(d, func(t *testing.T) {
@@ -146,6 +146,11 @@ func TestSeedRemoval(t *testing.T) {
 			"fusedcapture", "fusedcapture.go",
 			"\t\t})\n\t\tres = res * 2\n\t\tres = res + 1\n\t}",
 			"\t\t})\n\t}",
+		},
+		{
+			"unprovidedconsume", "unprovidedconsume.go",
+			"Consume: []taskdep.Value{mean.Ref(), summary.Ref()}, // seed: summary has no provider",
+			"Consume: []taskdep.Value{mean.Ref()},",
 		},
 	}
 	for _, c := range cases {

@@ -1,0 +1,60 @@
+package fixtures
+
+import (
+	"taskdep/internal/rt"
+	"taskdep/internal/values"
+)
+
+// Positive: ghost is freshly bound and nothing in the window provides
+// it — the In dependence has no writer, the body reads an empty slot.
+// x is provided by src, so only the second binding is flagged.
+func unprovidedConsume(r *rt.Runtime, s *values.Store) error {
+	x := values.Bind[int](s, "x")
+	ghost := s.Bind("ghost")
+	r.Submit(values.Lower(values.Spec{
+		Label:   "src",
+		Provide: []values.Handle{x.Ref()},
+		Do:      func() error { x.Set(1); return nil },
+	}))
+	r.Submit(values.Lower(values.Spec{
+		Label:   "use",
+		Consume: []values.Handle{x.Ref(), ghost}, // want "unprovided-consume"
+		Do:      func() error { return nil },
+	}))
+	return r.Taskwait()
+}
+
+// Positive: Reset clears every slot value, so a provide from before
+// the Reset no longer covers a consume after it.
+func consumeAcrossReset(r *rt.Runtime, s *values.Store) error {
+	y := s.Bind("y")
+	r.Submit(values.Lower(values.Spec{
+		Label:   "mk",
+		Provide: []values.Handle{y},
+		Do:      func() error { y.SetAny(2); return nil },
+	}))
+	if err := r.Taskwait(); err != nil {
+		return err
+	}
+	s.Reset()
+	r.Submit(values.Lower(values.Spec{
+		Label:   "stale",
+		Consume: []values.Handle{y}, // want "unprovided-consume"
+		Do:      func() error { return nil },
+	}))
+	return r.Taskwait()
+}
+
+// Negative: a Set-primed slot and a handle of unknown provenance (a
+// parameter — the slot may carry a value from an earlier window) are
+// both legitimate consumes.
+func primedAndForeign(r *rt.Runtime, s *values.Store, warm values.Handle) error {
+	seed := s.Bind("seed")
+	seed.SetAny(41)
+	r.Submit(values.Lower(values.Spec{
+		Label:   "inc",
+		Consume: []values.Handle{seed, warm},
+		Do:      func() error { return nil },
+	}))
+	return r.Taskwait()
+}

@@ -1,0 +1,69 @@
+// Package unprovidedconsume seeds one dataflow defect for the
+// unprovided-consume rule: the "report" task consumes the summary
+// slot, but nothing in the submission window provides it — no task
+// lists it under Provide or Update, and no Set primes it. The In
+// dependence therefore has no writer, so report runs immediately and
+// reads an empty slot. The documented fix (applied by the
+// seed-removal test) drops the stray binding from the Consume list.
+package unprovidedconsume
+
+import (
+	"errors"
+
+	"taskdep"
+)
+
+// window submits a small analytics window: load provides the raw
+// samples, stats consumes them and provides the mean, report renders.
+// The summary consume is the seeded defect.
+func window(r *taskdep.Runtime, st *taskdep.ValueStore) error {
+	raw := taskdep.BindValue[[]float64](st, "raw")
+	mean := taskdep.BindValue[float64](st, "mean")
+	summary := taskdep.BindValue[string](st, "summary")
+
+	r.Submit(taskdep.LowerValues(taskdep.ValueSpec{
+		Label:   "load",
+		Provide: []taskdep.Value{raw.Ref()},
+		Do:      func() error { raw.Set([]float64{1, 2, 3}); return nil },
+	}))
+	r.Submit(taskdep.LowerValues(taskdep.ValueSpec{
+		Label:   "stats",
+		Consume: []taskdep.Value{raw.Ref()},
+		Provide: []taskdep.Value{mean.Ref()},
+		Do: func() error {
+			s := 0.0
+			for _, v := range raw.Get() {
+				s += v
+			}
+			mean.Set(s / float64(len(raw.Get())))
+			return nil
+		},
+	}))
+	r.Submit(taskdep.LowerValues(taskdep.ValueSpec{
+		Label:   "report",
+		Consume: []taskdep.Value{mean.Ref(), summary.Ref()}, // seed: summary has no provider
+		Do: func() error {
+			if summary.Get() == "" {
+				return errors.New("empty summary")
+			}
+			return nil
+		},
+	}))
+	return r.Taskwait()
+}
+
+// primed is the clean shape the rule must stay quiet on: the slot a
+// later task consumes is either provided by an earlier task or primed
+// with a direct Set before submission.
+func primed(r *taskdep.Runtime, st *taskdep.ValueStore) error {
+	seed := taskdep.BindValue[int](st, "seed")
+	out := taskdep.BindValue[int](st, "out")
+	seed.Set(41)
+	r.Submit(taskdep.LowerValues(taskdep.ValueSpec{
+		Label:   "inc",
+		Consume: []taskdep.Value{seed.Ref()},
+		Provide: []taskdep.Value{out.Ref()},
+		Do:      func() error { out.Set(seed.Get() + 1); return nil },
+	}))
+	return r.Taskwait()
+}

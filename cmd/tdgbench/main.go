@@ -55,6 +55,14 @@
 // (adaptive >= 80% of hand-tuned throughput), proof the loop actuated,
 // and the fusion fast path's allocation count (0/task, fresh and
 // committed) against BENCH_tune.json.
+//
+// -exp serve load-tests the graph-as-a-service front end (cmd/
+// tdgserve, internal/serve): an in-process endpoint under ~1000
+// concurrent submitting clients across the tenant pool, with a poison
+// tenant failing continuously and an undersized admission probe.
+// -check re-proves tenant isolation, zero load-phase 429s and the
+// probe's rejections fresh, and gates the committed throughput floor
+// and fresh-vs-committed regression against BENCH_serve.json.
 package main
 
 import (
@@ -341,9 +349,52 @@ func runTune(smoke bool, jsonPath, checkPath string) int {
 	return 0
 }
 
+func runServe(smoke bool, jsonPath, checkPath string, maxRegress float64) int {
+	p := experiments.DefaultServeParams()
+	if smoke {
+		p = experiments.SmokeServeParams()
+	}
+	res, err := experiments.RunServe(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve benchmark FAILED: %v\n", err)
+		return 1
+	}
+	experiments.PrintServe(os.Stdout, &res)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		committed, err := experiments.ReadServeJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", checkPath, err)
+			return 1
+		}
+		if err := experiments.CheckServe(&res, committed, 100, maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "serve check FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("serve check OK (isolation + admission re-proven, committed >= 100 graphs/s, regress <= %.1fx vs %s)\n", maxRegress, checkPath)
+	}
+	return 0
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs | replay | tune")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs | replay | tune | serve")
 		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
 		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
 		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
@@ -373,6 +424,8 @@ func main() {
 		os.Exit(runReplay(*smoke, *jsonOut, *check))
 	case "tune":
 		os.Exit(runTune(*smoke, *jsonOut, *check))
+	case "serve":
+		os.Exit(runServe(*smoke, *jsonOut, *check, *maxRegress))
 	case "table1":
 		res := experiments.RunTable1(c, *tpl, *fine)
 		res.Print(os.Stdout)

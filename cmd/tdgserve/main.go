@@ -1,0 +1,66 @@
+// tdgserve runs the taskdep graph-as-a-service front end: a
+// multi-tenant HTTP endpoint where clients POST typed key/value task
+// graphs and stream back per-task events and results while the graphs
+// execute on per-tenant runtimes.
+//
+// Usage:
+//
+//	tdgserve [-addr :8080] [-tenants 16] [-workers 1] [-queue 64]
+//	         [-inflight 1024] [-throttle-ready N] [-throttle-total N]
+//
+// Quick check against a running server:
+//
+//	curl -s -X POST -H 'X-Tenant: demo' --data '{
+//	  "tasks": [
+//	    {"op": "const", "arg": 20, "provide": ["x"]},
+//	    {"op": "const", "arg": 22, "provide": ["y"]},
+//	    {"op": "sum", "consume": ["x", "y"], "provide": ["total"]}
+//	  ]
+//	}' http://localhost:8080/v1/graphs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"taskdep/internal/obs"
+	"taskdep/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	tenants := flag.Int("tenants", 0, "tenant pool bound (0 = default 16)")
+	workers := flag.Int("workers", 0, "workers per tenant runtime (0 = default 1)")
+	queue := flag.Int("queue", 0, "per-tenant admission quota (0 = default 64)")
+	inflight := flag.Int("inflight", 0, "global in-flight request cap (0 = default 1024)")
+	thrReady := flag.Int64("throttle-ready", 0, "per-tenant ready-task throttle (0 = unbounded)")
+	thrTotal := flag.Int64("throttle-total", 0, "per-tenant total-task throttle (0 = unbounded)")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		MaxTenants:     *tenants,
+		Workers:        *workers,
+		Queue:          *queue,
+		GlobalInflight: *inflight,
+		ThrottleReady:  *thrReady,
+		ThrottleTotal:  *thrTotal,
+	})
+	ep, err := obs.Serve(*addr, srv.Handler())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tdgserve: %v\n", err)
+		os.Exit(1)
+	}
+	opt := srv.Manager().Options()
+	fmt.Printf("tdgserve listening on %s (tenants<=%d, %d worker(s)/tenant, queue %d, inflight %d)\n",
+		ep.Addr(), opt.MaxTenants, opt.Workers, opt.Queue, opt.GlobalInflight)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tdgserve: shutting down")
+	_ = ep.Close()
+	srv.Shutdown()
+}

@@ -20,7 +20,7 @@ func ExampleRuntime_submitError() {
 	})
 	r.Submit(taskdep.Spec{
 		Label: "use", In: []taskdep.Key{1},
-		Body: func(any) { fmt.Println("never runs: its input failed") },
+		Do: func(any) error { fmt.Println("never runs: its input failed"); return nil },
 	})
 	err := r.Taskwait()
 	var te *taskdep.TaskError
@@ -41,7 +41,7 @@ func ExampleRuntime_SubmitBatch() {
 	specs := make([]taskdep.Spec, 8)
 	for i := range specs {
 		n := int64(i)
-		specs[i] = taskdep.Spec{Label: "add", Body: func(any) { sum.Add(n) }}
+		specs[i] = taskdep.Spec{Label: "add", Do: func(any) error { sum.Add(n); return nil }}
 	}
 	r.SubmitBatch(specs)
 	if err := r.Taskwait(); err != nil {
@@ -64,7 +64,7 @@ func ExampleRuntime_Persistent() {
 		bodyRuns++
 		r.Submit(taskdep.Spec{
 			Label: "double", InOut: []taskdep.Key{1},
-			Body: func(any) { x *= 2 },
+			Do: func(any) error { x *= 2; return nil },
 		})
 	}, taskdep.Frozen())
 	if err != nil {
@@ -94,7 +94,7 @@ func ExampleRuntime_Persistent_adaptive() {
 		for c := 0; c < tasksFor(iter); c++ {
 			r.Submit(taskdep.Spec{
 				Label: "cell", InOut: []taskdep.Key{taskdep.Key(c)},
-				Body: func(any) { executed.Add(1) },
+				Do: func(any) error { executed.Add(1); return nil },
 			})
 		}
 	}, taskdep.Adaptive(func(iter int) bool {
@@ -124,4 +124,44 @@ func ExampleNewRuntime() {
 	_, err := taskdep.NewRuntime(taskdep.Config{Workers: -1})
 	fmt.Println(err)
 	// Output: rt: Workers is -1; want >= 0 (0 selects the default of 1)
+}
+
+// Typed dataflow: tasks Provide and Consume values bound to named
+// slots of a ValueStore instead of bare ordering keys — the
+// reconciliation-workflow model. The bindings lower onto ordinary
+// In/Out dependences, so a value graph records and replays under
+// Persistent exactly like a key-only graph; with Frozen it runs the
+// compiled replay path, recomputing the slot values every iteration.
+func ExampleRuntime_Persistent_values() {
+	r := taskdep.New(taskdep.Config{Workers: 2})
+	defer r.Close()
+	st := taskdep.NewValueStore()
+	price := taskdep.BindValue[float64](st, "price")
+	qty := taskdep.BindValue[float64](st, "qty")
+	total := taskdep.BindValue[float64](st, "total")
+	qty.Set(3)
+	err := r.Persistent(3, func(iter int) {
+		r.Submit(taskdep.LowerValues(taskdep.ValueSpec{
+			Label:   "quote",
+			Provide: []taskdep.Value{price.Ref()},
+			Do:      func() error { price.Set(10); return nil },
+		}))
+		r.Submit(taskdep.LowerValues(taskdep.ValueSpec{
+			Label:   "bill",
+			Consume: []taskdep.Value{price.Ref()},
+			Update:  []taskdep.Value{qty.Ref()},
+			Provide: []taskdep.Value{total.Ref()},
+			Do: func() error {
+				total.Set(price.Get() * qty.Get())
+				qty.Set(qty.Get() + 1) // next iteration bills one more
+				return nil
+			},
+		}))
+	}, taskdep.Frozen())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("total = %g after 3 frozen iterations\n", total.Get())
+	// Output: total = 50 after 3 frozen iterations
 }

@@ -115,7 +115,7 @@ func main() {
 		k := k
 		rt.Submit(taskdep.Spec{
 			Label: "potrf", InOut: []taskdep.Key{tileKey(k, k)},
-			Body: func(any) { potrf(tiles[[2]int{k, k}]) },
+			Do: func(any) error { potrf(tiles[[2]int{k, k}]); return nil },
 		})
 		for i := k + 1; i < T; i++ {
 			i := i
@@ -123,7 +123,7 @@ func main() {
 				Label: "trsm",
 				In:    []taskdep.Key{tileKey(k, k)},
 				InOut: []taskdep.Key{tileKey(i, k)},
-				Body:  func(any) { trsm(tiles[[2]int{k, k}], tiles[[2]int{i, k}]) },
+				Do:    func(any) error { trsm(tiles[[2]int{k, k}], tiles[[2]int{i, k}]); return nil },
 			})
 		}
 		for i := k + 1; i < T; i++ {
@@ -132,7 +132,7 @@ func main() {
 				Label: "syrk",
 				In:    []taskdep.Key{tileKey(i, k)},
 				InOut: []taskdep.Key{tileKey(i, i)},
-				Body:  func(any) { syrk(tiles[[2]int{i, k}], tiles[[2]int{i, i}]) },
+				Do:    func(any) error { syrk(tiles[[2]int{i, k}], tiles[[2]int{i, i}]); return nil },
 			})
 			for j := k + 1; j < i; j++ {
 				j := j
@@ -140,7 +140,7 @@ func main() {
 					Label: "gemm",
 					In:    []taskdep.Key{tileKey(i, k), tileKey(j, k)},
 					InOut: []taskdep.Key{tileKey(i, j)},
-					Body:  func(any) { gemm(tiles[[2]int{i, k}], tiles[[2]int{j, k}], tiles[[2]int{i, j}]) },
+					Do:    func(any) error { gemm(tiles[[2]int{i, k}], tiles[[2]int{j, k}], tiles[[2]int{i, j}]); return nil },
 				})
 			}
 		}

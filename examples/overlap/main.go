@@ -58,19 +58,20 @@ func run(serialize bool) (wall time.Duration, overlap float64) {
 			i := i
 			rt.Submit(taskdep.Spec{
 				Label: "compute", Out: []taskdep.Key{taskdep.Key(100 + i)},
-				Body: func(any) {
+				Do: func(any) error {
 					s := 0.0
 					for k := 0; k < 400000; k++ {
 						s += float64(k%7) * 1e-9
 					}
 					sink[i] = s
+					return nil
 				},
 			})
 		}
 		// Consumer of the received data.
 		rt.Submit(taskdep.Spec{
 			Label: "use-recv", In: []taskdep.Key{1},
-			Body: func(any) { _ = buf[0] },
+			Do: func(any) error { _ = buf[0]; return nil },
 		})
 		rt.Close()
 		if comm.Rank() == 0 {

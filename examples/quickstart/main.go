@@ -31,7 +31,7 @@ func main() {
 		rt.Submit(taskdep.Spec{
 			Label: fmt.Sprintf("produce-%d", i),
 			Out:   []taskdep.Key{slot(i)},
-			Body:  func(any) { data[i] = float64(i * i) },
+			Do:    func(any) error { data[i] = float64(i * i); return nil },
 		})
 	}
 	// Stage 2: smooth each interior slot (reads neighbors: a stencil).
@@ -42,7 +42,7 @@ func main() {
 			Label: fmt.Sprintf("smooth-%d", i),
 			In:    []taskdep.Key{slot(i - 1), slot(i), slot(i + 1)},
 			Out:   []taskdep.Key{smoothSlot(i)},
-			Body:  func(any) { smoothed[i] = (data[i-1] + data[i] + data[i+1]) / 3 },
+			Do:    func(any) error { smoothed[i] = (data[i-1] + data[i] + data[i+1]) / 3; return nil },
 		})
 	}
 	// Stage 3: concurrent accumulation with inoutset (order-independent).
@@ -59,10 +59,11 @@ func main() {
 			Label:    fmt.Sprintf("accumulate-%d", c),
 			In:       deps,
 			InOutSet: []taskdep.Key{sumKey},
-			Body: func(any) {
+			Do: func(any) error {
 				for i := lo; i < hi; i++ {
 					partial[c] += smoothed[i]
 				}
+				return nil
 			},
 		})
 	}
@@ -70,10 +71,11 @@ func main() {
 	rt.Submit(taskdep.Spec{
 		Label: "report",
 		In:    []taskdep.Key{sumKey},
-		Body: func(any) {
+		Do: func(any) error {
 			for _, p := range partial {
 				sum += p
 			}
+			return nil
 		},
 	})
 	rt.Taskwait()

@@ -100,7 +100,7 @@ func main() {
 				}
 				specs = append(specs, taskdep.Spec{
 					Label: "diffuse", In: in, Out: []taskdep.Key{newKey(c)},
-					Body: func(any) {
+					Do: func(any) error {
 						for i := lo; i < hi; i++ {
 							left := ghostLo[0]
 							if i > 0 {
@@ -116,6 +116,7 @@ func main() {
 							}
 							un[i] = u[i] + alpha*(left-2*u[i]+right)
 						}
+						return nil
 					},
 				})
 			}
@@ -126,7 +127,7 @@ func main() {
 				specs = append(specs, taskdep.Spec{
 					Label: "commit", In: []taskdep.Key{newKey(c)},
 					InOut: []taskdep.Key{cellKey(c)},
-					Body:  func(any) { copy(u[lo:hi], un[lo:hi]) },
+					Do:    func(any) error { copy(u[lo:hi], un[lo:hi]); return nil },
 				})
 			}
 			rt.SubmitBatch(specs)

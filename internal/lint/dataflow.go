@@ -1,0 +1,319 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// --- rule: unprovided-consume ---
+//
+// The typed dataflow facade (internal/values, the ValueSpec surface)
+// lowers Consume onto an In dependence. An In with no writer is legal
+// to the runtime — the task is immediately ready — but for a slot
+// freshly bound in the current function it means the body reads a
+// zero-valued slot: nothing in the submission window ever put a value
+// there. That is almost always a missing provider task (or a missing
+// Set priming the slot), and under frozen replay the empty read is
+// recorded and repeated forever.
+//
+// The check walks one function body in source order and tracks, per
+// handle variable bound in that function (Bind / BindValue / a typed
+// values.Bind), whether the slot has been provided yet: listed under
+// an earlier dataflow Spec's Provide or Update, or written directly
+// with Set/SetAny. A Consume of a still-unprovided handle inside a
+// Submit/SubmitBatch call is reported. Handles of unknown provenance
+// (parameters, fields, Lookup results — the slot may carry a value
+// from an earlier window) are never flagged, and a Reset on a store
+// this function bound from clears the provided set: values do not
+// survive a Store.Reset.
+
+// checkUnprovidedConsume runs the rule over one function body.
+func (l *pkgLint) checkUnprovidedConsume(body *ast.BlockStmt) {
+	if !l.on(RuleUnprovidedConsume) {
+		return
+	}
+	u := &unprovidedScan{
+		l:        l,
+		bound:    map[types.Object]string{},
+		stores:   map[types.Object]bool{},
+		provided: map[types.Object]bool{},
+		byName:   map[string]bool{},
+	}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			u.recordBinds(x)
+		case *ast.CallExpr:
+			u.recordCall(x)
+		case *ast.CompositeLit:
+			if isSpecLit(x) || isValueSpecName(x) {
+				fields := specFields(x)
+				if _, ok := fields["Consume"]; ok && underSubmit(stack) {
+					u.flagConsumes(x, fields)
+				}
+				u.markProvides(fields)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// unprovidedScan is the per-function state of the rule.
+type unprovidedScan struct {
+	l        *pkgLint
+	bound    map[types.Object]string // handle var -> slot name ("" if dynamic)
+	stores   map[types.Object]bool   // store vars this function bound from
+	provided map[types.Object]bool   // handle vars provided so far
+	byName   map[string]bool         // slot names provided so far (cross-handle)
+}
+
+// isValueSpecName matches the facade alias spelling (taskdep.ValueSpec
+// or a local ValueSpec alias); the internal values.Spec spelling is
+// already covered by isSpecLit.
+func isValueSpecName(lit *ast.CompositeLit) bool {
+	switch t := lit.Type.(type) {
+	case *ast.Ident:
+		return t.Name == "ValueSpec"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "ValueSpec"
+	}
+	return false
+}
+
+// recordBinds notes handle variables created by binding calls:
+// h := store.Bind("name"), v := values.Bind[T](store, "name"),
+// v := taskdep.BindValue[T](store, "name"). Only these give the rule
+// provenance — a freshly bound slot provably holds no value yet.
+func (u *unprovidedScan) recordBinds(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		storeExpr, name, ok := bindCall(rhs)
+		if !ok {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := u.l.objOf(id)
+		if obj == nil {
+			continue
+		}
+		u.bound[obj] = name
+		if sid := rootIdent(storeExpr); sid != nil {
+			if sobj := u.l.objOf(sid); sobj != nil {
+				u.stores[sobj] = true
+			}
+		}
+	}
+}
+
+// bindCall matches a slot-binding call and returns the store operand
+// and the bound name (empty when the name is not a string literal).
+func bindCall(e ast.Expr) (store ast.Expr, name string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return nil, "", false
+	}
+	fun := call.Fun
+	// Unwrap explicit generic instantiation: Bind[T], BindValue[T].
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = f.X
+	case *ast.IndexListExpr:
+		fun = f.X
+	}
+	var callee string
+	var recv ast.Expr
+	switch f := fun.(type) {
+	case *ast.Ident:
+		callee = f.Name
+	case *ast.SelectorExpr:
+		callee = f.Sel.Name
+		recv = f.X
+	default:
+		return nil, "", false
+	}
+	switch callee {
+	case "Bind":
+		// Either the Store method (one arg, receiver is the store) or
+		// the typed package function (two args, store first).
+		switch len(call.Args) {
+		case 1:
+			if recv == nil {
+				return nil, "", false
+			}
+			return recv, litString(call.Args[0]), true
+		case 2:
+			return call.Args[0], litString(call.Args[1]), true
+		}
+	case "BindValue":
+		if len(call.Args) == 2 {
+			return call.Args[0], litString(call.Args[1]), true
+		}
+	}
+	return nil, "", false
+}
+
+// litString unquotes a string literal expression, "" otherwise.
+func litString(e ast.Expr) string {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok {
+		return ""
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+// recordCall tracks the two non-Spec ways a slot gets a value or
+// loses one: h.Set(v) / h.SetAny(v) provides the handle's slot, and
+// store.Reset() clears every slot of a store this function bound from
+// (so earlier provides no longer hold).
+func (u *unprovidedScan) recordCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Set", "SetAny":
+		if len(call.Args) != 1 {
+			return
+		}
+		id := rootIdent(sel.X)
+		if id == nil {
+			return
+		}
+		obj := u.l.objOf(id)
+		if name, known := u.bound[obj]; known {
+			u.provide(obj, name)
+		}
+	case "Reset":
+		if len(call.Args) != 0 {
+			return
+		}
+		id := rootIdent(sel.X)
+		if id == nil {
+			return
+		}
+		if sobj := u.l.objOf(id); sobj != nil && u.stores[sobj] {
+			clear(u.provided)
+			clear(u.byName)
+		}
+	}
+}
+
+func (u *unprovidedScan) provide(obj types.Object, name string) {
+	u.provided[obj] = true
+	if name != "" {
+		u.byName[name] = true
+	}
+}
+
+// markProvides records the Provide and Update bindings of a dataflow
+// Spec literal. Every literal counts as a provider — even one built
+// but submitted elsewhere — so the rule errs quiet.
+func (u *unprovidedScan) markProvides(fields map[string]ast.Expr) {
+	for _, f := range []string{"Provide", "Update"} {
+		lst, ok := fields[f].(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, el := range lst.Elts {
+			id := handleRoot(el)
+			if id == nil {
+				continue
+			}
+			obj := u.l.objOf(id)
+			if name, known := u.bound[obj]; known {
+				u.provide(obj, name)
+			}
+		}
+	}
+}
+
+// flagConsumes reports each Consume element bound in this function
+// that nothing provided yet. Checked before the literal's own
+// Provide/Update marks: a task cannot satisfy its own Consume.
+func (u *unprovidedScan) flagConsumes(lit *ast.CompositeLit, fields map[string]ast.Expr) {
+	lst, ok := fields["Consume"].(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	label := ""
+	if bl, ok := fields["Label"].(*ast.BasicLit); ok {
+		label = bl.Value
+	}
+	for _, el := range lst.Elts {
+		id := handleRoot(el)
+		if id == nil {
+			continue
+		}
+		obj := u.l.objOf(id)
+		name, known := u.bound[obj]
+		if !known || u.provided[obj] || (name != "" && u.byName[name]) {
+			continue
+		}
+		slot := name
+		if slot == "" {
+			slot = id.Name
+		}
+		task := "the task"
+		if label != "" {
+			task = "task " + label
+		}
+		u.l.report(el.Pos(), RuleUnprovidedConsume,
+			"%s consumes slot %q which no earlier task in this submission window provides — no Provide/Update lists it and no Set primes it, so the In dependence has no writer and the body reads an empty slot",
+			task, slot)
+	}
+}
+
+// handleRoot resolves a Consume/Provide/Update list element to the
+// handle variable it names: a bare handle, the typed view's embedded
+// field (v.Handle), or the Ref() convenience (v.Ref()).
+func handleRoot(e ast.Expr) *ast.Ident {
+	if call, ok := e.(*ast.CallExpr); ok {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 0 || sel.Sel.Name != "Ref" {
+			return nil
+		}
+		e = sel.X
+	}
+	return rootIdent(e)
+}
+
+// underSubmit reports whether the node stack passes through a
+// Submit/SubmitBatch call: only specs actually handed to a runtime
+// participate in a submission window. Specs built for lowering tests
+// or stored for later are out of scope.
+func underSubmit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		call, ok := stack[i].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		var callee string
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			callee = f.Name
+		case *ast.SelectorExpr:
+			callee = f.Sel.Name
+		}
+		if strings.HasPrefix(callee, "Submit") {
+			return true
+		}
+	}
+	return false
+}

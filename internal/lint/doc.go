@@ -36,6 +36,10 @@
 //	                  it writes, with no connecting key.
 //	stale-dep         a declared indexed key matching nothing the body
 //	                  touches.
+//	unprovided-consume a submitted dataflow Spec Consumes a freshly
+//	                  bound slot nothing in the window Provides,
+//	                  Updates or Sets: the In dependence has no writer
+//	                  and the body reads an empty slot.
 //	unused-ignore     a taskdeplint:ignore comment that suppresses nothing.
 //
 // # The dep-coverage analysis

@@ -2,8 +2,9 @@
 // cmd/taskdeplint: a self-contained analyzer framework (package loading
 // via go/parser, best-effort type checking through a stub importer, a
 // rule registry with per-rule enable/disable, rule-scoped suppression
-// comments, JSON and SARIF output) plus the rules themselves — six
-// API-misuse checks and the dep-coverage dataflow analysis that
+// comments, JSON and SARIF output) plus the rules themselves — the
+// API-misuse checks, the unprovided-consume window check for the
+// typed values facade, and the dep-coverage dataflow analysis that
 // cross-checks declared In/Out/InOut/InOutSet keys against the effect
 // set of each task body. See doc.go for the rule catalogue and the
 // soundness model.
@@ -37,17 +38,18 @@ func (f Finding) String() string {
 // Rule names. Every check registers here; Options.Enable/Disable and
 // ignore comments refer to these names.
 const (
-	RuleLoopCapture     = "loop-capture"
-	RuleFusedCapture    = "fused-capture"
-	RuleUseAfterClose   = "use-after-close"
-	RuleFulfillNil      = "fulfill-nil-event"
-	RuleMissingOut      = "missing-out"
-	RuleDroppedError    = "dropped-error"
-	RuleSpanNoEnd       = "span-no-end"
-	RuleUndeclaredWrite = "undeclared-write"
-	RuleUndeclaredRead  = "undeclared-read"
-	RuleStaleDep        = "stale-dep"
-	RuleUnusedIgnore    = "unused-ignore"
+	RuleLoopCapture       = "loop-capture"
+	RuleFusedCapture      = "fused-capture"
+	RuleUseAfterClose     = "use-after-close"
+	RuleFulfillNil        = "fulfill-nil-event"
+	RuleMissingOut        = "missing-out"
+	RuleDroppedError      = "dropped-error"
+	RuleSpanNoEnd         = "span-no-end"
+	RuleUndeclaredWrite   = "undeclared-write"
+	RuleUndeclaredRead    = "undeclared-read"
+	RuleStaleDep          = "stale-dep"
+	RuleUnprovidedConsume = "unprovided-consume"
+	RuleUnusedIgnore      = "unused-ignore"
 )
 
 // RuleInfo describes one registered rule for -list and SARIF metadata.
@@ -69,6 +71,7 @@ func Rules() []RuleInfo {
 		{RuleUndeclaredWrite, "the task body mutates shared captured state reachable from no declared Out/InOut/InOutSet key — a latent race the dynamic verifier may never see"},
 		{RuleUndeclaredRead, "the task body reads state a same-scope Spec writes, with no key connecting them"},
 		{RuleStaleDep, "a declared key whose associated state the body provably never touches — over-declaration that serializes the graph"},
+		{RuleUnprovidedConsume, "a submitted dataflow Spec Consumes a freshly bound slot no earlier task in the submission window Provides or Updates and no Set primes — the In dependence has no writer, so the body reads an empty slot"},
 		{RuleUnusedIgnore, "a taskdeplint:ignore comment that no longer suppresses anything"},
 	}
 }
@@ -430,6 +433,7 @@ func (l *pkgLint) lintFile(f *ast.File, restricted bool) {
 		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
 			l.seqLint(fd.Body, map[types.Object]bool{})
 			l.checkSpanNoEnd(fd.Body)
+			l.checkUnprovidedConsume(fd.Body)
 		}
 	}
 

@@ -18,26 +18,46 @@ import (
 	"taskdep/internal/verify"
 )
 
-// Config parametrizes a Runtime.
+// Config parametrizes a Runtime. The surface is organized into
+// grouped sub-structs — Sched (executor), Discovery (TDG discovery),
+// Throttle (producer windows), Obs (observability), Tune
+// (self-tuning) — with the historical top-level fields (Policy,
+// Engine, Opts, ThrottleReady, ThrottleTotal) kept as working twins
+// for backward compatibility. Either form may be used; setting a
+// legacy field and its grouped twin to conflicting values is a
+// NewRuntime validation error, never a silent precedence rule, and
+// after construction both forms carry the merged value.
 type Config struct {
 	// Workers is the number of worker goroutines ("cores"). The producer
 	// is an additional goroutine (the caller of Submit), matching the
 	// paper's single-producer model. Default 1.
 	Workers int
+
+	// Sched groups the executor knobs: scheduling order and engine
+	// implementation.
+	Sched SchedOptions
+	// Discovery groups the TDG-discovery knobs.
+	Discovery DiscoveryOptions
+	// Throttle groups the producer-throttle windows.
+	Throttle ThrottleOptions
+
 	// Policy selects depth-first (default, MPC-OMP-like) or
-	// breadth-first scheduling.
+	// breadth-first scheduling. Legacy twin of Sched.Policy.
 	Policy sched.Policy
 	// Engine selects the scheduler implementation: EngineLockFree
 	// (default — Chase–Lev deques, wake-one parking) or EngineMutex
 	// (the pre-rebuild mutex/broadcast baseline, kept for comparison
-	// runs; see tdgbench -exp executor).
+	// runs; see tdgbench -exp executor). Legacy twin of Sched.Engine.
 	Engine sched.Engine
-	// Opts enables TDG discovery optimizations (b) and (c).
+	// Opts enables TDG discovery optimizations (b) and (c). Legacy
+	// twin of Discovery.Opts.
 	Opts graph.Opt
 	// ThrottleReady bounds ready tasks (GCC/LLVM-style); 0 = unbounded.
+	// Legacy twin of Throttle.Ready.
 	ThrottleReady int64
 	// ThrottleTotal bounds live tasks, ready or not (MPC-OMP's extra
-	// threshold for dependent tasks); 0 = unbounded.
+	// threshold for dependent tasks); 0 = unbounded. Legacy twin of
+	// Throttle.Total.
 	ThrottleTotal int64
 	// Profile, if non-nil, receives breakdown/trace events. It must be
 	// created with at least Workers+1 slots; slot Workers is the
@@ -229,42 +249,9 @@ func New(cfg Config) *Runtime {
 // with too few slots, negative counts, out-of-range enum values — are
 // returned as descriptive errors.
 func NewRuntime(cfg Config) (*Runtime, error) {
-	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("rt: Workers is %d; want >= 0 (0 selects the default of 1)", cfg.Workers)
-	}
-	if cfg.Workers == 0 {
-		cfg.Workers = 1
-	}
-	if cfg.Profile != nil && cfg.Profile.NumWorkers() < cfg.Workers+1 {
-		return nil, fmt.Errorf("rt: profile has %d slots, need Workers+1 = %d (slot %d is the producer)",
-			cfg.Profile.NumWorkers(), cfg.Workers+1, cfg.Workers)
-	}
-	if cfg.ThrottleReady < 0 {
-		return nil, fmt.Errorf("rt: ThrottleReady is %d; want >= 0 (0 disables ready-task throttling)", cfg.ThrottleReady)
-	}
-	if cfg.ThrottleTotal < 0 {
-		return nil, fmt.Errorf("rt: ThrottleTotal is %d; want >= 0 (0 disables total-task throttling)", cfg.ThrottleTotal)
-	}
-	switch cfg.Policy {
-	case sched.DepthFirst, sched.BreadthFirst:
-	default:
-		return nil, fmt.Errorf("rt: unknown Policy %d; want DepthFirst or BreadthFirst", cfg.Policy)
-	}
-	switch cfg.Engine {
-	case sched.EngineLockFree, sched.EngineMutex:
-	default:
-		return nil, fmt.Errorf("rt: unknown Engine %d; want EngineLockFree or EngineMutex", cfg.Engine)
-	}
-	switch cfg.Verify {
-	case verify.Off, verify.Observe, verify.Full:
-	default:
-		return nil, fmt.Errorf("rt: unknown Verify mode %d; want Off, Observe or Full", cfg.Verify)
-	}
-	if cfg.Inject != nil && cfg.Inject.Every < 0 {
-		return nil, fmt.Errorf("rt: Inject.Every is %d; want >= 0 (0 disables injection)", cfg.Inject.Every)
-	}
-	if err := cfg.Tune.Validate(); err != nil {
-		return nil, fmt.Errorf("rt: %w", err)
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
 	}
 	gopts := cfg.Opts
 	if cfg.Verify != verify.Off {
@@ -444,14 +431,16 @@ type Spec struct {
 	Out      []graph.Key
 	InOut    []graph.Key
 	InOutSet []graph.Key
-	// Body is the work closure; it receives FirstPrivate.
-	Body func(fp any)
-	// Do is the error-returning work closure: a non-nil return aborts
-	// the task exactly like a panic, poisoning its successor cone and
-	// surfacing from the next Taskwait as a *fault.TaskError. When both
-	// are set, Do wins. Body stays the zero-overhead form for bodies
-	// that cannot fail.
+	// Do is the canonical work closure: it receives FirstPrivate, and a
+	// non-nil return aborts the task exactly like a panic, poisoning
+	// its successor cone and surfacing from the next Taskwait as a
+	// *fault.TaskError. New code should set Do.
 	Do func(arg any) error
+	// Body is a thin adapter over Do for bodies that cannot fail —
+	// equivalent to a Do that always returns nil, without the error
+	// plumbing. When both are set, Do wins. Kept for infallible inner
+	// loops (TaskLoop chunks) and backward compatibility.
+	Body func(fp any)
 	// DetachedBody is the work closure of a detached task; it receives
 	// FirstPrivate and the task's detach event, which the body (or an
 	// external engine it arms) must eventually Fulfill. Set Detached.

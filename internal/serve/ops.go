@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// OpFunc is a server-side operator: it receives the task's JSON
+// argument and the values of its Consume slots followed by its Update
+// slots, and returns the value stored into every Provide and Update
+// slot. A non-nil error aborts the task and poisons its consumer cone,
+// exactly like a failing Spec.Do.
+//
+// Clients submit data, not code, so the executable surface is this
+// fixed registry; it is deliberately small but covers literals,
+// arithmetic reductions, string assembly, synthetic load and failure
+// injection — enough to express the benchmark graphs and to exercise
+// every runtime path the native API reaches.
+type OpFunc func(arg json.RawMessage, in []any) (any, error)
+
+// Ops is the operator registry keyed by TaskWire.Op.
+var Ops = map[string]OpFunc{
+	"const":  opConst,
+	"sum":    opSum,
+	"mul":    opMul,
+	"concat": opConcat,
+	"pass":   opPass,
+	"spin":   opSpin,
+	"fail":   opFail,
+}
+
+// OpNames returns the registered operator names (order unspecified).
+func OpNames() []string {
+	out := make([]string, 0, len(Ops))
+	for k := range Ops {
+		out = append(out, k)
+	}
+	return out
+}
+
+// opConst returns its argument decoded as a JSON value.
+func opConst(arg json.RawMessage, _ []any) (any, error) {
+	if len(arg) == 0 {
+		return nil, fmt.Errorf("const: missing arg")
+	}
+	var v any
+	if err := json.Unmarshal(arg, &v); err != nil {
+		return nil, fmt.Errorf("const: %w", err)
+	}
+	return v, nil
+}
+
+func numeric(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case nil:
+		return 0, false
+	}
+	return 0, false
+}
+
+// opSum adds its numeric inputs plus an optional numeric arg.
+func opSum(arg json.RawMessage, in []any) (any, error) {
+	s, err := argNumber(arg, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sum: %w", err)
+	}
+	for i, v := range in {
+		n, ok := numeric(v)
+		if !ok {
+			return nil, fmt.Errorf("sum: input %d is %T, not a number", i, v)
+		}
+		s += n
+	}
+	return s, nil
+}
+
+// opMul multiplies its numeric inputs (and the optional numeric arg).
+func opMul(arg json.RawMessage, in []any) (any, error) {
+	p, err := argNumber(arg, 1)
+	if err != nil {
+		return nil, fmt.Errorf("mul: %w", err)
+	}
+	for i, v := range in {
+		n, ok := numeric(v)
+		if !ok {
+			return nil, fmt.Errorf("mul: input %d is %T, not a number", i, v)
+		}
+		p *= n
+	}
+	return p, nil
+}
+
+// opConcat joins the inputs' string forms; a string arg is the
+// separator.
+func opConcat(arg json.RawMessage, in []any) (any, error) {
+	sep := ""
+	if len(arg) > 0 {
+		if err := json.Unmarshal(arg, &sep); err != nil {
+			return nil, fmt.Errorf("concat: %w", err)
+		}
+	}
+	parts := make([]string, len(in))
+	for i, v := range in {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, sep), nil
+}
+
+// opPass forwards its first input unchanged (a rename/fan-out node).
+func opPass(_ json.RawMessage, in []any) (any, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("pass: no input")
+	}
+	return in[0], nil
+}
+
+// spinCap bounds synthetic work per task so a hostile client cannot
+// pin a tenant's worker indefinitely with one task.
+const spinCap = 50_000_000
+
+// opSpin burns arg iterations of integer work — synthetic load for
+// benchmarks and for holding a tenant busy in tests. Returns the
+// folded value so the loop cannot be optimized away.
+func opSpin(arg json.RawMessage, in []any) (any, error) {
+	n, err := argNumber(arg, 1000)
+	if err != nil {
+		return nil, fmt.Errorf("spin: %w", err)
+	}
+	iters := int(n)
+	if iters < 0 || iters > spinCap {
+		return nil, fmt.Errorf("spin: %d out of range [0,%d]", iters, spinCap)
+	}
+	acc := uint64(len(in) + 1)
+	for i := 0; i < iters; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	return float64(acc % 1e9), nil
+}
+
+// opFail returns an error carrying the (string) argument — the
+// client-reachable way to poison a consumer cone.
+func opFail(arg json.RawMessage, _ []any) (any, error) {
+	msg := "injected failure"
+	if len(arg) > 0 {
+		if err := json.Unmarshal(arg, &msg); err != nil {
+			return nil, fmt.Errorf("fail: bad arg: %w", err)
+		}
+	}
+	return nil, fmt.Errorf("fail: %s", msg)
+}
+
+// argNumber decodes an optional numeric argument, defaulting when
+// absent.
+func argNumber(arg json.RawMessage, def float64) (float64, error) {
+	if len(arg) == 0 {
+		return def, nil
+	}
+	var n float64
+	if err := json.Unmarshal(arg, &n); err != nil {
+		return 0, fmt.Errorf("numeric arg: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"taskdep/internal/fault"
+)
+
+// Server is the HTTP front end over a tenant Manager. Build one with
+// New, mount Handler on a listener (cmd/tdgserve uses obs.Serve), and
+// Shutdown when done.
+type Server struct {
+	m     *Manager
+	start time.Time
+
+	requests    atomic.Int64 // POST /v1/graphs accepted past validation
+	rejected    atomic.Int64 // 429s (tenant or global quota)
+	badRequests atomic.Int64 // 4xx validation failures
+	graphErrors atomic.Int64 // streams that ended in an error event
+	disconnects atomic.Int64 // streams whose client went away
+}
+
+// New builds a Server with its own Manager.
+func New(opt Options) *Server {
+	return &Server{m: NewManager(opt), start: time.Now()}
+}
+
+// Manager exposes the tenant pool (tests, cmd wiring).
+func (s *Server) Manager() *Manager { return s.m }
+
+// Shutdown tears down every tenant runtime.
+func (s *Server) Shutdown() { s.m.CloseAll() }
+
+// Handler returns the service mux:
+//
+//	POST   /v1/graphs                 submit a graph, stream NDJSON events
+//	GET    /v1/tenants                tenant list with stats
+//	DELETE /v1/tenants/{name}         tear a tenant down
+//	GET    /v1/tenants/{name}/metrics the tenant runtime's Prometheus text
+//	GET    /v1/tenants/{name}/graphz  the tenant runtime's live snapshot
+//	GET    /metrics                   service-level + tenant-labeled series
+//	GET    /graphz                    service snapshot (all tenants)
+//	GET    /healthz                   liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleGraphs)
+	mux.HandleFunc("GET /v1/tenants", s.handleTenants)
+	mux.HandleFunc("DELETE /v1/tenants/{name}", s.handleTenantDelete)
+	mux.HandleFunc("GET /v1/tenants/{name}/metrics", s.handleTenantMetrics)
+	mux.HandleFunc("GET /v1/tenants/{name}/graphz", s.handleTenantGraphz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /graphz", s.handleGraphz)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// tenantOf resolves the request's tenant name: X-Tenant header, then
+// ?tenant=, then "default".
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	var req GraphRequest
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "decode: %v", err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	name := tenantOf(r)
+	tn, err := s.m.Tenant(name)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrPoolFull):
+			s.rejected.Add(1)
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		default:
+			s.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	release, err := s.m.Admit(tn)
+	if err != nil {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	defer release()
+	s.requests.Add(1)
+
+	// Event buffer sized so emitters (task bodies on tenant workers)
+	// never block on a slow or gone client: one transition per task,
+	// every possible result, the error tail and bookends.
+	nProvides := 0
+	for i := range req.Tasks {
+		nProvides += len(req.Tasks[i].Provide)
+	}
+	events := make(chan Event, len(req.Tasks)+nProvides+maxErrorEvents+8)
+	emit := func(e Event) { events <- e }
+
+	go func() {
+		defer close(events)
+		t0 := time.Now()
+		err := tn.Run(r.Context(), &req, emit)
+		if err != nil {
+			s.graphErrors.Add(1)
+			if r.Context().Err() != nil {
+				s.disconnects.Add(1)
+			}
+			emitErrors(emit, err)
+		}
+		iters := req.Repeat
+		if iters < 1 {
+			iters = 1
+		}
+		emit(Event{Type: "done", Iters: iters, Elapsed: time.Since(t0).Seconds()})
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	seq := 0
+	writeEvent := func(e Event) {
+		seq++
+		e.Seq = seq
+		_ = enc.Encode(e)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeEvent(Event{Type: "accepted", Key: name})
+	for e := range events {
+		writeEvent(e)
+	}
+}
+
+// maxErrorEvents bounds the error tail of a stream: the primary
+// failure plus a few siblings from the same window.
+const maxErrorEvents = 8
+
+// emitErrors renders a drain error as stream events: TaskErrors get
+// the failing task's label, plain errors just the message.
+func emitErrors(emit func(Event), err error) {
+	var te *fault.TaskError
+	if !errors.As(err, &te) {
+		emit(Event{Type: "error", Err: err.Error()})
+		return
+	}
+	emit(Event{Type: "error", Task: te.Label, Err: te.Cause.Error()})
+	var sibs []error
+	if te.Siblings != nil {
+		if joined, ok := te.Siblings.(interface{ Unwrap() []error }); ok {
+			sibs = joined.Unwrap()
+		} else {
+			sibs = []error{te.Siblings}
+		}
+	}
+	n := 1
+	for _, sib := range sibs {
+		if n >= maxErrorEvents {
+			break
+		}
+		var st *fault.TaskError
+		if errors.As(sib, &st) {
+			emit(Event{Type: "error", Task: st.Label, Err: st.Cause.Error()})
+		} else {
+			emit(Event{Type: "error", Err: sib.Error()})
+		}
+		n++
+	}
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.m.Snapshot())
+}
+
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !s.m.Close(name) {
+		httpError(w, http.StatusNotFound, "serve: no tenant %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleTenantMetrics(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.m.Lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "serve: no tenant %q", r.PathValue("name"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = tn.Runtime().Obs().WriteMetrics(w)
+}
+
+func (s *Server) handleTenantGraphz(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.m.Lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "serve: no tenant %q", r.PathValue("name"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(tn.Runtime().Introspect())
+}
+
+// handleMetrics writes the service-level series plus one
+// tenant-labeled row per tenant per series, Prometheus text format.
+// Deep runtime series live at /v1/tenants/{name}/metrics — keeping
+// them per-tenant avoids colliding the runtimes' unlabeled series.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bool01 := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintf(w, "# TYPE tdgserve_requests_total counter\ntdgserve_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(w, "# TYPE tdgserve_rejected_total counter\ntdgserve_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(w, "# TYPE tdgserve_bad_requests_total counter\ntdgserve_bad_requests_total %d\n", s.badRequests.Load())
+	fmt.Fprintf(w, "# TYPE tdgserve_graph_errors_total counter\ntdgserve_graph_errors_total %d\n", s.graphErrors.Load())
+	fmt.Fprintf(w, "# TYPE tdgserve_disconnects_total counter\ntdgserve_disconnects_total %d\n", s.disconnects.Load())
+	fmt.Fprintf(w, "# TYPE tdgserve_inflight gauge\ntdgserve_inflight %d\n", s.m.Inflight())
+	fmt.Fprintf(w, "# TYPE tdgserve_tenants gauge\ntdgserve_tenants %d\n", len(snap))
+	fmt.Fprintf(w, "# TYPE tdgserve_pressure gauge\ntdgserve_pressure %d\n", bool01(s.m.Pressured()))
+	fmt.Fprintf(w, "# TYPE tdgserve_uptime_seconds gauge\ntdgserve_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	for _, series := range []struct {
+		name string
+		get  func(TenantSnap) int64
+	}{
+		{"tdgserve_tenant_submissions_total", func(t TenantSnap) int64 { return t.Submissions }},
+		{"tdgserve_tenant_tasks_total", func(t TenantSnap) int64 { return t.Tasks }},
+		{"tdgserve_tenant_failures_total", func(t TenantSnap) int64 { return t.Failures }},
+		{"tdgserve_tenant_rejected_total", func(t TenantSnap) int64 { return t.Rejected }},
+		{"tdgserve_tenant_inflight", func(t TenantSnap) int64 { return t.Inflight }},
+		{"tdgserve_tenant_live_tasks", func(t TenantSnap) int64 { return t.Runtime.Live }},
+	} {
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{tenant=%q} %d\n", series.name, n, series.get(snap[n]))
+		}
+	}
+}
+
+// Graphz is the service-level /graphz payload.
+type Graphz struct {
+	Inflight  int64                 `json:"inflight"`
+	Pressured bool                  `json:"pressured"`
+	Options   Options               `json:"options"`
+	Tenants   map[string]TenantSnap `json:"tenants"`
+}
+
+func (s *Server) handleGraphz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(Graphz{
+		Inflight:  s.m.Inflight(),
+		Pressured: s.m.Pressured(),
+		Options:   s.m.Options(),
+		Tenants:   s.m.Snapshot(),
+	})
+}

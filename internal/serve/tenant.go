@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"taskdep/internal/rt"
+	"taskdep/internal/values"
+)
+
+// ErrTenantClosed is returned to requests that race a tenant teardown.
+var ErrTenantClosed = errors.New("serve: tenant closed")
+
+// ErrPoolFull is returned when creating a tenant would exceed
+// Options.MaxTenants.
+var ErrPoolFull = errors.New("serve: tenant pool full")
+
+// ErrQuota is returned when admission control rejects a request (the
+// per-tenant queue or the global in-flight cap is exhausted). The HTTP
+// layer maps it to 429.
+var ErrQuota = errors.New("serve: over quota")
+
+// Options configures the service: pool geometry, per-tenant runtime
+// shape and admission control. The zero value gets sane defaults from
+// withDefaults.
+type Options struct {
+	// MaxTenants bounds the runtime pool. Default 16.
+	MaxTenants int
+	// Workers is the per-tenant runtime worker count. Default 1.
+	Workers int
+	// Queue is the per-tenant admission quota: requests running or
+	// waiting on the tenant's producer lock. Default 64.
+	Queue int
+	// GlobalInflight caps requests admitted across all tenants.
+	// Default 1024.
+	GlobalInflight int
+	// ThrottleReady/ThrottleTotal are each tenant runtime's normal
+	// throttle windows (0 = unbounded).
+	ThrottleReady, ThrottleTotal int64
+	// TightReady/TightTotal are the windows applied to every tenant
+	// while global occupancy is above PressureAt — backpressure by
+	// shrinking discovery frontiers instead of rejecting. Defaults
+	// 64/256.
+	TightReady, TightTotal int64
+	// PressureAt is the global-occupancy fraction that engages the
+	// tightened windows; they release at half this mark. Default 0.75.
+	PressureAt float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTenants <= 0 {
+		o.MaxTenants = 16
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Queue <= 0 {
+		o.Queue = 64
+	}
+	if o.GlobalInflight <= 0 {
+		o.GlobalInflight = 1024
+	}
+	if o.TightReady <= 0 {
+		o.TightReady = 64
+	}
+	if o.TightTotal <= 0 {
+		o.TightTotal = 256
+	}
+	if o.PressureAt <= 0 || o.PressureAt > 1 {
+		o.PressureAt = 0.75
+	}
+	return o
+}
+
+// Tenant owns one isolated runtime: private workers, graph, metrics
+// registry and failure domain. Requests serialize on prodMu (the
+// runtime's single-producer contract); everything else about the
+// tenant is safe for concurrent use.
+type Tenant struct {
+	name  string
+	rt    *rt.Runtime
+	store *values.Store
+
+	prodMu sync.Mutex
+	sem    chan struct{} // admission quota (see Options.Queue)
+	closed atomic.Bool
+
+	submissions atomic.Int64 // graphs accepted
+	tasksRun    atomic.Int64 // task bodies executed
+	failures    atomic.Int64 // graphs that drained with an error
+	rejected    atomic.Int64 // admissions refused (quota)
+	inflight    atomic.Int64 // admitted, not yet finished
+}
+
+// Name returns the tenant's identifier.
+func (t *Tenant) Name() string { return t.name }
+
+// Runtime exposes the tenant's runtime (introspection endpoints).
+func (t *Tenant) Runtime() *rt.Runtime { return t.rt }
+
+// tryAcquire claims one admission slot, failing fast when the
+// tenant's queue quota is exhausted.
+func (t *Tenant) tryAcquire() bool {
+	select {
+	case t.sem <- struct{}{}:
+		t.inflight.Add(1)
+		return true
+	default:
+		t.rejected.Add(1)
+		return false
+	}
+}
+
+func (t *Tenant) release() {
+	t.inflight.Add(-1)
+	<-t.sem
+}
+
+// Run executes one validated graph on the tenant's runtime, emitting
+// stream events as tasks complete. emit may be called from worker
+// goroutines and must not block (the HTTP layer passes a
+// sufficiently-buffered channel send). The caller must have acquired
+// an admission slot.
+func (t *Tenant) Run(ctx context.Context, req *GraphRequest, emit func(Event)) error {
+	if t.closed.Load() {
+		return ErrTenantClosed
+	}
+	t.prodMu.Lock()
+	defer t.prodMu.Unlock()
+	if t.closed.Load() {
+		return ErrTenantClosed
+	}
+	// A previous request's disconnect watcher may have aborted the
+	// runtime just as its window drained; consume the stale flag so
+	// this request starts clean.
+	if t.rt.Aborted() {
+		_ = t.rt.Taskwait()
+	}
+	t.store.Reset()
+	t.submissions.Add(1)
+
+	specs, resultHandles, resultNames := t.build(req, emit)
+
+	// Abort the window when the client goes away mid-stream, so a
+	// disconnected request never pins the tenant for its full graph.
+	var done atomic.Bool
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			if !done.Load() {
+				t.rt.Abort(fmt.Errorf("serve: client disconnected: %w", context.Cause(ctx)))
+			}
+		case <-stop:
+		}
+	}()
+
+	iters := req.Repeat
+	if iters < 1 {
+		iters = 1
+	}
+	var err error
+	if iters == 1 {
+		for i := range specs {
+			t.rt.Submit(specs[i])
+		}
+		err = t.rt.Taskwait()
+	} else {
+		// The persistent frozen-replay path: the graph is recorded
+		// once and replayed as a compiled flat schedule — the typed
+		// dataflow facade lowers onto plain key dependences, so the
+		// paper's optimization (p) applies to served graphs unchanged.
+		err = t.rt.PersistentFrozen(iters, func() {
+			for i := range specs {
+				t.rt.Submit(specs[i])
+			}
+		})
+	}
+	done.Store(true)
+	close(stop)
+	if err != nil {
+		t.failures.Add(1)
+		return err
+	}
+	for i, h := range resultHandles {
+		emit(Event{Type: "result", Key: resultNames[i], Value: h.Any()})
+	}
+	return nil
+}
+
+// build lowers the wire tasks onto runtime specs via the typed value
+// layer. Caller holds prodMu.
+func (t *Tenant) build(req *GraphRequest, emit func(Event)) (specs []rt.Spec, resultHandles []values.Handle, resultNames []string) {
+	handles := make(map[string]values.Handle, 8)
+	bind := func(names []string) []values.Handle {
+		if len(names) == 0 {
+			return nil
+		}
+		hs := make([]values.Handle, len(names))
+		for i, n := range names {
+			h, ok := handles[n]
+			if !ok {
+				h = t.store.Bind(n)
+				handles[n] = h
+			}
+			hs[i] = h
+		}
+		return hs
+	}
+	specs = make([]rt.Spec, 0, len(req.Tasks))
+	var provided []string
+	for i := range req.Tasks {
+		w := &req.Tasks[i]
+		op := Ops[w.Op]
+		label := w.Name(i)
+		arg := w.Arg
+		consume := bind(w.Consume)
+		update := bind(w.Update)
+		for _, n := range w.Provide {
+			if _, ok := handles[n]; !ok {
+				provided = append(provided, n)
+			}
+		}
+		provide := bind(w.Provide)
+		runs := new(atomic.Int32)
+		do := func() error {
+			in := make([]any, 0, len(consume)+len(update))
+			for _, h := range consume {
+				in = append(in, h.Any())
+			}
+			for _, h := range update {
+				in = append(in, h.Any())
+			}
+			v, err := op(arg, in)
+			if err != nil {
+				return err
+			}
+			for _, h := range provide {
+				h.SetAny(v)
+			}
+			for _, h := range update {
+				h.SetAny(v)
+			}
+			t.tasksRun.Add(1)
+			// One transition event per task: the first completed
+			// execution (frozen replays re-run bodies every
+			// iteration; streaming each would swamp the client).
+			if runs.Add(1) == 1 {
+				emit(Event{Type: "task", Task: label, State: "done"})
+			}
+			return nil
+		}
+		specs = append(specs, values.Lower(values.Spec{
+			Label:   label,
+			Consume: consume,
+			Provide: provide,
+			Update:  update,
+			Do:      do,
+		}))
+	}
+	names := req.Results
+	if len(names) == 0 {
+		names = provided
+	}
+	resultHandles = make([]values.Handle, len(names))
+	for i, n := range names {
+		resultHandles[i] = handles[n]
+	}
+	return specs, resultHandles, names
+}
+
+// shutdown closes the tenant: aborts any running window, waits for
+// the active request to drain off the producer lock, then joins the
+// runtime's workers. Idempotent.
+func (t *Tenant) shutdown() {
+	if t.closed.Swap(true) {
+		return
+	}
+	t.rt.Abort(ErrTenantClosed)
+	t.prodMu.Lock()
+	defer t.prodMu.Unlock()
+	_ = t.rt.Close()
+}
+
+// Manager is the bounded tenant pool plus global admission state.
+type Manager struct {
+	opt Options
+
+	mu      sync.Mutex
+	tenants map[string]*Tenant
+	closed  bool
+
+	inflight       atomic.Int64
+	pressured      atomic.Bool
+	rejectedGlobal atomic.Int64
+}
+
+// NewManager builds a pool with the given options (zero value OK).
+func NewManager(opt Options) *Manager {
+	return &Manager{opt: opt.withDefaults(), tenants: make(map[string]*Tenant)}
+}
+
+// Options returns the effective (defaulted) options.
+func (m *Manager) Options() Options { return m.opt }
+
+// validTenantName accepts DNS-label-ish names: letters, digits, and
+// [._-], nonempty, bounded.
+func validTenantName(s string) bool {
+	if s == "" || len(s) > MaxNameLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Tenant returns the named tenant, creating it on first use. Creation
+// fails with ErrPoolFull when the pool is at MaxTenants.
+func (m *Manager) Tenant(name string) (*Tenant, error) {
+	if !validTenantName(name) {
+		return nil, fmt.Errorf("serve: invalid tenant name %q", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrTenantClosed
+	}
+	if t, ok := m.tenants[name]; ok {
+		return t, nil
+	}
+	if len(m.tenants) >= m.opt.MaxTenants {
+		return nil, ErrPoolFull
+	}
+	ready, total := m.opt.ThrottleReady, m.opt.ThrottleTotal
+	if m.pressured.Load() {
+		ready, total = m.opt.TightReady, m.opt.TightTotal
+	}
+	runtime, err := rt.NewRuntime(rt.Config{
+		Workers:  m.opt.Workers,
+		Throttle: rt.ThrottleOptions{Ready: ready, Total: total},
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Tenant{
+		name:  name,
+		rt:    runtime,
+		store: values.NewStore(),
+		sem:   make(chan struct{}, m.opt.Queue),
+	}
+	m.tenants[name] = t
+	return t, nil
+}
+
+// Lookup returns the named tenant without creating it.
+func (m *Manager) Lookup(name string) (*Tenant, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[name]
+	return t, ok
+}
+
+// Admit performs both admission checks for one request on t. On
+// success the caller must call the returned release exactly once.
+func (m *Manager) Admit(t *Tenant) (release func(), err error) {
+	if !t.tryAcquire() {
+		return nil, fmt.Errorf("%w: tenant %s queue (%d) full", ErrQuota, t.name, m.opt.Queue)
+	}
+	n := m.inflight.Add(1)
+	if n > int64(m.opt.GlobalInflight) {
+		m.inflight.Add(-1)
+		t.release()
+		m.rejectedGlobal.Add(1)
+		return nil, fmt.Errorf("%w: global in-flight cap (%d) reached", ErrQuota, m.opt.GlobalInflight)
+	}
+	m.adjustPressure(n)
+	return func() {
+		left := m.inflight.Add(-1)
+		t.release()
+		m.adjustPressure(left)
+	}, nil
+}
+
+// adjustPressure engages the tightened throttle windows on every
+// tenant when occupancy crosses PressureAt, and releases them (with
+// hysteresis, at half the mark) when load drains. SetThrottle is the
+// same actuator the self-tuner drives: a pair of atomic stores plus a
+// producer wake, cheap enough to call on crossings.
+func (m *Manager) adjustPressure(inflight int64) {
+	occ := float64(inflight) / float64(m.opt.GlobalInflight)
+	switch {
+	case occ >= m.opt.PressureAt:
+		if !m.pressured.Swap(true) {
+			m.setAllThrottles(m.opt.TightReady, m.opt.TightTotal)
+		}
+	case occ <= m.opt.PressureAt/2:
+		if m.pressured.Swap(false) {
+			m.setAllThrottles(m.opt.ThrottleReady, m.opt.ThrottleTotal)
+		}
+	}
+}
+
+func (m *Manager) setAllThrottles(ready, total int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.tenants {
+		t.rt.SetThrottle(ready, total)
+	}
+}
+
+// Pressured reports whether the tightened windows are engaged.
+func (m *Manager) Pressured() bool { return m.pressured.Load() }
+
+// Inflight returns the globally admitted request count.
+func (m *Manager) Inflight() int64 { return m.inflight.Load() }
+
+// Close removes the named tenant from the pool and shuts its runtime
+// down, waiting for the active request (if any) to drain. Reports
+// whether the tenant existed.
+func (m *Manager) Close(name string) bool {
+	m.mu.Lock()
+	t, ok := m.tenants[name]
+	delete(m.tenants, name)
+	m.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.shutdown()
+	return true
+}
+
+// CloseAll tears down every tenant and marks the pool closed.
+func (m *Manager) CloseAll() {
+	m.mu.Lock()
+	m.closed = true
+	ts := make([]*Tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		ts = append(ts, t)
+	}
+	m.tenants = make(map[string]*Tenant)
+	m.mu.Unlock()
+	for _, t := range ts {
+		t.shutdown()
+	}
+}
+
+// TenantSnap is one tenant's stats row in the service snapshot.
+type TenantSnap struct {
+	Submissions int64       `json:"submissions"`
+	Tasks       int64       `json:"tasks"`
+	Failures    int64       `json:"failures"`
+	Rejected    int64       `json:"rejected"`
+	Inflight    int64       `json:"inflight"`
+	Runtime     rt.Snapshot `json:"runtime"`
+}
+
+// Snapshot captures per-tenant stats plus runtime introspection, for
+// /graphz and /metrics.
+func (m *Manager) Snapshot() map[string]TenantSnap {
+	m.mu.Lock()
+	ts := make(map[string]*Tenant, len(m.tenants))
+	for n, t := range m.tenants {
+		ts[n] = t
+	}
+	m.mu.Unlock()
+	out := make(map[string]TenantSnap, len(ts))
+	for n, t := range ts {
+		out[n] = TenantSnap{
+			Submissions: t.submissions.Load(),
+			Tasks:       t.tasksRun.Load(),
+			Failures:    t.failures.Load(),
+			Rejected:    t.rejected.Load(),
+			Inflight:    t.inflight.Load(),
+			Runtime:     t.rt.Introspect(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package values
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"taskdep/internal/fault"
+	"taskdep/internal/graph"
+	"taskdep/internal/rt"
+)
+
+func TestBindInternAndKeys(t *testing.T) {
+	s := NewStoreAt(1000)
+	a := s.Bind("a")
+	b := s.Bind("b")
+	a2 := s.Bind("a")
+	if a != a2 {
+		t.Fatalf("re-bind of %q returned a different handle", "a")
+	}
+	if a.GraphKey() != 1000 || b.GraphKey() != 1001 {
+		t.Fatalf("keys = %d, %d; want 1000, 1001", a.GraphKey(), b.GraphKey())
+	}
+	if a.Name() != "a" || b.Name() != "b" {
+		t.Fatalf("names = %q, %q", a.Name(), b.Name())
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names() = %v", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+	if h, ok := s.Lookup("b"); !ok || h != b {
+		t.Fatalf("Lookup(b) = %v, %v", h, ok)
+	}
+	if _, ok := s.Lookup("zzz"); ok {
+		t.Fatal("Lookup of unbound name succeeded")
+	}
+}
+
+func TestTypedGetSet(t *testing.T) {
+	s := NewStore()
+	x := Bind[float64](s, "x")
+	msg := Bind[string](s, "msg")
+	x.Set(3.5)
+	msg.Set("hi")
+	if got := x.Get(); got != 3.5 {
+		t.Fatalf("x = %v", got)
+	}
+	if got, ok := msg.GetOK(); !ok || got != "hi" {
+		t.Fatalf("msg = %q, %v", got, ok)
+	}
+	// Type mismatch reads as zero, GetOK reports it.
+	wrong := Bind[int](s, "x")
+	if v, ok := wrong.GetOK(); ok || v != 0 {
+		t.Fatalf("mismatched GetOK = %v, %v", v, ok)
+	}
+	// Unset slot.
+	y := Bind[float64](s, "y")
+	if v, ok := y.GetOK(); ok || v != 0 {
+		t.Fatalf("unset GetOK = %v, %v", v, ok)
+	}
+}
+
+func TestChunkGrowthKeepsOldSlots(t *testing.T) {
+	s := NewStore()
+	first := Bind[int](s, "k0")
+	first.Set(41)
+	// Force several chunk allocations.
+	for i := 1; i < 5*chunkSize; i++ {
+		Bind[int](s, fmt.Sprintf("k%d", i)).Set(i)
+	}
+	if got := first.Get(); got != 41 {
+		t.Fatalf("slot 0 after growth = %d", got)
+	}
+	probe := Bind[int](s, fmt.Sprintf("k%d", 3*chunkSize+7))
+	if got := probe.Get(); got != 3*chunkSize+7 {
+		t.Fatalf("mid slot after growth = %d", got)
+	}
+}
+
+// Concurrent binds racing slot accesses on already-bound handles: the
+// chunk arrays never move, so -race must stay quiet.
+func TestConcurrentBindAndAccess(t *testing.T) {
+	s := NewStore()
+	stable := Bind[int](s, "stable")
+	stable.Set(7)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := Bind[int](s, fmt.Sprintf("g%d-%d", g, i))
+				h.Set(i)
+				if h.Get() != i {
+					t.Errorf("goroutine-local slot read back wrong")
+					return
+				}
+				if stable.Get() != 7 {
+					t.Errorf("stable slot corrupted during growth")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestLowerMapsBindings(t *testing.T) {
+	s := NewStoreAt(500)
+	a, b, c := s.Bind("a"), s.Bind("b"), s.Bind("c")
+	sp := Spec{
+		Label:   "t",
+		Consume: []Handle{a},
+		Provide: []Handle{b},
+		Update:  []Handle{c},
+		Do:      func() error { return nil },
+	}
+	low := Lower(sp)
+	if low.Label != "t" || low.Do == nil {
+		t.Fatalf("lowered label/body wrong: %+v", low)
+	}
+	if len(low.In) != 1 || low.In[0] != 500 {
+		t.Fatalf("In = %v", low.In)
+	}
+	if len(low.Out) != 1 || low.Out[0] != 501 {
+		t.Fatalf("Out = %v", low.Out)
+	}
+	if len(low.InOut) != 1 || low.InOut[0] != 502 {
+		t.Fatalf("InOut = %v", low.InOut)
+	}
+}
+
+func TestBinderReusesBuffer(t *testing.T) {
+	s := NewStore()
+	a, b := s.Bind("a"), s.Bind("b")
+	var bd Binder
+	sp := Spec{Label: "t", Consume: []Handle{a}, Provide: []Handle{b}, Do: func() error { return nil }}
+	low := bd.Lower(sp)
+	if len(low.In) != 1 || len(low.Out) != 1 {
+		t.Fatalf("first lower: %+v", low)
+	}
+	// Steady state: no per-Lower key allocations (the binding slices
+	// are hoisted, as a submission loop naturally does).
+	consume, provide := []Handle{a}, []Handle{b}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = bd.Lower(Spec{Label: "t", Consume: consume, Provide: provide})
+	})
+	if allocs > 0 {
+		t.Fatalf("Binder.Lower allocates %.1f/op without a body; want 0", allocs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := NewStore()
+	a := s.Bind("a")
+	good := Spec{Label: "ok", Provide: []Handle{a}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := Spec{Label: "bad", Consume: []Handle{{}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unbound handle accepted")
+	}
+}
+
+// End-to-end: a provide/consume diamond runs on the runtime, ordered
+// purely by value bindings, and the consumer observes provided values.
+func TestDataflowEndToEnd(t *testing.T) {
+	r := rt.New(rt.Config{Workers: 2})
+	defer r.Close()
+	s := NewStore()
+	x := Bind[float64](s, "x")
+	y := Bind[float64](s, "y")
+	z := Bind[float64](s, "z")
+	sum := Bind[float64](s, "sum")
+
+	r.Submit(Lower(Spec{Label: "srcx", Provide: []Handle{x.Ref()}, Do: func() error { x.Set(2); return nil }}))
+	r.Submit(Lower(Spec{Label: "dbl", Consume: []Handle{x.Ref()}, Provide: []Handle{y.Ref()},
+		Do: func() error { y.Set(2 * x.Get()); return nil }}))
+	r.Submit(Lower(Spec{Label: "sqr", Consume: []Handle{x.Ref()}, Provide: []Handle{z.Ref()},
+		Do: func() error { z.Set(x.Get() * x.Get()); return nil }}))
+	r.Submit(Lower(Spec{Label: "add", Consume: []Handle{y.Ref(), z.Ref()}, Provide: []Handle{sum.Ref()},
+		Do: func() error { sum.Set(y.Get() + z.Get()); return nil }}))
+	if err := r.Taskwait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Get(); got != 8 {
+		t.Fatalf("sum = %v, want 8", got)
+	}
+}
+
+// A failing provider poisons its consumers: the cone is skipped, the
+// error surfaces from Taskwait, and disjoint dataflow completes.
+func TestProviderFailurePoisonsConsumers(t *testing.T) {
+	r := rt.New(rt.Config{Workers: 2})
+	defer r.Close()
+	s := NewStore()
+	x := Bind[int](s, "x")
+	y := Bind[int](s, "y")
+	other := Bind[int](s, "other")
+	ran := false
+	boom := errors.New("boom")
+	r.Submit(Lower(Spec{Label: "badsrc", Provide: []Handle{x.Ref()}, Do: func() error { return boom }}))
+	r.Submit(Lower(Spec{Label: "use", Consume: []Handle{x.Ref()}, Provide: []Handle{y.Ref()},
+		Do: func() error { ran = true; return nil }}))
+	r.Submit(Lower(Spec{Label: "disjoint", Provide: []Handle{other.Ref()},
+		Do: func() error { other.Set(5); return nil }}))
+	err := r.Taskwait()
+	var te *fault.TaskError
+	if !errors.As(err, &te) || te.Label != "badsrc" || !errors.Is(te.Cause, boom) {
+		t.Fatalf("Taskwait = %v; want TaskError{badsrc, boom}", err)
+	}
+	if ran {
+		t.Fatal("consumer of a failed provider ran")
+	}
+	if other.Get() != 5 {
+		t.Fatal("disjoint provider did not run")
+	}
+}
+
+// Value graphs replay through Persistent, including the compiled
+// Frozen path: slot values recompute every iteration.
+func TestPersistentFrozenReplay(t *testing.T) {
+	r := rt.New(rt.Config{Workers: 2})
+	defer r.Close()
+	s := NewStore()
+	in := Bind[int](s, "in")
+	out := Bind[int](s, "out")
+	iter := 0
+	in.Set(1)
+	var results []int
+	err := r.Persistent(4, func(int) {
+		r.Submit(Lower(Spec{Label: "step", Consume: []Handle{in.Ref()}, Provide: []Handle{out.Ref()},
+			Do: func() error { out.Set(in.Get() * 10); return nil }}))
+		r.Submit(Lower(Spec{Label: "fold", Consume: []Handle{out.Ref()}, Update: []Handle{in.Ref()},
+			Do: func() error { in.Set(in.Get() + 1); results = append(results, out.Get()); iter++; return nil }}))
+	}, rt.Frozen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{10, 20, 30, 40}
+	if len(results) != len(want) {
+		t.Fatalf("results = %v, want %v", results, want)
+	}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Fatalf("results = %v, want %v", results, want)
+		}
+	}
+	// The frozen region really compiled: the replay counter moved.
+	if iter != 4 {
+		t.Fatalf("iterations = %d", iter)
+	}
+}
+
+func TestResetKeepsBindings(t *testing.T) {
+	s := NewStore()
+	x := Bind[int](s, "x")
+	x.Set(9)
+	s.Reset()
+	if v, ok := x.GetOK(); ok || v != 0 {
+		t.Fatalf("after Reset: %v, %v", v, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatal("Reset dropped bindings")
+	}
+	x2 := Bind[int](s, "x")
+	if x2 != x {
+		t.Fatal("binding changed across Reset")
+	}
+}
+
+func TestDefaultBaseAboveIndexKeys(t *testing.T) {
+	if DefaultBase <= graph.Key(1<<32) {
+		t.Fatal("DefaultBase too low to clear index-derived keys")
+	}
+	runtime.KeepAlive(DefaultBase)
+}

@@ -44,7 +44,7 @@
 //	})
 //	rt.Submit(taskdep.Spec{
 //		Label: "consume", In: []taskdep.Key{1},
-//		Body: func(any) { /* read x */ },
+//		Do: func(any) error { readX(); return nil },
 //	})
 //	if err := rt.Taskwait(); err != nil {
 //		var te *taskdep.TaskError
@@ -119,8 +119,24 @@ const (
 	EngineMutex = sched.EngineMutex
 )
 
-// Config parametrizes a Runtime; see rt.Config for field documentation.
+// Config parametrizes a Runtime; see rt.Config for field
+// documentation. The surface is organized into grouped sub-structs —
+// Sched, Discovery, Throttle, Obs, Tune — with the historical
+// top-level fields (Policy, Engine, Opts, ThrottleReady,
+// ThrottleTotal) kept as working twins; NewRuntime rejects a legacy
+// field and its grouped twin set to conflicting values.
 type Config = rt.Config
+
+// SchedOptions groups the executor knobs (Config.Sched): scheduling
+// Policy and Engine implementation.
+type SchedOptions = rt.SchedOptions
+
+// ThrottleOptions groups the producer-throttle windows
+// (Config.Throttle): Ready and Total live-task bounds, 0 = unbounded.
+type ThrottleOptions = rt.ThrottleOptions
+
+// DiscoveryOptions groups the TDG-discovery knobs (Config.Discovery).
+type DiscoveryOptions = rt.DiscoveryOptions
 
 // Spec describes one task submission.
 type Spec = rt.Spec

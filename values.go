@@ -1,0 +1,56 @@
+package taskdep
+
+import (
+	"taskdep/internal/values"
+)
+
+// ValueStore is a namespace of named, typed value slots for the
+// dataflow facade (internal/values): tasks Provide and Consume values
+// bound to slots instead of declaring bare ordering keys. Slot i of a
+// store maps to dependence key base+i, so value graphs run through
+// exactly the same discovery, scheduling, failure-domain and
+// persistent-replay machinery as key-only graphs.
+type ValueStore = values.Store
+
+// Value is one bound slot of a ValueStore — the untyped handle the
+// dependence lowering uses. BindValue returns the typed view.
+type Value = values.Handle
+
+// ValueSpec is one typed dataflow task: the body consumes the values
+// bound to Consume, updates Update in place and provides Provide.
+// Lower it with LowerValues (or a ValueBinder) and submit the result.
+type ValueSpec = values.Spec
+
+// ValueBinder lowers ValueSpecs while reusing one grown key buffer,
+// so steady-state submission loops allocate only the body closures.
+// The lowered Spec must be submitted before the next Lower call.
+type ValueBinder = values.Binder
+
+// NewValueStore creates a ValueStore in the default key namespace
+// (keys from 1<<48 up — clear of index-derived application keys).
+func NewValueStore() *ValueStore { return values.NewStore() }
+
+// NewValueStoreAt creates a ValueStore whose slot i maps to dependence
+// key base+i; the caller owns the collision contract with its own
+// keys.
+func NewValueStoreAt(base Key) *ValueStore { return values.NewStoreAt(base) }
+
+// TypedValue is the typed view of a ValueStore slot: Get/GetOK/Set
+// read and write the value, Ref yields the untyped Value for
+// ValueSpec bindings (the embedded Value itself works there too).
+type TypedValue[T any] struct{ values.Of[T] }
+
+// BindValue interns name in s and returns the typed slot view.
+// Binding is producer-side setup; Get/Set on the returned value are
+// lock-free and made race-free by the dependence ordering (the
+// provider's completion happens-before the consumer's body).
+func BindValue[T any](s *ValueStore, name string) TypedValue[T] {
+	return TypedValue[T]{values.Bind[T](s, name)}
+}
+
+// LowerValues builds the runtime Spec for a typed dataflow task:
+// Consume lowers to In, Provide to Out, Update to InOut. Everything
+// the runtime does with key-only Specs — batching, throttling,
+// poison cones, Persistent recording and compiled Frozen replay —
+// applies to the lowered task unchanged.
+func LowerValues(sp ValueSpec) Spec { return values.Lower(sp) }
