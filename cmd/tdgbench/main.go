@@ -56,6 +56,15 @@
 // and the fusion fast path's allocation count (0/task, fresh and
 // committed) against BENCH_tune.json.
 //
+// -exp cpath measures the online critical-path profiler: the grain-0
+// drain with the profiler off vs on (overhead), the online fold vs the
+// offline exact longest path on Cholesky/LULESH/wavefront graphs
+// (nanosecond agreement, closed-form path length on the wavefront),
+// the frozen compiled-replay window (one iteration, zero discovery on
+// the critical path) and a live /criticalpath scrape. -check gates the
+// committed enabled overhead (<= 10%) against BENCH_cpath.json; the
+// exactness and replay invariants are re-proven fresh on every run.
+//
 // -exp serve load-tests the graph-as-a-service front end (cmd/
 // tdgserve, internal/serve): an in-process endpoint under ~1000
 // concurrent submitting clients across the tenant pool, with a poison
@@ -349,6 +358,54 @@ func runTune(smoke bool, jsonPath, checkPath string) int {
 	return 0
 }
 
+// runCPath executes the critical-path profiler mode; returns the
+// process exit code. The -check gate holds the committed enabled
+// overhead under 10%; online-vs-exact agreement, the replay
+// discovery-free invariant and the endpoint scrape are part of
+// Validate and therefore re-proven fresh.
+func runCPath(smoke bool, jsonPath, checkPath string) int {
+	p := experiments.DefaultCPathParams()
+	if smoke {
+		p = experiments.SmokeCPathParams()
+	}
+	res, err := experiments.RunCPath(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpath benchmark FAILED: %v\n", err)
+		return 1
+	}
+	experiments.PrintCPath(os.Stdout, &res)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if checkPath != "" {
+		data, err := os.ReadFile(checkPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		committed, err := experiments.ReadCPathJSON(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parse %s: %v\n", checkPath, err)
+			return 1
+		}
+		if err := experiments.CheckCPath(&res, committed, 10.0); err != nil {
+			fmt.Fprintf(os.Stderr, "cpath check FAILED: %v\n", err)
+			return 1
+		}
+		fmt.Printf("cpath check OK (online == exact fresh, committed overhead <= 10%% vs %s)\n", checkPath)
+	}
+	return 0
+}
+
 func runServe(smoke bool, jsonPath, checkPath string, maxRegress float64) int {
 	p := experiments.DefaultServeParams()
 	if smoke {
@@ -394,7 +451,7 @@ func runServe(smoke bool, jsonPath, checkPath string, maxRegress float64) int {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs | replay | tune | serve")
+		exp    = flag.String("exp", "table2", "table1 | table2 | metg | throttle | policy | discovery | executor | faults | obs | replay | tune | cpath | serve")
 		tpl    = flag.Int("tpl", 384, "tasks per loop for table1/table2")
 		fine   = flag.Int("fine", 3072, "fine-grain TPL for table1")
 		verify = flag.Bool("verify", false, "also report TDG-verifier overhead (recording + audit)")
@@ -424,6 +481,8 @@ func main() {
 		os.Exit(runReplay(*smoke, *jsonOut, *check))
 	case "tune":
 		os.Exit(runTune(*smoke, *jsonOut, *check))
+	case "cpath":
+		os.Exit(runCPath(*smoke, *jsonOut, *check))
 	case "serve":
 		os.Exit(runServe(*smoke, *jsonOut, *check, *maxRegress))
 	case "table1":

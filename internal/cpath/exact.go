@@ -1,0 +1,102 @@
+package cpath
+
+import (
+	"fmt"
+
+	"taskdep/internal/graph"
+)
+
+// ExactResult is the offline longest-path computation's answer.
+type ExactResult struct {
+	TInfNs   int64
+	CPDiscNs int64
+	CPWaitNs int64
+	CPExecNs int64
+	CPLen    int // tasks on the exact critical path
+}
+
+// ExactCP computes the exact weighted longest path over the given
+// finished tasks by explicit topological dynamic programming — the
+// offline reference the online release-time fold must reproduce. It
+// uses the SAME recorded stamps and the same clamped phase derivation
+// as the online fold, so on a self-contained window (every in-window
+// predecessor edge connects tasks of the set — true for a single
+// taskwait region or one compiled replay iteration) the TInf it
+// returns must equal the online report exactly, nanosecond for
+// nanosecond, whatever clock mode produced the stamps. Edges to tasks
+// outside the set are ignored, matching the fold (pruned edges never
+// fold either).
+//
+// Every task must be terminal. Returns an error if the edge set over
+// the tasks is cyclic (which would mean a corrupted graph).
+func ExactCP(tasks []*graph.Task) (ExactResult, error) {
+	var res ExactResult
+	n := len(tasks)
+	if n == 0 {
+		return res, nil
+	}
+	idx := make(map[*graph.Task]int, n)
+	for i, t := range tasks {
+		idx[t] = i
+	}
+	// In-set adjacency and indegrees from the recorded successor lists.
+	succs := make([][]int32, n)
+	indeg := make([]int32, n)
+	for i, t := range tasks {
+		for _, s := range t.Successors() {
+			if j, ok := idx[s]; ok {
+				succs[i] = append(succs[i], int32(j))
+				indeg[j]++
+			}
+		}
+	}
+	// Kahn topological order with the longest-path DP fused in. While
+	// node j is unfinished, state[j] holds the best completed
+	// predecessor path into j (zero for roots); when j is popped, its
+	// own weights are added, making state[j] the longest path ENDING at
+	// j — exactly cp[j] = own(j) + max over preds of cp[p].
+	type dp struct {
+		total, disc, wait, exec int64
+		hops                    int
+	}
+	state := make([]dp, n)
+	order := make([]int32, 0, n)
+	for i := range tasks {
+		if indeg[i] == 0 {
+			order = append(order, int32(i))
+		}
+	}
+	for k := 0; k < len(order); k++ {
+		i := order[k]
+		d, w, e := tasks[i].PhaseNs()
+		s := &state[i]
+		s.total += d + w + e
+		s.disc += d
+		s.wait += w
+		s.exec += e
+		s.hops++
+		for _, j := range succs[i] {
+			if sj := &state[j]; s.total > sj.total {
+				*sj = *s
+			}
+			if indeg[j]--; indeg[j] == 0 {
+				order = append(order, j)
+			}
+		}
+	}
+	if len(order) != n {
+		return res, fmt.Errorf("cpath: exact longest-path found a cycle (%d of %d tasks ordered)", len(order), n)
+	}
+	// The exact span is the maximum over all tasks (path weight is
+	// monotone along edges, so any task may realize it).
+	best := 0
+	for i := range state {
+		if state[i].total > state[best].total {
+			best = i
+		}
+	}
+	b := state[best]
+	res.TInfNs, res.CPDiscNs, res.CPWaitNs, res.CPExecNs = b.total, b.disc, b.wait, b.exec
+	res.CPLen = b.hops
+	return res, nil
+}

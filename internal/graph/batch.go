@@ -50,7 +50,12 @@ func (g *Graph) SubmitBatch(descs []TaskDesc, out []*Task) []*Task {
 	g.lrAdd(int64(n), 0)
 
 	var ready []*Task
+	cpath := g.cpath
 	for i := range descs {
+		var cpT0 int64
+		if cpath {
+			cpT0 = g.cpNow()
+		}
 		d := &descs[i]
 		t := out[base+i]
 		t.ID = firstID + int64(i)
@@ -69,6 +74,11 @@ func (g *Graph) SubmitBatch(descs []TaskDesc, out []*Task) []*Task {
 		}
 		for _, dep := range d.Deps {
 			g.processDep(t, dep, &ready)
+		}
+		if cpath {
+			// Per-desc discovery stamp, before the sentinel release
+			// publishes the task (same contract as submit).
+			t.discNs = g.cpNow() - cpT0
 		}
 		g.releaseSentinel(t, &ready)
 	}

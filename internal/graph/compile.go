@@ -179,6 +179,14 @@ func (c *Compiled) BeginIteration() error {
 		}
 		c.dirty.Store(false)
 	}
+	if c.g.cpath {
+		// Clean critical-path slate per iteration: stale stamps or
+		// cpBest chains from the previous iteration must not leak into
+		// this one's fold (clean iterations must report identical CPs).
+		for _, t := range c.tasks {
+			t.resetCP()
+		}
+	}
 	copy(c.preds, c.template)
 	n := int64(len(c.tasks))
 	c.remaining.Store(n)
@@ -238,12 +246,24 @@ func (c *Compiled) FinishIntoDeferred(t *Task, buf []*Task, final State) []*Task
 	}
 	released := buf[:0]
 	row := c.succs[c.succOff[t.slot]:c.succOff[t.slot+1]]
+	cpath := c.g.cpath
 	for _, p := range row {
 		if poison {
 			c.tasks[p].poisoned.Store(true)
 		}
+		if cpath {
+			// Same fold-before-decrement publication order as the
+			// generic finishInto (and the poison store above).
+			foldCPInto(t, c.tasks[p])
+		}
 		if atomic.AddInt32(&c.preds[p], -1) == 0 {
-			released = append(released, c.tasks[p])
+			s := c.tasks[p]
+			if cpath {
+				// No markReadyQuiet on the compiled path: stamp the
+				// ready transition here, before queue publication.
+				s.readyNs = c.g.cpNow()
+			}
+			released = append(released, s)
 		}
 	}
 	return released

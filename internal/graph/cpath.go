@@ -1,0 +1,182 @@
+package graph
+
+// Critical-path stamping and the O(1) release-time fold (the graph side
+// of internal/cpath). When a Graph is built with Config.CPath, every
+// task carries four clock stamps splitting its life into the paper's
+// phases — discovery (submit entry to producer-sentinel release),
+// ready-wait (ready to body start), execute (body), release (successor
+// walk, accounted by the runtime) — and the terminal transition folds
+// the task's longest weighted predecessor path into each successor:
+//
+//	cp[t] = own(t) + max over finished preds p of cp[p]
+//
+// The fold is O(out-degree) amortized over the successor walk the
+// terminal transition already performs, so critical-path maintenance
+// adds no extra graph traversal: by the time the LAST task finishes,
+// the maximum cpTotal over finished tasks is T-infinity, exactly as an
+// offline longest-path computation over the same weights would report
+// (internal/cpath.ExactCP cross-checks this in the cpath experiment).
+//
+// Memory ordering. A finishing task's cp* fields are written (once) in
+// StampFinish before its successor walk; each fold CASes the successor's
+// cpBest pointer and is sequenced before the same goroutine's decrement
+// of the successor's predecessor counter. The decrement that releases
+// the successor therefore happens-after every predecessor's fold — the
+// identical publication argument as poison propagation (see
+// Graph.finishInto) — so the released task's executor reads a complete,
+// immutable fold set. readyNs is written by the releasing goroutine
+// before the task is published to any run queue, making it visible to
+// whichever worker later pops the task; startNs/finNs never leave the
+// executing worker until the terminal state is published.
+//
+// Clock. The graph does not read time itself: Config.CPathNow supplies
+// a monotonic nanosecond clock. internal/cpath provides a cached one
+// (a periodically refreshed atomic, ~1 ns per read) so stamping stays
+// within the observability overhead budget on grain-0 workloads.
+
+// cpNow reads the stamp clock: one inlined atomic load when the cached
+// cell was wired (Config.CPathCached), else the CPathNow call. Callers
+// are already gated on g.cpath.
+func (g *Graph) cpNow() int64 {
+	if p := g.cpathCached; p != nil {
+		return p.Load()
+	}
+	return g.cpathNow()
+}
+
+// StampStart records the body-start clock on t. Start does this
+// implicitly; the compiled replay fast path — which elides Start's
+// state store — calls it directly.
+func (g *Graph) StampStart(t *Task) {
+	if g.cpath {
+		t.startNs = g.cpNow()
+	}
+}
+
+// StampReady records the ready-transition clock on t without a state
+// store. The runtime uses it for compiled-replay roots, which are
+// seeded into the scheduler directly rather than released through a
+// predecessor walk. Must be called before the task is published.
+func (g *Graph) StampReady(t *Task) {
+	if g.cpath {
+		t.readyNs = g.cpNow()
+	}
+}
+
+// StampFinish closes t's phase accounting and computes its critical
+// path: finNs is stamped, the phase durations are derived from the
+// stamps, and cp* become own-phase plus the best folded predecessor
+// path. Must be called by the finishing goroutine BEFORE the terminal
+// transition (CompleteInto/SkipInto/AbortInto or the compiled
+// FinishInto), whose successor walk publishes the cp* values. No-op
+// when CPath is off.
+func (g *Graph) StampFinish(t *Task) {
+	if !g.cpath {
+		return
+	}
+	now := g.cpNow()
+	t.finNs = now
+	disc, wait, exec := t.phaseNs()
+	t.cpDisc, t.cpWait, t.cpExec = disc, wait, exec
+	t.cpTotal = disc + wait + exec
+	if best := t.cpBest.Load(); best != nil {
+		t.cpTotal += best.cpTotal
+		t.cpDisc += best.cpDisc
+		t.cpWait += best.cpWait
+		t.cpExec += best.cpExec
+	}
+}
+
+// phaseNs derives the task's own phase durations from its stamps.
+// Negative differences are clamped to zero: the cached clock quantizes
+// stamps, and a task can finish externally (detached Fulfill) before
+// ever being released or started, leaving stamps at zero.
+func (t *Task) phaseNs() (disc, wait, exec int64) {
+	disc = t.discNs
+	if t.startNs != 0 {
+		if t.readyNs != 0 {
+			wait = t.startNs - t.readyNs
+		}
+		exec = t.finNs - t.startNs
+	} else if t.readyNs != 0 {
+		// Never started (skipped, or detached-completed before a worker
+		// picked it up): the whole ready->finish interval is wait.
+		wait = t.finNs - t.readyNs
+	}
+	if disc < 0 {
+		disc = 0
+	}
+	if wait < 0 {
+		wait = 0
+	}
+	if exec < 0 {
+		exec = 0
+	}
+	return disc, wait, exec
+}
+
+// foldCPInto folds the finished task t's critical path into successor
+// s: a CAS-max on s.cpBest keyed by cpTotal. Lock-free; concurrent
+// predecessor finishes race only on the pointer, and every candidate's
+// cpTotal is immutable by the time its pointer is visible (written in
+// StampFinish before the walk that published it).
+func foldCPInto(t, s *Task) {
+	// A weightless path contributes nothing to max over preds: skip the
+	// CAS. This is the fold's grain-0 fast path — under the cached
+	// clock most short tasks quantize to zero own-weight, and folding
+	// them would only extend the recovered path chain with zero-length
+	// links. (The precise clock, which the exactness cross-check runs
+	// under, essentially never produces an all-zero path.)
+	if t.cpTotal == 0 {
+		return
+	}
+	for {
+		cur := s.cpBest.Load()
+		if cur != nil && cur.cpTotal >= t.cpTotal {
+			return
+		}
+		if s.cpBest.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// resetCP clears per-iteration critical-path state for persistent
+// replay. discNs is cleared too: replay's whole point is that
+// discovery does not recur, so replay iterations carry zero discovery
+// weight on their paths (the recording iteration keeps the real cost).
+func (t *Task) resetCP() {
+	t.readyNs = 0
+	t.startNs = 0
+	t.finNs = 0
+	t.discNs = 0
+	t.cpTotal = 0
+	t.cpDisc = 0
+	t.cpWait = 0
+	t.cpExec = 0
+	t.cpBest.Store(nil)
+}
+
+// CP returns the longest weighted path ending at t, split by phase.
+// Valid once t is Done (the values are published by the successor walk
+// of its terminal transition, or readable by the goroutine that
+// finished it).
+func (t *Task) CP() (total, disc, wait, exec int64) {
+	return t.cpTotal, t.cpDisc, t.cpWait, t.cpExec
+}
+
+// CPBest returns the predecessor realizing t's critical path (nil for
+// path roots). Walking CPBest from the critical task recovers the
+// whole path in O(path length).
+func (t *Task) CPBest() *Task { return t.cpBest.Load() }
+
+// PhaseNs returns t's own phase durations (discovery, ready-wait,
+// execute), derived from its stamps. Valid once t is Done.
+func (t *Task) PhaseNs() (disc, wait, exec int64) { return t.phaseNs() }
+
+// ReadyAtNs, StartAtNs and FinishAtNs expose the raw clock stamps (in
+// the Config.CPathNow clock's domain) for trace alignment; zero means
+// the transition never happened (or CPath is off).
+func (t *Task) ReadyAtNs() int64  { return t.readyNs }
+func (t *Task) StartAtNs() int64  { return t.startNs }
+func (t *Task) FinishAtNs() int64 { return t.finNs }

@@ -132,6 +132,19 @@ type Config struct {
 	// allocation goes to the heap individually, as the engine did
 	// before pooling. Baseline configuration for benchmarks.
 	NoPool bool
+	// CPath enables critical-path stamping and the release-time fold
+	// (see cpath.go). Requires CPathNow.
+	CPath bool
+	// CPathNow is the monotonic nanosecond clock used for phase stamps
+	// when CPath is on; internal/cpath supplies a cached one so reads
+	// cost ~1 ns on the hot path.
+	CPathNow func() int64
+	// CPathCached, when non-nil, is the cached clock's atomic cell
+	// (cpath.Clock.CachedRef): stamp sites read it with one inlined
+	// atomic load instead of two dynamic calls through CPathNow.
+	// Optional; precise-clock configurations leave it nil and pay the
+	// CPathNow call on every stamp.
+	CPathCached *atomic.Int64
 }
 
 // Graph is a task dependency graph under concurrent discovery.
@@ -162,6 +175,13 @@ type Graph struct {
 	shardMask uint64
 	noPool    bool
 	chunkPool sync.Pool // *taskChunk, see alloc.go
+
+	// Critical-path profiling (see cpath.go): cpath gates every stamp
+	// and fold site with one predictable branch; cpathNow is the clock,
+	// short-circuited by cpathCached when the clock is a cached atomic.
+	cpath       bool
+	cpathNow    func() int64
+	cpathCached *atomic.Int64
 
 	// Atomic counters (see Stats for the consistency model).
 	tasks, redirects, replayed atomic.Int64
@@ -212,6 +232,9 @@ func NewWithConfig(cfg Config) *Graph {
 	if cfg.OnReady == nil {
 		panic("graph: nil ReadyFunc")
 	}
+	if cfg.CPath && cfg.CPathNow == nil {
+		panic("graph: CPath enabled without a CPathNow clock")
+	}
 	n := cfg.Shards
 	if n <= 0 {
 		n = DefaultShards
@@ -228,6 +251,9 @@ func NewWithConfig(cfg Config) *Graph {
 		shards:       make([]shard, p),
 		shardMask:    uint64(p - 1),
 		noPool:       cfg.NoPool,
+		cpath:        cfg.CPath,
+		cpathNow:     cfg.CPathNow,
+		cpathCached:  cfg.CPathCached,
 	}
 	for i := range g.shards {
 		g.shards[i].keys = make(map[Key]*keyState)
@@ -312,6 +338,10 @@ func (g *Graph) SubmitTask(d *TaskDesc) *Task {
 }
 
 func (g *Graph) submit(label string, deps []Dep, body func(fp any), do func(fp any) error, fp any, detached bool, attach any) *Task {
+	var cpT0 int64
+	if g.cpath {
+		cpT0 = g.cpNow()
+	}
 	t := g.allocTask()
 	t.ID = g.nextID.Add(1) - 1
 	t.Label = label
@@ -332,6 +362,11 @@ func (g *Graph) submit(label string, deps []Dep, body func(fp any), do func(fp a
 
 	for _, d := range deps {
 		g.processDep(t, d, nil)
+	}
+	// Discovery ends when the dependences are resolved; the stamp must
+	// land before the sentinel release publishes the task.
+	if g.cpath {
+		t.discNs = g.cpNow() - cpT0
 	}
 	g.releaseSentinel(t, nil)
 	return t
@@ -569,7 +604,13 @@ func (g *Graph) releaseSentinel(t *Task, readyBuf *[]*Task) {
 
 // markReadyQuiet transitions t to Ready without notifying onReady; used
 // on the completion path where the caller receives the task instead.
+// The single choke point for ready transitions, so the ready-wait stamp
+// lands here: the releasing goroutine writes readyNs before the task is
+// published to any queue (single writer, pre-publication).
 func (g *Graph) markReadyQuiet(t *Task) {
+	if g.cpath {
+		t.readyNs = g.cpNow()
+	}
 	t.state.Store(int32(Ready))
 	g.lrAdd(0, 1)
 }
@@ -592,6 +633,9 @@ func (g *Graph) notifyReady(ts []*Task) {
 // Start transitions a ready task to running. Executors call it when they
 // begin the body; it is advisory (used by traces and tests).
 func (g *Graph) Start(t *Task) {
+	if g.cpath {
+		t.startNs = g.cpNow()
+	}
 	t.state.Store(int32(Running))
 }
 
@@ -663,9 +707,17 @@ func (g *Graph) finishInto(t *Task, buf []*Task, final State) []*Task {
 		g.lrAdd(-1, 0)
 	}
 	released := buf[:0]
+	cpath := g.cpath
 	for _, s := range succs {
 		if poison {
 			s.poisoned.Store(true)
+		}
+		if cpath {
+			// Fold this task's critical path into the successor BEFORE
+			// the decrement that could release it (same publication
+			// order as the poison store above). Requires the caller to
+			// have run StampFinish, which wrote t.cp*.
+			foldCPInto(t, s)
 		}
 		if s.preds.Add(-1) == 0 {
 			g.markReadyQuiet(s)

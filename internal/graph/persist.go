@@ -68,6 +68,12 @@ func (g *Graph) BeginReplay() error {
 		t.preds.Store(t.recordedIndegree + 1) // +1 producer sentinel
 		t.state.Store(int32(Created))
 		t.poisoned.Store(false)
+		if g.cpath {
+			// Replay iterations start a fresh critical path; discovery
+			// weight stays zero (replay is the paper's point: the TDG is
+			// not re-discovered).
+			t.resetCP()
+		}
 	}
 	g.lrAdd(int64(len(g.recorded)), 0)
 	g.replayIndex = 0

@@ -176,6 +176,31 @@ type Task struct {
 	// ignores predecessors that failed in an already-consumed window.
 	failEpoch uint64
 
+	// Critical-path profiling state, populated only when the graph is
+	// configured with Config.CPath (see cpath.go). The stamps are
+	// single-writer by construction: discNs is written by the producer
+	// before the sentinel release publishes the task, readyNs by the
+	// releasing goroutine before queue publication, startNs and finNs by
+	// the executing worker. cpBest is the only concurrently written
+	// field (CAS-max by finishing predecessors, ordered before their
+	// counter decrements exactly like poison propagation).
+	readyNs int64 // clock at the ready transition (release-side stamp)
+	startNs int64 // clock at body start
+	finNs   int64 // clock at the terminal transition
+	discNs  int64 // discovery phase: submit entry -> sentinel release
+	// cp* hold the longest weighted predecessor path ending at (and
+	// including) this task, split by phase. Written exactly once, by the
+	// finishing goroutine in StampFinish, BEFORE the successor walk that
+	// publishes them to the folds of later tasks.
+	cpTotal int64
+	cpDisc  int64
+	cpWait  int64
+	cpExec  int64
+	// cpBest points to the finished predecessor realizing the longest
+	// path into this task. The chain of cpBest pointers from the
+	// critical task back to a root IS the critical path.
+	cpBest atomic.Pointer[Task]
+
 	// Inline capture of the task's dependence declarations, for failure
 	// reports (*fault.TaskError names the key set of a failed task).
 	// Bounded by inlineDeps; depsTrunc flags a truncated capture.

@@ -81,6 +81,15 @@
 //	taskdep_tune_fusion_adjust_total    tuner changes to the fusion run limit
 //	taskdep_tune_throttle_adjust_total  tuner resizes of the throttle windows
 //	taskdep_tune_wake_adjust_total      tuner changes to the wake policy
+//	taskdep_phase_discovery_ns_total    ns in discovery (submit -> deps resolved), cpath tier
+//	taskdep_phase_ready_wait_ns_total   ns tasks sat ready before running, cpath tier
+//	taskdep_phase_execute_ns_total      ns in task bodies, cpath tier
+//	taskdep_phase_release_ns_total      ns releasing successors after finish, cpath tier
+//
+// The taskdep_phase_* series are populated only when critical-path
+// profiling (rt.Config.CPath, internal/cpath) is enabled; they feed
+// the same Window delta machinery as every other counter, so
+// internal/tune can react to ready-wait vs execute imbalance.
 //
 // Counters backed by graph collectors (registered by rt, values from
 // the graph's own striped discovery counters — zero added hot-path

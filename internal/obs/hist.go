@@ -100,9 +100,15 @@ func (s HistSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
-// writeProm writes the snapshot as a Prometheus histogram: cumulative
-// _bucket{le=...} series, then _sum and _count.
-func (s HistSnapshot) writeProm(w io.Writer, name string) error {
+// writeProm writes the snapshot as a Prometheus histogram: # HELP and
+// # TYPE metadata, then cumulative _bucket{le=...} series, _sum and
+// _count.
+func (s HistSnapshot) writeProm(w io.Writer, name, help string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
 		return err
 	}

@@ -36,35 +36,78 @@ const (
 	CTuneFusion
 	CTuneThrottle
 	CTuneWake
+	// Per-phase time attribution (internal/cpath): cumulative
+	// nanoseconds each lifecycle phase consumed, summed over finished
+	// tasks. Zero unless critical-path profiling is enabled.
+	CPhaseDiscoveryNs
+	CPhaseReadyWaitNs
+	CPhaseExecuteNs
+	CPhaseReleaseNs
 	NumCounters // sentinel, not a counter
 )
 
 // counterNames are the Prometheus series names, index-aligned with the
 // Counter constants. doc.go enumerates them with meanings.
 var counterNames = [NumCounters]string{
-	CTasksSubmitted: "taskdep_tasks_submitted_total",
-	CTasksExecuted:  "taskdep_tasks_executed_total",
-	CTasksSkipped:   "taskdep_tasks_skipped_total",
-	CTasksAborted:   "taskdep_tasks_aborted_total",
-	CReplayHits:     "taskdep_replay_hits_total",
-	CReplayCompiled: "taskdep_replay_compiled_iterations_total",
-	CDequePush:      "taskdep_deque_pushes_total",
-	CDequePop:       "taskdep_deque_pops_total",
-	CDequeSteal:     "taskdep_deque_steals_total",
-	CDequeStealFail: "taskdep_deque_steal_fails_total",
-	CParks:          "taskdep_parks_total",
-	CWakes:          "taskdep_wakes_total",
-	CThrottleStalls: "taskdep_throttle_stalls_total",
-	CMPISends:       "taskdep_mpi_sends_total",
-	CMPIRecvs:       "taskdep_mpi_recvs_total",
-	CMPICollectives: "taskdep_mpi_collectives_total",
-	CMPIBytesSent:   "taskdep_mpi_bytes_sent_total",
-	CMPIBytesRecvd:  "taskdep_mpi_bytes_recvd_total",
-	CFaultsInjected: "taskdep_faults_injected_total",
-	CTasksFused:     "taskdep_tasks_fused_total",
-	CTuneFusion:     "taskdep_tune_fusion_adjust_total",
-	CTuneThrottle:   "taskdep_tune_throttle_adjust_total",
-	CTuneWake:       "taskdep_tune_wake_adjust_total",
+	CTasksSubmitted:   "taskdep_tasks_submitted_total",
+	CTasksExecuted:    "taskdep_tasks_executed_total",
+	CTasksSkipped:     "taskdep_tasks_skipped_total",
+	CTasksAborted:     "taskdep_tasks_aborted_total",
+	CReplayHits:       "taskdep_replay_hits_total",
+	CReplayCompiled:   "taskdep_replay_compiled_iterations_total",
+	CDequePush:        "taskdep_deque_pushes_total",
+	CDequePop:         "taskdep_deque_pops_total",
+	CDequeSteal:       "taskdep_deque_steals_total",
+	CDequeStealFail:   "taskdep_deque_steal_fails_total",
+	CParks:            "taskdep_parks_total",
+	CWakes:            "taskdep_wakes_total",
+	CThrottleStalls:   "taskdep_throttle_stalls_total",
+	CMPISends:         "taskdep_mpi_sends_total",
+	CMPIRecvs:         "taskdep_mpi_recvs_total",
+	CMPICollectives:   "taskdep_mpi_collectives_total",
+	CMPIBytesSent:     "taskdep_mpi_bytes_sent_total",
+	CMPIBytesRecvd:    "taskdep_mpi_bytes_recvd_total",
+	CFaultsInjected:   "taskdep_faults_injected_total",
+	CTasksFused:       "taskdep_tasks_fused_total",
+	CTuneFusion:       "taskdep_tune_fusion_adjust_total",
+	CTuneThrottle:     "taskdep_tune_throttle_adjust_total",
+	CTuneWake:         "taskdep_tune_wake_adjust_total",
+	CPhaseDiscoveryNs: "taskdep_phase_discovery_ns_total",
+	CPhaseReadyWaitNs: "taskdep_phase_ready_wait_ns_total",
+	CPhaseExecuteNs:   "taskdep_phase_execute_ns_total",
+	CPhaseReleaseNs:   "taskdep_phase_release_ns_total",
+}
+
+// counterHelp are the # HELP strings, index-aligned with the Counter
+// constants (Prometheus exposition format requires HELP before TYPE).
+var counterHelp = [NumCounters]string{
+	CTasksSubmitted:   "Tasks discovered (submitted to the graph), including redirect nodes.",
+	CTasksExecuted:    "Task bodies run to completion.",
+	CTasksSkipped:     "Tasks drained without executing (poisoned cone of a failure or abort).",
+	CTasksAborted:     "Task bodies that failed (error return or panic).",
+	CReplayHits:       "Persistent-region task re-instantiations (replay iterations).",
+	CReplayCompiled:   "Compiled (frozen flat-schedule) replay iterations.",
+	CDequePush:        "Tasks pushed onto work-stealing deques.",
+	CDequePop:         "Tasks popped from the owner's deque.",
+	CDequeSteal:       "Successful steals from another worker's deque.",
+	CDequeStealFail:   "Steal attempts that found the victim deque empty or lost the race.",
+	CParks:            "Worker park events (no work found).",
+	CWakes:            "Worker wake-ups.",
+	CThrottleStalls:   "Producer stalls at the discovery throttle.",
+	CMPISends:         "MPI point-to-point sends initiated.",
+	CMPIRecvs:         "MPI point-to-point receives initiated.",
+	CMPICollectives:   "MPI collective operations.",
+	CMPIBytesSent:     "Bytes sent over MPI point-to-point operations.",
+	CMPIBytesRecvd:    "Bytes received over MPI point-to-point operations.",
+	CFaultsInjected:   "Faults injected by the fault-injection test harness.",
+	CTasksFused:       "Tasks executed as part of a fused same-chain run.",
+	CTuneFusion:       "Self-tuner adjustments to the fusion limit.",
+	CTuneThrottle:     "Self-tuner adjustments to the throttle window.",
+	CTuneWake:         "Self-tuner adjustments to the wake policy.",
+	CPhaseDiscoveryNs: "Nanoseconds spent in the discovery phase (submit to deps-resolved), summed over finished tasks.",
+	CPhaseReadyWaitNs: "Nanoseconds tasks spent ready but not yet running, summed over finished tasks.",
+	CPhaseExecuteNs:   "Nanoseconds spent executing task bodies, summed over finished tasks.",
+	CPhaseReleaseNs:   "Nanoseconds spent releasing successors after task completion, summed over finished tasks.",
 }
 
 // Name returns the Prometheus series name for c.
@@ -73,6 +116,14 @@ func (c Counter) Name() string {
 		return "taskdep_unknown_total"
 	}
 	return counterNames[c]
+}
+
+// Help returns the # HELP text for c.
+func (c Counter) Help() string {
+	if c < 0 || c >= NumCounters {
+		return "Unknown counter."
+	}
+	return counterHelp[c]
 }
 
 // Histo identifies a pre-registered log₂-bucketed latency histogram.
@@ -93,12 +144,28 @@ var histoNames = [NumHistos]string{
 	HTaskwaitNs:       "taskdep_taskwait_ns",
 }
 
+// histoHelp are the # HELP strings for the log2-bucketed histograms.
+var histoHelp = [NumHistos]string{
+	HTaskBodyNs:       "Task body execution latency in nanoseconds (sampled, log2 buckets).",
+	HDiscoveryBatchNs: "SubmitBatch discovery latency in nanoseconds (log2 buckets).",
+	HReplayCopyNs:     "Persistent replay per-task re-instantiation latency in nanoseconds (sampled, log2 buckets).",
+	HTaskwaitNs:       "Taskwait drain latency in nanoseconds (log2 buckets).",
+}
+
 // Name returns the Prometheus series name for h.
 func (h Histo) Name() string {
 	if h < 0 || h >= NumHistos {
 		return "taskdep_unknown_ns"
 	}
 	return histoNames[h]
+}
+
+// Help returns the # HELP text for h.
+func (h Histo) Help() string {
+	if h < 0 || h >= NumHistos {
+		return "Unknown histogram."
+	}
+	return histoHelp[h]
 }
 
 // shard holds one slot's counters and histogram buckets. Owner slots
@@ -171,11 +238,13 @@ type CounterFunc func() int64
 
 type namedGauge struct {
 	name string
+	help string
 	f    GaugeFunc
 }
 
 type namedCounter struct {
 	name string
+	help string
 	f    CounterFunc
 }
 
@@ -424,29 +493,39 @@ func (r *Registry) Histogram(h Histo) HistSnapshot {
 }
 
 // RegisterGauge registers a callback-backed gauge exposed on /metrics.
-func (r *Registry) RegisterGauge(name string, f GaugeFunc) {
+// An optional help string becomes the series' # HELP line.
+func (r *Registry) RegisterGauge(name string, f GaugeFunc, help ...string) {
 	if r == nil || f == nil {
 		return
 	}
 	r.collMu.Lock()
-	r.gauges = append(r.gauges, namedGauge{name, f})
+	r.gauges = append(r.gauges, namedGauge{name, firstOf(help), f})
 	r.collMu.Unlock()
 }
 
 // RegisterCounterFunc registers a callback-backed monotone counter
 // exposed on /metrics (for sources with their own counters, e.g.
-// graph discovery stats — zero added hot-path cost).
-func (r *Registry) RegisterCounterFunc(name string, f CounterFunc) {
+// graph discovery stats — zero added hot-path cost). An optional help
+// string becomes the series' # HELP line.
+func (r *Registry) RegisterCounterFunc(name string, f CounterFunc, help ...string) {
 	if r == nil || f == nil {
 		return
 	}
 	r.collMu.Lock()
-	r.counters = append(r.counters, namedCounter{name, f})
+	r.counters = append(r.counters, namedCounter{name, firstOf(help), f})
 	r.collMu.Unlock()
 }
 
+func firstOf(help []string) string {
+	if len(help) > 0 {
+		return help[0]
+	}
+	return ""
+}
+
 // WriteMetrics writes every registered series in Prometheus text
-// exposition format: shard-backed counters, callback counters,
+// exposition format — # HELP, then # TYPE, then samples, per the
+// exposition conventions — shard-backed counters, callback counters,
 // gauges, then histograms.
 func (r *Registry) WriteMetrics(w io.Writer) error {
 	if r == nil {
@@ -454,7 +533,7 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 	}
 	merged := r.Counters()
 	for c := Counter(0); c < NumCounters; c++ {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name(), c.Name(), merged[c]); err != nil {
+		if err := writeSeries(w, c.Name(), c.Help(), "counter", fmt.Sprintf("%d", merged[c])); err != nil {
 			return err
 		}
 	}
@@ -465,19 +544,32 @@ func (r *Registry) WriteMetrics(w io.Writer) error {
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
 	for _, nc := range counters {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", nc.name, nc.name, nc.f()); err != nil {
+		if err := writeSeries(w, nc.name, nc.help, "counter", fmt.Sprintf("%d", nc.f())); err != nil {
 			return err
 		}
 	}
 	for _, ng := range gauges {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", ng.name, ng.name, ng.f()); err != nil {
+		if err := writeSeries(w, ng.name, ng.help, "gauge", fmt.Sprintf("%g", ng.f())); err != nil {
 			return err
 		}
 	}
 	for h := Histo(0); h < NumHistos; h++ {
-		if err := r.Histogram(h).writeProm(w, h.Name()); err != nil {
+		if err := r.Histogram(h).writeProm(w, h.Name(), h.Help()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeSeries emits one single-sample series with its HELP and TYPE
+// metadata lines (HELP first, as the exposition format specifies; an
+// empty help skips the HELP line rather than emitting a blank one).
+func writeSeries(w io.Writer, name, help, typ, value string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", name, typ, name, value)
+	return err
 }

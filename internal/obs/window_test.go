@@ -118,3 +118,72 @@ func TestWindowNilRegistry(t *testing.T) {
 		t.Fatal("nil registry window must yield zero deltas")
 	}
 }
+
+// TestWindowConcurrentPhaseFlush drives the critical-path phase
+// counters through both write disciplines — owner AddSlot with
+// FlushSlot drains (the ObserveRelease path) and external Add (the
+// cold-point EndWindow flush) — while a delta Window advances
+// concurrently, then runs FlushAll against the still-running reader.
+// Under -race this pins down the snapshot contract: readers never need
+// shard coordination, and FlushAll only requires writer quiescence,
+// not reader quiescence. Totals must be exact at the end.
+func TestWindowConcurrentPhaseFlush(t *testing.T) {
+	const (
+		slots   = 3
+		perSlot = 10000
+		extAdds = 25000
+	)
+	r := New(slots, Options{})
+	w := r.NewWindow()
+
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSlot; i++ {
+				r.AddSlot(s, CPhaseReleaseNs, 1)
+				if i%64 == 0 {
+					r.FlushSlot(s)
+				}
+			}
+			r.FlushSlot(s)
+		}(s)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < extAdds; i++ {
+			r.Add(CPhaseExecuteNs, 1)
+		}
+	}()
+
+	var relSum, execSum int64
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !stop.Load() {
+			d := w.Advance()
+			relSum += d.Counters[CPhaseReleaseNs]
+			execSum += d.Counters[CPhaseExecuteNs]
+			time.Sleep(20 * time.Microsecond)
+		}
+		d := w.Advance()
+		relSum += d.Counters[CPhaseReleaseNs]
+		execSum += d.Counters[CPhaseExecuteNs]
+	}()
+
+	wg.Wait()
+	// Writers quiescent, reader still live: FlushAll's documented
+	// contract.
+	r.FlushAll()
+	stop.Store(true)
+	<-done
+	if want := int64(slots * perSlot); relSum != want {
+		t.Fatalf("release-phase deltas = %d, want %d", relSum, want)
+	}
+	if execSum != extAdds {
+		t.Fatalf("execute-phase deltas = %d, want %d", execSum, extAdds)
+	}
+}

@@ -2,6 +2,7 @@ package rt
 
 import (
 	"fmt"
+	"time"
 
 	"taskdep/internal/graph"
 	"taskdep/internal/sched"
@@ -40,6 +41,34 @@ type ThrottleOptions struct {
 	// Total bounds live tasks, ready or not (MPC-OMP's extra threshold
 	// for dependent tasks); 0 = unbounded.
 	Total int64
+}
+
+// CPathOptions configures the online critical-path profiler
+// (internal/cpath): per-task phase attribution (discovery, ready-wait,
+// execute, release), an O(1) release-time critical-path fold, and
+// what-if projections of makespan with zero-cost discovery. Zero value:
+// off, zero overhead. When enabled, every task carries four clock
+// stamps read from a cached ~1 ns clock, the taskdep_phase_* counters
+// are populated, window reports are published at every taskwait (and
+// compiled-replay barrier), and the introspection endpoint gains
+// /criticalpath. See docs/architecture.md, "Critical-path analysis".
+type CPathOptions struct {
+	// Enable turns critical-path profiling on.
+	Enable bool
+	// Precise reads the real clock on every stamp instead of the cached
+	// atomic: exact attribution at ~30-60 ns per stamp, for tests and
+	// coarse-grained workloads.
+	Precise bool
+	// Tick is the cached clock's refresh period; <= 0 selects
+	// cpath.DefaultTick (50us).
+	Tick time.Duration
+	// Retain keeps every finished task until Runtime.CPathProfiler().
+	// TakeRetained, so the offline exact longest-path cross-check can
+	// run. Pins task memory; benchmark/test machinery, not production.
+	Retain bool
+	// PathMax bounds the critical-path entries rendered into a report;
+	// <= 0 means 64.
+	PathMax int
 }
 
 // DiscoveryOptions groups the TDG-discovery knobs. Twin of the legacy

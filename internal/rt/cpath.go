@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"taskdep/internal/cpath"
+)
+
+// cpath.go is the runtime's surface for the online critical-path
+// profiler (internal/cpath): the /criticalpath introspection endpoint
+// served next to /metrics, and the programmatic accessors the service
+// layer (internal/serve) and the cpath benchmark use. The hot-path
+// hooks live in rt.go's finish paths; everything here runs at scrape
+// or quiescent time only.
+
+// CriticalPath returns the most recent completed profiling window's
+// report (published at every Taskwait and compiled-replay barrier), or
+// nil when no window has completed or Config.CPath.Enable is false.
+// Safe from any goroutine.
+func (rt *Runtime) CriticalPath() *cpath.Report {
+	if rt.cp == nil {
+		return nil
+	}
+	return rt.cp.Last()
+}
+
+// CPathProfiler exposes the profiler itself (TakeRetained in Retain
+// mode, clock access); nil when critical-path profiling is off.
+// Benchmark/test machinery.
+func (rt *Runtime) CPathProfiler() *cpath.Profiler { return rt.cp }
+
+// httpHandler wraps the obs introspection handler (/metrics, /spans,
+// /graphz, pprof) with the runtime-level /criticalpath route.
+func (rt *Runtime) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", rt.obs.Handler(func() any { return rt.Introspect() }))
+	mux.HandleFunc("/criticalpath", rt.handleCriticalPath)
+	return mux
+}
+
+// cpStatus is the /criticalpath JSON payload: the last window's report
+// plus an instantaneous view (live/ready tasks, busy workers) so a
+// scraper can read both average and momentary parallelism.
+type cpStatus struct {
+	Enabled bool          `json:"enabled"`
+	Report  *cpath.Report `json:"report,omitempty"`
+
+	// Instantaneous state, racy snapshots (same caveats as /graphz).
+	LiveTasks       int64   `json:"live_tasks"`
+	ReadyTasks      int64   `json:"ready_tasks"`
+	PendingTasks    int     `json:"pending_tasks"`
+	Workers         int     `json:"workers"`
+	IdleSlots       int     `json:"idle_slots"` // parked workers + producer
+	BusyWorkers     int     `json:"busy_workers"`
+	InstParallelism float64 `json:"inst_parallelism"`
+}
+
+// cpStatusNow assembles the endpoint payload.
+func (rt *Runtime) cpStatusNow() cpStatus {
+	st := cpStatus{
+		Enabled:      rt.cp != nil,
+		LiveTasks:    rt.g.Live(),
+		ReadyTasks:   rt.g.ReadyCount(),
+		PendingTasks: rt.s.Pending(),
+		Workers:      rt.cfg.Workers,
+		IdleSlots:    rt.s.IdleWorkers(),
+	}
+	if rt.cp != nil {
+		st.Report = rt.cp.Last()
+	}
+	// Busy = execution slots (workers + producer-as-consumer) not
+	// announced idle, clamped: the idle count is a racy snapshot.
+	busy := rt.cfg.Workers + 1 - st.IdleSlots
+	if busy < 0 {
+		busy = 0
+	}
+	st.BusyWorkers = busy
+	st.InstParallelism = float64(busy)
+	return st
+}
+
+// handleCriticalPath serves the last profiling window's critical-path
+// analysis: JSON by default, the human-readable rendering with
+// ?format=text. 404 when Config.CPath.Enable is false, so a scraper can
+// distinguish "off" from "no window yet" (enabled, report null).
+func (rt *Runtime) handleCriticalPath(w http.ResponseWriter, req *http.Request) {
+	if rt.cp == nil {
+		http.Error(w, "critical-path profiling disabled; set rt.Config.CPath.Enable", http.StatusNotFound)
+		return
+	}
+	st := rt.cpStatusNow()
+	if req.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if st.Report == nil {
+			fmt.Fprintln(w, "no completed profiling window yet (reports publish at taskwait)")
+		} else {
+			st.Report.WriteText(w)
+		}
+		fmt.Fprintf(w, "now: %d live, %d ready, %d queued; %d/%d execution slots busy\n",
+			st.LiveTasks, st.ReadyTasks, st.PendingTasks, st.BusyWorkers, st.Workers+1)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}

@@ -1,0 +1,146 @@
+package rt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"taskdep/internal/cpath"
+	"taskdep/internal/graph"
+	"taskdep/internal/obs"
+)
+
+// TestCriticalPathEndpoint scrapes /criticalpath over real loopback
+// HTTP after a drained taskwait: the JSON payload must carry the last
+// window's report and the text rendering must be servable.
+func TestCriticalPathEndpoint(t *testing.T) {
+	const n = 8
+	r := New(Config{
+		Workers: 2,
+		Obs:     obs.Options{Addr: "127.0.0.1:0"},
+		CPath:   CPathOptions{Enable: true, Precise: true},
+	})
+	defer r.Close()
+	for i := 0; i < n; i++ {
+		r.Submit(Spec{
+			Label: fmt.Sprintf("link%d", i),
+			InOut: []graph.Key{graph.Key(1)},
+			Body:  func(any) {},
+		})
+	}
+	if err := r.Taskwait(); err != nil {
+		t.Fatalf("Taskwait: %v", err)
+	}
+	base := "http://" + r.ObsAddr()
+
+	resp, err := http.Get(base + "/criticalpath")
+	if err != nil {
+		t.Fatalf("GET /criticalpath: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/criticalpath status %d", resp.StatusCode)
+	}
+	var st struct {
+		Enabled bool          `json:"enabled"`
+		Report  *cpath.Report `json:"report"`
+		Workers int           `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !st.Enabled || st.Workers != 2 {
+		t.Fatalf("status: %+v", st)
+	}
+	if st.Report == nil || st.Report.Tasks != n {
+		t.Fatalf("report: %+v", st.Report)
+	}
+	// A strict chain: every task is on the critical path.
+	if st.Report.CPLen != n || st.Report.TInfNs <= 0 {
+		t.Fatalf("chain cp-len %d (want %d), Tinf %d", st.Report.CPLen, n, st.Report.TInfNs)
+	}
+
+	tresp, err := http.Get(base + "/criticalpath?format=text")
+	if err != nil {
+		t.Fatalf("GET text: %v", err)
+	}
+	defer tresp.Body.Close()
+	body, _ := io.ReadAll(tresp.Body)
+	if !strings.Contains(string(body), "Tinf") || !strings.Contains(string(body), "now:") {
+		t.Fatalf("text rendering:\n%s", body)
+	}
+}
+
+// TestCriticalPathEndpointDisabled: without CPath.Enable the route
+// must 404, so scrapers can tell "off" from "no window yet".
+func TestCriticalPathEndpointDisabled(t *testing.T) {
+	r := New(Config{Workers: 1, Obs: obs.Options{Addr: "127.0.0.1:0"}})
+	defer r.Close()
+	resp, err := http.Get("http://" + r.ObsAddr() + "/criticalpath")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled /criticalpath status %d, want 404", resp.StatusCode)
+	}
+	if r.CriticalPath() != nil || r.CPathProfiler() != nil {
+		t.Fatalf("accessors non-nil with profiling off")
+	}
+}
+
+// TestCPathAcrossFrozenReplay runs a strict chain through the compiled
+// frozen-replay path at several region lengths: every replay iteration
+// must publish its own window whose critical path covers the whole
+// chain and carries ZERO discovery weight — replay's defining property
+// (the graph is re-executed, never re-discovered).
+func TestCPathAcrossFrozenReplay(t *testing.T) {
+	for _, n := range []int{1, 5, 32} {
+		t.Run(fmt.Sprintf("chain%d", n), func(t *testing.T) {
+			const iters = 4
+			r := New(Config{
+				Workers: 2, Opts: graph.OptAll,
+				CPath: CPathOptions{Enable: true, Precise: true},
+			})
+			defer r.Close()
+			ran := 0
+			body := func(int) {
+				for i := 0; i < n; i++ {
+					r.Submit(Spec{
+						Label: fmt.Sprintf("link%d", i),
+						InOut: []graph.Key{graph.Key(1)},
+						Body:  func(any) { ran++ }, // chain: serial, race-free
+					})
+				}
+			}
+			if err := r.Persistent(iters, body, Frozen()); err != nil {
+				t.Fatalf("Persistent: %v", err)
+			}
+			if ran != n*iters {
+				t.Fatalf("bodies ran %d times, want %d", ran, n*iters)
+			}
+			rep := r.CriticalPath()
+			if rep == nil {
+				t.Fatalf("no report after frozen replay")
+			}
+			// The last window is the final replay iteration, exactly.
+			if rep.Tasks != int64(n) {
+				t.Fatalf("final window covered %d tasks, want %d", rep.Tasks, n)
+			}
+			if rep.CPLen != n {
+				t.Fatalf("replay cp-len %d, want %d", rep.CPLen, n)
+			}
+			if rep.CPDiscNs != 0 || rep.SumDiscNs != 0 {
+				t.Fatalf("replay window carries discovery weight: cp %d ns, sum %d ns",
+					rep.CPDiscNs, rep.SumDiscNs)
+			}
+			if rep.TInfNs <= 0 || rep.TInfNs != rep.CPWaitNs+rep.CPExecNs {
+				t.Fatalf("replay span: Tinf %d = wait %d + exec %d expected",
+					rep.TInfNs, rep.CPWaitNs, rep.CPExecNs)
+			}
+		})
+	}
+}

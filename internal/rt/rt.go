@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"taskdep/internal/cpath"
 	"taskdep/internal/fault"
 	"taskdep/internal/graph"
 	"taskdep/internal/obs"
@@ -83,6 +84,11 @@ type Config struct {
 	// machinery for the failure domain, nil in production. Must not be
 	// shared between runtimes.
 	Inject *fault.Inject
+	// CPath configures the online critical-path profiler
+	// (internal/cpath): phase attribution, live T1/T-infinity and the
+	// discovery share of the critical path, what-if projections, and the
+	// /criticalpath endpoint. Zero value: off, zero overhead.
+	CPath CPathOptions
 	// Obs configures the observability layer (internal/obs): the zero
 	// value keeps the sharded counters on (near-zero overhead), spans
 	// off, and no HTTP endpoint. Set Obs.Spans for span tracing +
@@ -114,6 +120,11 @@ type Runtime struct {
 	// selects its tiers); obsSrv is the optional introspection endpoint.
 	obs    *obs.Registry
 	obsSrv *obs.Server
+
+	// cp is the online critical-path profiler; nil unless
+	// Config.CPath.Enable, so every hook below is one nil check when
+	// profiling is off.
+	cp *cpath.Profiler
 
 	wg       sync.WaitGroup
 	shutdown atomic.Bool
@@ -277,8 +288,23 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Verify != verify.Off {
 		rt.ver = verify.NewRecorder(cfg.Opts)
 	}
+	var cpathNow func() int64
+	var cpathCached *atomic.Int64
+	if cfg.CPath.Enable {
+		rt.cp = cpath.New(cfg.Workers+1, rt.obs, cpath.Options{
+			Precise: cfg.CPath.Precise,
+			Tick:    cfg.CPath.Tick,
+			Retain:  cfg.CPath.Retain,
+			PathMax: cfg.CPath.PathMax,
+		})
+		cpathNow = rt.cp.Now
+		cpathCached = rt.cp.ClockRef() // nil in precise mode
+	}
 	rt.g = graph.NewWithConfig(graph.Config{
-		Opts: gopts,
+		Opts:        gopts,
+		CPath:       cfg.CPath.Enable,
+		CPathNow:    cpathNow,
+		CPathCached: cpathCached,
 		OnReady: func(t *graph.Task) {
 			// Producer-side readiness: route through the global FIFO.
 			rt.s.Push(-1, t)
@@ -294,7 +320,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	rt.spill = make([][]*graph.Task, cfg.Workers+1)
 	rt.fuseRun = make([]int32, cfg.Workers+1)
 	if cfg.Obs.Addr != "" {
-		srv, err := obs.Serve(cfg.Obs.Addr, rt.obs.Handler(func() any { return rt.Introspect() }))
+		srv, err := obs.Serve(cfg.Obs.Addr, rt.httpHandler())
 		if err != nil {
 			return nil, fmt.Errorf("rt: Obs.Addr %q: %w", cfg.Obs.Addr, err)
 		}
@@ -910,6 +936,12 @@ func (rt *Runtime) Taskwait() error {
 	// Quiescence point: publish the producer's pending counter deltas
 	// (workers publish theirs as they park; Close drains every slot).
 	rt.obs.FlushSlot(rt.producerID())
+	if rt.cp != nil {
+		// Close the critical-path window: the graph is drained, so every
+		// Observe was sequenced before a live-count decrement this
+		// goroutine has observed — the slot merge is race-free.
+		rt.cp.EndWindow(rt.cfg.Workers)
+	}
 	if rt.ver != nil && rt.cfg.Verify == verify.Full {
 		// Paranoid mode: audit the whole discovered graph at every
 		// synchronization point; the latest report is kept for
@@ -1123,7 +1155,11 @@ func (rt *Runtime) execute(w int, t *graph.Task) {
 	// and skipping the store keeps an atomic full barrier off the
 	// steady-state path.
 	if rt.compiled.Load() == nil || !t.Persistent {
-		rt.g.Start(t)
+		rt.g.Start(t) // stamps the body-start clock when CPath is on
+	} else {
+		// Compiled replay through the instrumented executor: no Running
+		// store, but the phase clock still needs the start stamp.
+		rt.g.StampStart(t)
 	}
 	err := rt.runBody(t)
 	sp.End()
@@ -1162,6 +1198,7 @@ func (rt *Runtime) executeCompiled(w int, t *graph.Task, cs *graph.Compiled) {
 		rt.finishCompiled(w, t, cs, graph.Skipped)
 		return
 	}
+	rt.g.StampStart(t) // no Running store on this path; stamp directly
 	if err := rt.runBody(t); err != nil {
 		rt.fail(w, t, err)
 		return
@@ -1265,6 +1302,15 @@ func (rt *Runtime) finish(w int, t *graph.Task, final graph.State) {
 	if slotted {
 		buf = rt.relBufs[w]
 	}
+	// Critical-path profiling: stamp the finish and fold the task into
+	// the window aggregation BEFORE the terminal transition below — its
+	// successor walk publishes the cp* values, and its live-count
+	// decrement is what lets a quiescent producer read the profiler
+	// slots without synchronization (see cpath.Profiler.Observe).
+	if rt.cp != nil {
+		rt.g.StampFinish(t)
+		rt.cp.Observe(w, t)
+	}
 	// Terminal-transition counters, on the finisher's shard (w == -1
 	// routes to the external shard). Redirect sentinels are graph
 	// machinery, not user tasks: uncounted, so at quiescent points
@@ -1328,6 +1374,13 @@ func (rt *Runtime) finish(w int, t *graph.Task, final graph.State) {
 	if len(released) == 0 || rt.throttleOn.Load() || rt.g.Live() == 0 {
 		rt.s.WakeProducer()
 	}
+	// Release-phase accounting (finish stamp to end of the successor
+	// walk + publication), counter-only: release time overlaps the
+	// released successors' ready-wait, so it never enters the window's
+	// T1 (see cpath.Profiler.ObserveRelease).
+	if rt.cp != nil {
+		rt.cp.ObserveRelease(w, rt.cp.Now()-t.FinishAtNs())
+	}
 }
 
 // spillCap bounds how many released tasks a slot may keep on its
@@ -1348,6 +1401,12 @@ const spillCap = 16
 // transitions it watches: a completion releasing nothing, or the
 // countdown reaching zero.
 func (rt *Runtime) finishCompiled(w int, t *graph.Task, cs *graph.Compiled, final graph.State) {
+	// Same critical-path ordering contract as finish: stamp and observe
+	// before the compiled release walk decrements anything.
+	if rt.cp != nil {
+		rt.g.StampFinish(t)
+		rt.cp.Observe(w, t)
+	}
 	slotted := w >= 0 && w < len(rt.relBufs)
 	if !slotted {
 		// Unowned context (detach cancellation, external completion):
@@ -1357,9 +1416,15 @@ func (rt *Runtime) finishCompiled(w int, t *graph.Task, cs *graph.Compiled, fina
 		if len(released) == 0 || cs.Remaining() == 0 {
 			rt.s.WakeProducer()
 		}
+		if rt.cp != nil {
+			rt.cp.ObserveRelease(w, rt.cp.Now()-t.FinishAtNs())
+		}
 		return
 	}
 	released := cs.FinishIntoDeferred(t, rt.relBufs[w], final)
+	if rt.cp != nil {
+		rt.cp.ObserveRelease(w, rt.cp.Now()-t.FinishAtNs())
+	}
 	switch {
 	case t.Redirect: // graph machinery, uncounted
 	case final == graph.Aborted:
@@ -1747,6 +1812,14 @@ func (rt *Runtime) replayCompiled(cs *graph.Compiled, iters int) error {
 		if rt.obs.Sampled(rt.producerID()) {
 			sp = rt.obs.BeginSpan(rt.producerID(), obs.SpanReplayCopy, n, 0, it)
 		}
+		if rt.cp != nil {
+			// Compiled roots are seeded directly into the deque, not
+			// released through a predecessor walk: stamp their ready
+			// transition here, before publication.
+			for _, root := range cs.Roots() {
+				rt.g.StampReady(root)
+			}
+		}
 		rt.s.SeedReplay(rt.producerID(), cs.Roots())
 		sp.End()
 		rt.obs.AddSlot(rt.producerID(), obs.CReplayHits, n)
@@ -1784,6 +1857,12 @@ func (rt *Runtime) compiledBarrier(cs *graph.Compiled) error {
 	}
 	cs.EndIteration()
 	rt.obs.FlushSlot(rt.producerID())
+	if rt.cp != nil {
+		// Per-iteration critical-path report: the countdown reached zero,
+		// so every recorded task's Observe is visible (same quiescence
+		// argument as Taskwait's).
+		rt.cp.EndWindow(rt.cfg.Workers)
+	}
 	if rt.ver != nil && rt.cfg.Verify == verify.Full {
 		rt.lastAudit.Store(rt.ver.Audit(rt.g.RedirectNodes()))
 	}
@@ -1861,6 +1940,9 @@ func (rt *Runtime) Close() error {
 	// Workers are joined: drain every slot's pending deltas so merged
 	// counter reads are exact from here on.
 	rt.obs.FlushAll()
+	if rt.cp != nil {
+		rt.cp.Close()
+	}
 	if rt.obsSrv != nil {
 		_ = rt.obsSrv.Close()
 	}

@@ -841,6 +841,13 @@ func (s *Scheduler) Kick() {
 	}
 }
 
+// IdleWorkers returns how many execution slots (workers plus the
+// producer-as-consumer) are currently announced idle in the parking
+// protocol. Racy snapshot — a slot can be between PrePark and Park, or
+// waking — but monotone enough for instantaneous-parallelism readings
+// (the /criticalpath endpoint's "running workers" figure).
+func (s *Scheduler) IdleWorkers() int { return int(s.nIdle.Load()) }
+
 // Pending returns the total number of queued tasks across all queues.
 // Racy snapshot while producers run; exact at quiescent points.
 func (s *Scheduler) Pending() int {

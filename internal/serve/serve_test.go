@@ -574,3 +574,65 @@ func TestOps(t *testing.T) {
 		t.Errorf("fail: %v", err)
 	}
 }
+
+// TestTenantCriticalPathEndpoint: with Options.CPath every tenant
+// runtime carries the online critical-path profiler, and the per-tenant
+// summary route serves the last window's report plus the service-level
+// classification; without it the route 404s so operators can tell the
+// feature is off rather than idle.
+func TestTenantCriticalPathEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{CPath: true})
+	if status, _ := postGraph(t, ts.Client(), ts.URL, "cpt", sumGraph(1, 2)); status != 200 {
+		t.Fatal("setup graph failed")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/tenants/cpt/criticalpath")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var sum struct {
+		Tenant  string `json:"tenant"`
+		Enabled bool   `json:"enabled"`
+		Report  *struct {
+			Tasks int64 `json:"tasks"`
+			CPLen int   `json:"cp_len"`
+		} `json:"report"`
+		Bound             string `json:"bound"`
+		DiscoveryImpacted bool   `json:"discovery_impacted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sum.Tenant != "cpt" || !sum.Enabled {
+		t.Fatalf("summary: %+v", sum)
+	}
+	// Tenants run the production cached clock: sub-tick tasks quantize
+	// to zero weight, so only the path's length floor is deterministic.
+	if sum.Report == nil || sum.Report.Tasks != 3 || sum.Report.CPLen < 1 {
+		t.Fatalf("report: %+v", sum.Report)
+	}
+	switch sum.Bound {
+	case "discovery", "ready-wait", "execute":
+	default:
+		t.Fatalf("bound classification %q", sum.Bound)
+	}
+
+	// Profiling off: the route must 404 for an existing tenant.
+	_, tsOff := newTestServer(t, Options{})
+	if status, _ := postGraph(t, tsOff.Client(), tsOff.URL, "plain", sumGraph(1, 2)); status != 200 {
+		t.Fatal("setup graph failed")
+	}
+	for _, path := range []string{"/v1/tenants/plain/criticalpath", "/v1/tenants/nosuch/criticalpath"} {
+		r2, err := tsOff.Client().Get(tsOff.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, r2.StatusCode)
+		}
+	}
+}

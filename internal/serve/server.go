@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"taskdep/internal/cpath"
 	"taskdep/internal/fault"
 )
 
@@ -44,6 +45,7 @@ func (s *Server) Shutdown() { s.m.CloseAll() }
 //	DELETE /v1/tenants/{name}         tear a tenant down
 //	GET    /v1/tenants/{name}/metrics the tenant runtime's Prometheus text
 //	GET    /v1/tenants/{name}/graphz  the tenant runtime's live snapshot
+//	GET    /v1/tenants/{name}/criticalpath  last critical-path window + what-if
 //	GET    /metrics                   service-level + tenant-labeled series
 //	GET    /graphz                    service snapshot (all tenants)
 //	GET    /healthz                   liveness probe
@@ -54,6 +56,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/tenants/{name}", s.handleTenantDelete)
 	mux.HandleFunc("GET /v1/tenants/{name}/metrics", s.handleTenantMetrics)
 	mux.HandleFunc("GET /v1/tenants/{name}/graphz", s.handleTenantGraphz)
+	mux.HandleFunc("GET /v1/tenants/{name}/criticalpath", s.handleTenantCriticalPath)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /graphz", s.handleGraphz)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -236,6 +239,60 @@ func (s *Server) handleTenantGraphz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(tn.Runtime().Introspect())
+}
+
+// tenantCPSummary is the per-tenant critical-path payload: the
+// runtime's last window report plus a coarse classification of what
+// bounds the tenant's graphs — the service-level answer to the paper's
+// question ("is discovery on this workload's critical path?").
+type tenantCPSummary struct {
+	Tenant  string        `json:"tenant"`
+	Enabled bool          `json:"enabled"`
+	Report  *cpath.Report `json:"report,omitempty"`
+	// Bound names the dominant critical-path component: "discovery",
+	// "ready-wait" or "execute". Empty until a window completes.
+	Bound string `json:"bound,omitempty"`
+	// DiscoveryImpacted is true when eliminating discovery would shrink
+	// the projected makespan by more than 5% (WhatIf.Speedup > 1.05).
+	DiscoveryImpacted bool `json:"discovery_impacted"`
+}
+
+// classifyCP derives the summary's classification fields from a report.
+func classifyCP(rep *cpath.Report) (bound string, impacted bool) {
+	if rep == nil {
+		return "", false
+	}
+	bound = "execute"
+	max := rep.CPExecNs
+	if rep.CPWaitNs > max {
+		bound, max = "ready-wait", rep.CPWaitNs
+	}
+	if rep.CPDiscNs > max {
+		bound = "discovery"
+	}
+	return bound, rep.WhatIf.Speedup > 1.05
+}
+
+func (s *Server) handleTenantCriticalPath(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.m.Lookup(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "serve: no tenant %q", r.PathValue("name"))
+		return
+	}
+	sum := tenantCPSummary{
+		Tenant:  tn.Name(),
+		Enabled: tn.Runtime().CPathProfiler() != nil,
+		Report:  tn.Runtime().CriticalPath(),
+	}
+	if !sum.Enabled {
+		httpError(w, http.StatusNotFound, "serve: tenant %q has critical-path profiling disabled (serve.Options.CPath)", tn.Name())
+		return
+	}
+	sum.Bound, sum.DiscoveryImpacted = classifyCP(sum.Report)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(sum)
 }
 
 // handleMetrics writes the service-level series plus one

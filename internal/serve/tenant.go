@@ -48,6 +48,11 @@ type Options struct {
 	// PressureAt is the global-occupancy fraction that engages the
 	// tightened windows; they release at half this mark. Default 0.75.
 	PressureAt float64
+	// CPath enables the online critical-path profiler on every tenant
+	// runtime: per-graph phase attribution and discovery-impact what-if
+	// reports, served per tenant at GET /v1/tenants/{name}/criticalpath.
+	// Default off (the profiler costs a few ns per task).
+	CPath bool
 }
 
 func (o Options) withDefaults() Options {
@@ -347,6 +352,7 @@ func (m *Manager) Tenant(name string) (*Tenant, error) {
 	runtime, err := rt.NewRuntime(rt.Config{
 		Workers:  m.opt.Workers,
 		Throttle: rt.ThrottleOptions{Ready: ready, Total: total},
+		CPath:    rt.CPathOptions{Enable: m.opt.CPath},
 	})
 	if err != nil {
 		return nil, err

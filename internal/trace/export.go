@@ -52,25 +52,66 @@ func WriteChrome(w io.Writer, events []obs.SpanEvent) error {
 	return obs.WriteChromeTrace(w, events)
 }
 
+// chromeTaskEvent is one complete ("X") Chrome trace event; the
+// task-record export writes these directly instead of round-tripping
+// through obs.SpanEvent so labels survive and critical-path tasks can
+// carry Perfetto's color hint.
+type chromeTaskEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	// Cname is the catapult reserved color name; "terrible" renders
+	// red, making the critical-path chain pop out of the timeline.
+	Cname string         `json:"cname,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTaskTrace struct {
+	TraceEvents     []chromeTaskEvent `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	Meta            map[string]string `json:"otherData,omitempty"`
+}
+
 // WriteChromeTasks converts profile task boxes (Profile.Tasks, the
-// Gantt input) to Chrome trace-event JSON: each box becomes a matched
-// B/E pair on its worker's tid. This keeps the existing Gantt/record
-// path exportable alongside the obs span rings — the same records
-// drive both the ASCII/SVG charts and a Perfetto timeline.
+// Gantt input) to Chrome trace-event JSON: each box becomes one
+// complete event on its worker's tid, keeping the task label, and
+// critical-path records (see MarkCritical) are colored red and tagged
+// with a "critical" arg/category so Perfetto can both show and filter
+// the span-defining chain. The same records drive the ASCII/SVG charts
+// and this Perfetto timeline.
 func WriteChromeTasks(w io.Writer, tasks []TaskRecord) error {
-	evs := make([]obs.SpanEvent, 0, len(tasks))
-	for _, t := range tasks {
-		evs = append(evs, obs.SpanEvent{
-			Name:    obs.SpanTaskBody,
-			Kind:    'X',
-			Slot:    t.Worker,
-			TaskID:  t.TaskID,
-			Iter:    t.Iter,
-			StartNs: int64(t.Start * 1e9),
-			EndNs:   int64(t.End * 1e9),
-		})
+	out := chromeTaskTrace{
+		TraceEvents:     make([]chromeTaskEvent, 0, len(tasks)),
+		DisplayTimeUnit: "ns",
+		Meta:            map[string]string{"source": "taskdep/internal/trace"},
 	}
-	return obs.WriteChromeTrace(w, evs)
+	for _, t := range tasks {
+		ev := chromeTaskEvent{
+			Name: t.Label,
+			Cat:  "task",
+			Ph:   "X",
+			Ts:   t.Start * 1e6,
+			Dur:  (t.End - t.Start) * 1e6,
+			Pid:  1,
+			Tid:  t.Worker,
+			Args: map[string]any{"task_id": t.TaskID, "iter": t.Iter},
+		}
+		if ev.Name == "" {
+			ev.Name = "task"
+		}
+		if t.Critical {
+			ev.Cat = "task,critical"
+			ev.Cname = "terrible"
+			ev.Args["critical_path"] = true
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
 }
 
 // SpanTasks converts obs span events back into profile task boxes:

@@ -62,23 +62,33 @@ func (g *Gantt) WriteASCII(w io.Writer, width int) error {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
-	for _, r := range recs {
-		c0 := int(float64(width) * (r.Start - t0) / span)
-		c1 := int(float64(width) * (r.End - t0) / span)
-		if c1 <= c0 {
-			c1 = c0 + 1
-		}
-		if c1 > width {
-			c1 = width
-		}
-		glyph := iterGlyphs[r.Iter%len(iterGlyphs)]
-		for c := c0; c < c1; c++ {
-			if c >= 0 && c < width {
-				rows[r.Worker][c] = glyph
+	// Critical-path boxes render in a second pass so column rounding
+	// can never bury the overlay under a neighbouring box.
+	for _, critical := range []bool{false, true} {
+		for _, r := range recs {
+			if r.Critical != critical {
+				continue
+			}
+			c0 := int(float64(width) * (r.Start - t0) / span)
+			c1 := int(float64(width) * (r.End - t0) / span)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			if c1 > width {
+				c1 = width
+			}
+			glyph := iterGlyphs[r.Iter%len(iterGlyphs)]
+			if critical {
+				glyph = '#' // critical-path overlay: span-defining tasks
+			}
+			for c := c0; c < c1; c++ {
+				if c >= 0 && c < width {
+					rows[r.Worker][c] = glyph
+				}
 			}
 		}
 	}
-	if _, err := fmt.Fprintf(w, "gantt [%.6f, %.6f]s, glyph = iteration mod %d\n", t0, t1, len(iterGlyphs)); err != nil {
+	if _, err := fmt.Fprintf(w, "gantt [%.6f, %.6f]s, glyph = iteration mod %d, # = critical path\n", t0, t1, len(iterGlyphs)); err != nil {
 		return err
 	}
 	for i, row := range rows {
@@ -124,8 +134,16 @@ func (g *Gantt) WriteSVG(w io.Writer, pxWidth, rowHeight int) error {
 		}
 		y := r.Worker * rowHeight
 		color := svgPalette[r.Iter%len(svgPalette)]
-		fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"><title>%s it%d [%.6f,%.6f]</title></rect>`+"\n",
-			x, y+2, wd, rowHeight-4, color, r.Label, r.Iter, r.Start, r.End)
+		// Critical-path tasks get a heavy dark-red outline over the
+		// iteration fill, so the span-defining chain reads at a glance.
+		stroke := ""
+		mark := ""
+		if r.Critical {
+			stroke = ` stroke="#b30000" stroke-width="2"`
+			mark = " [critical path]"
+		}
+		fmt.Fprintf(w, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"%s><title>%s it%d [%.6f,%.6f]%s</title></rect>`+"\n",
+			x, y+2, wd, rowHeight-4, color, stroke, r.Label, r.Iter, r.Start, r.End, mark)
 	}
 	_, err := fmt.Fprint(w, "</svg>\n")
 	return err

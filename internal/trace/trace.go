@@ -47,6 +47,25 @@ type TaskRecord struct {
 	Iter   int
 	Start  float64
 	End    float64
+	// Critical marks tasks on the window's critical path (set by
+	// MarkCritical from a cpath report); the Gantt renderers and the
+	// Chrome export draw them distinctly.
+	Critical bool `json:",omitempty"`
+}
+
+// MarkCritical flags every record whose TaskID appears in ids — the
+// critical-path overlay bridge: feed it the ID set of a
+// cpath.Report.Path and the renderers highlight the span-defining
+// chain. Returns how many records were marked.
+func MarkCritical(recs []TaskRecord, ids map[int64]bool) int {
+	n := 0
+	for i := range recs {
+		if ids[recs[i].TaskID] {
+			recs[i].Critical = true
+			n++
+		}
+	}
+	return n
 }
 
 // CommKind distinguishes point-to-point sends from collectives, matching

@@ -61,6 +61,7 @@ package taskdep
 import (
 	"io"
 
+	"taskdep/internal/cpath"
 	"taskdep/internal/fault"
 	"taskdep/internal/graph"
 	"taskdep/internal/mpi"
@@ -313,6 +314,29 @@ type Gantt = trace.Gantt
 
 // TaskRecord is one scheduled task instance in a Profile (a Gantt box).
 type TaskRecord = trace.TaskRecord
+
+// MarkCritical tags the records whose task IDs appear in ids as
+// critical-path members, returning the number tagged. Tagged boxes
+// render with a '#' fill in Gantt.WriteASCII, a red outline in
+// WriteSVG, and the red "terrible" color in WriteChromeTasks —
+// pair it with CriticalPathReport.Path to overlay the span-defining
+// chain on a recorded timeline (cmd/gantt -cp does exactly this).
+func MarkCritical(records []TaskRecord, ids map[int64]bool) int {
+	return trace.MarkCritical(records, ids)
+}
+
+// CPathOptions configures the online critical-path profiler via
+// Config.CPath: per-task phase attribution (discovery, ready-wait,
+// execute, release), an O(1) release-time critical-path fold, and
+// what-if discovery-impact projections, published per window at every
+// Taskwait and served at /criticalpath when Obs.Addr is set. See
+// docs/architecture.md, "Critical-path analysis".
+type CPathOptions = rt.CPathOptions
+
+// CriticalPathReport is one profiling window's critical-path analysis
+// (work/span split by phase, parallelism, Brent-bound what-if
+// projections, the path itself), returned by Runtime.CriticalPath.
+type CriticalPathReport = cpath.Report
 
 // World is an in-process set of MPI-style ranks (goroutines).
 type World = mpi.World
